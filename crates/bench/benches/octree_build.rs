@@ -1,0 +1,40 @@
+//! Wall-clock cost of the Octree-build Unit's work: single-pass build,
+//! SFC reorganization and table flattening (the Fig. 11 overhead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use hgpcn_bench::figures::{golden_cloud, surface_cloud};
+use hgpcn_octree::{Octree, OctreeConfig, OctreeTable};
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("octree_build");
+    group.sample_size(10);
+    for &n in &[10_000usize, 50_000, 150_000] {
+        let cloud = surface_cloud(n, 5);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+            b.iter(|| Octree::build(&cloud, OctreeConfig::default()).unwrap())
+        });
+        let tree = Octree::build(&cloud, OctreeConfig::default()).unwrap();
+        group.bench_with_input(BenchmarkId::new("flatten_table", n), &n, |b, _| {
+            b.iter(|| OctreeTable::from_octree(&tree))
+        });
+    }
+    group.finish();
+}
+
+fn bench_depth_sensitivity(c: &mut Criterion) {
+    // Depth cap vs build cost (the non-uniformity effect of Fig. 11).
+    let mut group = c.benchmark_group("octree_depth");
+    group.sample_size(10);
+    let cloud = golden_cloud(50_000, 9);
+    for &depth in &[6u8, 8, 10, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            b.iter(|| Octree::build(&cloud, OctreeConfig::new().max_depth(d)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_depth_sensitivity);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Feature-computation benchmarks: the systolic cycle model (cheap) and
+//! the real PointNet++ forward pass it prices (wall-clock).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hgpcn_bench::figures::golden_cloud;
+use hgpcn_dla::SystolicArray;
+use hgpcn_pcn::{BruteKnnGatherer, CenterPolicy, PointNet, PointNetConfig};
+use hgpcn_system::VegGatherer;
+
+fn bench_cycle_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fcu_cycle_model");
+    let array = SystolicArray::paper_16x16();
+    for cfg in [PointNetConfig::classification(), PointNetConfig::semantic_segmentation(4096)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}_{}", cfg.name, cfg.input_size)),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    cfg.workload()
+                        .iter()
+                        .map(|w| array.mlp(&w.mlp, w.points).cycles)
+                        .sum::<u64>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_forward_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pointnet_forward");
+    group.sample_size(10);
+    let cloud = golden_cloud(1024, 3);
+    let net = PointNet::new(PointNetConfig::classification(), 1);
+
+    group.bench_function("classification_brute_knn", |b| {
+        b.iter(|| {
+            let mut g = BruteKnnGatherer::new();
+            net.infer(&cloud, &mut g, CenterPolicy::FirstN).unwrap()
+        })
+    });
+    group.bench_function("classification_veg", |b| {
+        b.iter(|| {
+            let mut g = VegGatherer::default();
+            net.infer(&cloud, &mut g, CenterPolicy::FirstN).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycle_model, bench_forward_pass);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Wall-clock comparison of the data-structuring methods (the algorithmic
+//! side of Figs. 14/15): brute-force KNN vs the three VEG modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hgpcn_bench::figures::golden_cloud;
+use hgpcn_gather::veg::{self, VegConfig, VegMode};
+use hgpcn_gather::{ball, knn};
+use hgpcn_octree::{Octree, OctreeConfig};
+
+fn bench_gatherers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gathering");
+    group.sample_size(10);
+    for &n in &[2_048usize, 8_192] {
+        let cloud = golden_cloud(n, 3);
+        let tree = Octree::build(&cloud, OctreeConfig::default()).unwrap();
+        let centers: Vec<usize> = (0..64).map(|i| i * (n / 64)).collect();
+        let k = 32;
+
+        group.bench_with_input(BenchmarkId::new("brute_knn", n), &n, |b, _| {
+            b.iter(|| knn::gather_all(tree.points(), &centers, k).unwrap())
+        });
+
+        group.bench_with_input(BenchmarkId::new("ball_query", n), &n, |b, _| {
+            b.iter(|| {
+                centers
+                    .iter()
+                    .map(|&c| ball::gather(tree.points(), c, 0.5, k).unwrap())
+                    .collect::<Vec<_>>()
+            })
+        });
+
+        for (label, mode) in [
+            ("veg_paper", VegMode::Paper),
+            ("veg_exact", VegMode::Exact),
+            ("veg_semi_approx", VegMode::SemiApprox),
+        ] {
+            let cfg = VegConfig { gather_level: None, mode };
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| veg::gather_all(&tree, &centers, k, &cfg).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gatherers);
+criterion_main!(benches);

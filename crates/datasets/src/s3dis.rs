@@ -1,0 +1,146 @@
+//! S3DIS-like indoor rooms for semantic segmentation workloads.
+//!
+//! A room is floor + ceiling + four walls + randomly placed furniture
+//! (tables, chairs, boxes), at realistic office dimensions. Density is
+//! surface-area weighted, so walls dominate the raw frame the way scanned
+//! rooms do. Each point carries a 1-D semantic-class feature
+//! (0 = structure, 1 = furniture).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hgpcn_geometry::{Point3, PointCloud};
+
+use crate::shapes::{jitter, sample_box, sample_plane};
+
+/// Parameters of a synthetic room.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RoomConfig {
+    /// Room width (x) in meters.
+    pub width: f32,
+    /// Room depth (y) in meters.
+    pub depth: f32,
+    /// Room height (z) in meters.
+    pub height: f32,
+    /// Number of furniture pieces.
+    pub furniture: usize,
+}
+
+impl Default for RoomConfig {
+    fn default() -> Self {
+        RoomConfig { width: 8.0, depth: 6.0, height: 3.0, furniture: 6 }
+    }
+}
+
+/// Generates an S3DIS-like room scan of `n` points.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or any room dimension is non-positive.
+pub fn generate_room(config: RoomConfig, n: usize, seed: u64) -> PointCloud {
+    assert!(n > 0, "frame must contain at least one point");
+    assert!(
+        config.width > 0.0 && config.depth > 0.0 && config.height > 0.0,
+        "room dimensions must be positive"
+    );
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xD6E8_FEB8_6659_FD93) | 1);
+    let (w, d, h) = (config.width, config.depth, config.height);
+
+    // Area-weighted split between structure surfaces and furniture.
+    let wall_area = 2.0 * (w * h + d * h) + 2.0 * (w * d);
+    let furniture_area = config.furniture as f32 * 2.5;
+    let structure_n =
+        ((n as f32) * wall_area / (wall_area + furniture_area)).round() as usize;
+    let structure_n = structure_n.min(n);
+
+    let mut cloud = PointCloud::with_feature_dim(1);
+
+    // Structure: floor, ceiling, 4 walls, proportional to area.
+    let surfaces: [(Point3, Point3, Point3, f32); 6] = [
+        (Point3::ORIGIN, Point3::new(w, 0.0, 0.0), Point3::new(0.0, d, 0.0), w * d), // floor
+        (Point3::new(0.0, 0.0, h), Point3::new(w, 0.0, 0.0), Point3::new(0.0, d, 0.0), w * d), // ceiling
+        (Point3::ORIGIN, Point3::new(w, 0.0, 0.0), Point3::new(0.0, 0.0, h), w * h), // y=0 wall
+        (Point3::new(0.0, d, 0.0), Point3::new(w, 0.0, 0.0), Point3::new(0.0, 0.0, h), w * h),
+        (Point3::ORIGIN, Point3::new(0.0, d, 0.0), Point3::new(0.0, 0.0, h), d * h), // x=0 wall
+        (Point3::new(w, 0.0, 0.0), Point3::new(0.0, d, 0.0), Point3::new(0.0, 0.0, h), d * h),
+    ];
+    let total_area: f32 = surfaces.iter().map(|s| s.3).sum();
+    let mut placed = 0usize;
+    for (i, (origin, su, sv, area)) in surfaces.iter().enumerate() {
+        let count = if i == surfaces.len() - 1 {
+            structure_n - placed
+        } else {
+            ((structure_n as f32) * area / total_area).round() as usize
+        };
+        let count = count.min(structure_n - placed);
+        placed += count;
+        let mut pts = sample_plane(&mut rng, *origin, *su, *sv, count);
+        jitter(&mut rng, &mut pts, 0.01);
+        for p in pts {
+            cloud.push_with_feature(p, &[0.0]);
+        }
+    }
+
+    // Furniture: boxes of table/chair scale scattered inside the room.
+    let mut remaining = n - cloud.len();
+    let pieces = config.furniture.max(1);
+    for i in 0..pieces {
+        let count = remaining / (pieces - i);
+        remaining -= count;
+        let fw: f32 = rng.gen_range(0.5..1.6);
+        let fd: f32 = rng.gen_range(0.5..1.2);
+        let fh: f32 = rng.gen_range(0.4..1.1);
+        let fx: f32 = rng.gen_range(0.2..(w - fw - 0.2).max(0.3));
+        let fy: f32 = rng.gen_range(0.2..(d - fd - 0.2).max(0.3));
+        let mut pts = sample_box(
+            &mut rng,
+            Point3::new(fx, fy, 0.0),
+            Point3::new(fx + fw, fy + fd, fh),
+            count,
+        );
+        jitter(&mut rng, &mut pts, 0.008);
+        for p in pts {
+            cloud.push_with_feature(p, &[1.0]);
+        }
+    }
+    cloud
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn room_has_requested_points() {
+        let cloud = generate_room(RoomConfig::default(), 10_000, 4);
+        assert_eq!(cloud.len(), 10_000);
+        assert!(cloud.validate_finite().is_ok());
+    }
+
+    #[test]
+    fn points_stay_near_room_volume() {
+        let cfg = RoomConfig::default();
+        let cloud = generate_room(cfg, 5_000, 8);
+        for p in cloud.iter() {
+            assert!(p.x > -0.2 && p.x < cfg.width + 0.2);
+            assert!(p.y > -0.2 && p.y < cfg.depth + 0.2);
+            assert!(p.z > -0.2 && p.z < cfg.height + 0.2);
+        }
+    }
+
+    #[test]
+    fn contains_both_classes() {
+        let cloud = generate_room(RoomConfig::default(), 5_000, 2);
+        let structure = (0..cloud.len()).filter(|&i| cloud.feature(i)[0] == 0.0).count();
+        let furniture = cloud.len() - structure;
+        assert!(structure > furniture, "walls should dominate a scan");
+        assert!(furniture > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_room(RoomConfig::default(), 3_000, 77);
+        let b = generate_room(RoomConfig::default(), 3_000, 77);
+        assert_eq!(a, b);
+    }
+}

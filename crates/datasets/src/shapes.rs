@@ -1,0 +1,202 @@
+//! Parametric surface samplers: the primitives the object and scene
+//! generators compose.
+//!
+//! Point clouds from real sensors sample object *surfaces*, so every
+//! primitive here samples a 2-D surface embedded in 3-D, with optional
+//! Gaussian jitter standing in for sensor noise.
+
+use rand::Rng;
+
+use hgpcn_geometry::Point3;
+
+/// Samples `n` points on the surface of a sphere.
+pub fn sample_sphere<R: Rng>(rng: &mut R, center: Point3, radius: f32, n: usize) -> Vec<Point3> {
+    (0..n)
+        .map(|_| {
+            // Marsaglia: uniform direction via normalized Gaussians.
+            let v = loop {
+                let x: f32 = rng.gen_range(-1.0..1.0);
+                let y: f32 = rng.gen_range(-1.0..1.0);
+                let z: f32 = rng.gen_range(-1.0..1.0);
+                let p = Point3::new(x, y, z);
+                let n2 = p.dot(p);
+                if n2 > 1e-6 && n2 <= 1.0 {
+                    break p / n2.sqrt();
+                }
+            };
+            center + v * radius
+        })
+        .collect()
+}
+
+/// Samples `n` points on an axis-aligned rectangle (a wall, floor or table
+/// top): the plane spans `origin + u*su + v*sv` for `u, v ∈ [0, 1]`.
+pub fn sample_plane<R: Rng>(
+    rng: &mut R,
+    origin: Point3,
+    su: Point3,
+    sv: Point3,
+    n: usize,
+) -> Vec<Point3> {
+    (0..n)
+        .map(|_| {
+            let u: f32 = rng.gen_range(0.0..1.0);
+            let v: f32 = rng.gen_range(0.0..1.0);
+            origin + su * u + sv * v
+        })
+        .collect()
+}
+
+/// Samples `n` points on the surface of an axis-aligned box, area-weighted
+/// across the six faces.
+pub fn sample_box<R: Rng>(rng: &mut R, min: Point3, max: Point3, n: usize) -> Vec<Point3> {
+    let e = max - min;
+    let areas = [e.y * e.z, e.y * e.z, e.x * e.z, e.x * e.z, e.x * e.y, e.x * e.y];
+    let total: f32 = areas.iter().sum();
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut pick = rng.gen_range(0.0..total.max(1e-12));
+        let mut face = 0;
+        for (i, a) in areas.iter().enumerate() {
+            if pick < *a {
+                face = i;
+                break;
+            }
+            pick -= a;
+        }
+        let u: f32 = rng.gen_range(0.0..1.0);
+        let v: f32 = rng.gen_range(0.0..1.0);
+        let p = match face {
+            0 => Point3::new(min.x, min.y + e.y * u, min.z + e.z * v),
+            1 => Point3::new(max.x, min.y + e.y * u, min.z + e.z * v),
+            2 => Point3::new(min.x + e.x * u, min.y, min.z + e.z * v),
+            3 => Point3::new(min.x + e.x * u, max.y, min.z + e.z * v),
+            4 => Point3::new(min.x + e.x * u, min.y + e.y * v, min.z),
+            _ => Point3::new(min.x + e.x * u, min.y + e.y * v, max.z),
+        };
+        out.push(p);
+    }
+    out
+}
+
+/// Samples `n` points on the lateral surface of a vertical (z-axis)
+/// cylinder.
+pub fn sample_cylinder<R: Rng>(
+    rng: &mut R,
+    base_center: Point3,
+    radius: f32,
+    height: f32,
+    n: usize,
+) -> Vec<Point3> {
+    (0..n)
+        .map(|_| {
+            let theta: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+            let z: f32 = rng.gen_range(0.0..height);
+            base_center + Point3::new(radius * theta.cos(), radius * theta.sin(), z)
+        })
+        .collect()
+}
+
+/// Samples `n` points on a horizontal disk (e.g. a lamp shade rim or a
+/// round table top).
+pub fn sample_disk<R: Rng>(rng: &mut R, center: Point3, radius: f32, n: usize) -> Vec<Point3> {
+    (0..n)
+        .map(|_| {
+            let theta: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+            let r = radius * rng.gen_range(0.0f32..1.0).sqrt();
+            center + Point3::new(r * theta.cos(), r * theta.sin(), 0.0)
+        })
+        .collect()
+}
+
+/// Adds isotropic Gaussian-ish jitter (sum of uniforms) of scale `sigma`
+/// to every point, in place.
+pub fn jitter<R: Rng>(rng: &mut R, points: &mut [Point3], sigma: f32) {
+    let g = |rng: &mut R| -> f32 {
+        // Irwin–Hall approximation of a Gaussian: cheap and monotone.
+        let s: f32 = (0..4).map(|_| rng.gen_range(-1.0f32..1.0)).sum();
+        s * 0.5 * sigma
+    };
+    for p in points {
+        *p += Point3::new(g(rng), g(rng), g(rng));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn sphere_points_lie_on_surface() {
+        let c = Point3::new(1.0, 2.0, 3.0);
+        for p in sample_sphere(&mut rng(), c, 2.0, 200) {
+            assert!((p.distance(c) - 2.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn plane_points_stay_in_rectangle() {
+        let pts = sample_plane(
+            &mut rng(),
+            Point3::ORIGIN,
+            Point3::new(2.0, 0.0, 0.0),
+            Point3::new(0.0, 0.0, 1.0),
+            100,
+        );
+        for p in pts {
+            assert!(p.x >= 0.0 && p.x <= 2.0);
+            assert_eq!(p.y, 0.0);
+            assert!(p.z >= 0.0 && p.z <= 1.0);
+        }
+    }
+
+    #[test]
+    fn box_points_lie_on_faces() {
+        let min = Point3::ORIGIN;
+        let max = Point3::new(1.0, 2.0, 3.0);
+        for p in sample_box(&mut rng(), min, max, 300) {
+            let on_face = p.x == min.x
+                || p.x == max.x
+                || p.y == min.y
+                || p.y == max.y
+                || p.z == min.z
+                || p.z == max.z;
+            assert!(on_face, "{p} not on any face");
+        }
+    }
+
+    #[test]
+    fn cylinder_radius_is_constant() {
+        let base = Point3::new(5.0, 5.0, 0.0);
+        for p in sample_cylinder(&mut rng(), base, 1.5, 4.0, 100) {
+            let r = ((p.x - base.x).powi(2) + (p.y - base.y).powi(2)).sqrt();
+            assert!((r - 1.5).abs() < 1e-4);
+            assert!(p.z >= 0.0 && p.z <= 4.0);
+        }
+    }
+
+    #[test]
+    fn disk_within_radius() {
+        for p in sample_disk(&mut rng(), Point3::ORIGIN, 2.0, 100) {
+            assert!(p.norm() <= 2.0 + 1e-5);
+            assert_eq!(p.z, 0.0);
+        }
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_seeded() {
+        let mut a = vec![Point3::ORIGIN; 50];
+        let mut b = vec![Point3::ORIGIN; 50];
+        jitter(&mut rng(), &mut a, 0.1);
+        jitter(&mut rng(), &mut b, 0.1);
+        assert_eq!(a, b, "same seed must give same jitter");
+        assert!(a.iter().all(|p| p.norm() < 0.7));
+        assert!(a.iter().any(|p| p.norm() > 0.0));
+    }
+}

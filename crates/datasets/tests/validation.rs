@@ -1,0 +1,105 @@
+//! Statistical validation of the synthetic dataset generators: the
+//! properties the evaluation leans on (size, structure, determinism) hold
+//! for every generator at realistic-but-test-sized scales.
+
+use hgpcn_datasets::kitti::{KittiConfig, KittiStream};
+use hgpcn_datasets::modelnet::{self, ModelNetObject};
+use hgpcn_datasets::s3dis::{self, RoomConfig};
+use hgpcn_datasets::shapenet::{self, ShapeNetCategory};
+use hgpcn_geometry::Point3;
+
+#[test]
+fn every_modelnet_class_produces_structured_objects() {
+    for obj in ModelNetObject::ALL {
+        let cloud = modelnet::generate(obj, 4_000, 11);
+        assert_eq!(cloud.len(), 4_000, "{}", obj.label());
+        assert!(cloud.validate_finite().is_ok());
+        // Objects are genuinely 3-D: no degenerate axis.
+        let b = cloud.bounds().unwrap();
+        let e = b.extent();
+        assert!(e.x > 0.1 && e.y > 0.1 && e.z > 0.1, "{} extent {e}", obj.label());
+        // Surface-sampled, not volumetric: the centroid region is sparse
+        // relative to a uniform fill for at least the hollow shapes.
+        assert!(b.diagonal() < 100.0);
+    }
+}
+
+#[test]
+fn shapenet_categories_have_distinct_parts_in_space() {
+    for cat in ShapeNetCategory::ALL {
+        let cloud = shapenet::generate(cat, 1_500, 5);
+        // Parts occupy different regions: centroids of part 0 and the last
+        // part must differ.
+        let parts = cat.part_count();
+        let mut sums = vec![(Point3::ORIGIN, 0usize); parts];
+        for i in 0..cloud.len() {
+            let part = cloud.feature(i)[0] as usize;
+            sums[part].0 += cloud.point(i);
+            sums[part].1 += 1;
+        }
+        for (_, count) in &sums {
+            assert!(*count > 0, "{}: empty part", cat.label());
+        }
+        let c0 = sums[0].0 / sums[0].1 as f32;
+        let cl = sums[parts - 1].0 / sums[parts - 1].1 as f32;
+        assert!(c0.distance(cl) > 0.05, "{}: parts coincide", cat.label());
+    }
+}
+
+#[test]
+fn s3dis_room_structure_dominates_and_fills_the_shell() {
+    let cfg = RoomConfig::default();
+    let room = s3dis::generate_room(cfg, 30_000, 3);
+    // Points near the walls/ceiling/floor should account for the majority.
+    let near_shell = room
+        .iter()
+        .filter(|p| {
+            p.x < 0.2
+                || p.x > cfg.width - 0.2
+                || p.y < 0.2
+                || p.y > cfg.depth - 0.2
+                || p.z < 0.2
+                || p.z > cfg.height - 0.2
+        })
+        .count();
+    assert!(
+        near_shell * 2 > room.len(),
+        "shell points {near_shell} of {}",
+        room.len()
+    );
+}
+
+#[test]
+fn kitti_stream_has_ground_and_objects() {
+    let cfg = KittiConfig { beams: 24, azimuth_steps: 240, ..KittiConfig::standard() };
+    let frame = KittiStream::new(cfg, 7).next().unwrap().cloud;
+    let ground = frame.iter().filter(|p| p.z.abs() < 0.1).count();
+    let elevated = frame.iter().filter(|p| p.z > 0.5).count();
+    assert!(ground > 100, "ground returns: {ground}");
+    assert!(elevated > 50, "building/car returns: {elevated}");
+}
+
+#[test]
+fn kitti_dense_config_scales_returns() {
+    let small = KittiConfig { beams: 16, azimuth_steps: 120, ..KittiConfig::standard() };
+    let bigger = KittiConfig { beams: 32, azimuth_steps: 240, ..KittiConfig::standard() };
+    let a = hgpcn_datasets::kitti::generate_frame(small, 9).len();
+    let b = hgpcn_datasets::kitti::generate_frame(bigger, 9).len();
+    assert!(b > 2 * a, "returns must scale with resolution: {a} vs {b}");
+}
+
+#[test]
+fn generators_are_seed_deterministic_across_types() {
+    assert_eq!(
+        modelnet::generate(ModelNetObject::Car, 1000, 42),
+        modelnet::generate(ModelNetObject::Car, 1000, 42)
+    );
+    assert_eq!(
+        s3dis::generate_room(RoomConfig::default(), 1000, 42),
+        s3dis::generate_room(RoomConfig::default(), 1000, 42)
+    );
+    assert_ne!(
+        modelnet::generate(ModelNetObject::Car, 1000, 42),
+        modelnet::generate(ModelNetObject::Car, 1000, 43)
+    );
+}

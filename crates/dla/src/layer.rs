@@ -1,0 +1,123 @@
+use std::fmt;
+
+/// One shared-MLP layer (a 1×1 convolution over points): `in_features →
+/// out_features` applied independently to every point of a batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LayerShape {
+    /// Input feature width.
+    pub in_features: usize,
+    /// Output feature width.
+    pub out_features: usize,
+}
+
+impl LayerShape {
+    /// Creates a layer shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(in_features: usize, out_features: usize) -> LayerShape {
+        assert!(in_features > 0 && out_features > 0, "layer dimensions must be positive");
+        LayerShape { in_features, out_features }
+    }
+
+    /// Multiply-accumulates to apply this layer to `points` inputs.
+    #[inline]
+    pub fn macs(&self, points: usize) -> u64 {
+        (points as u64) * (self.in_features as u64) * (self.out_features as u64)
+    }
+
+    /// Weight parameters (plus bias) of this layer.
+    #[inline]
+    pub fn params(&self) -> usize {
+        self.in_features * self.out_features + self.out_features
+    }
+}
+
+impl fmt::Display for LayerShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}→{}", self.in_features, self.out_features)
+    }
+}
+
+/// A stack of shared-MLP layers (e.g. PointNet++'s `[64, 64, 128]` blocks).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MlpSpec {
+    layers: Vec<LayerShape>,
+}
+
+impl MlpSpec {
+    /// Builds an MLP from an input width and the hidden/output widths,
+    /// e.g. `MlpSpec::new(6, &[64, 64, 128])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `widths` is empty or any width is zero.
+    pub fn new(input_width: usize, widths: &[usize]) -> MlpSpec {
+        assert!(!widths.is_empty(), "an MLP needs at least one layer");
+        let mut layers = Vec::with_capacity(widths.len());
+        let mut prev = input_width;
+        for &w in widths {
+            layers.push(LayerShape::new(prev, w));
+            prev = w;
+        }
+        MlpSpec { layers }
+    }
+
+    /// The layer stack.
+    #[inline]
+    pub fn layers(&self) -> &[LayerShape] {
+        &self.layers
+    }
+
+    /// Output feature width of the final layer.
+    #[inline]
+    pub fn output_width(&self) -> usize {
+        self.layers.last().expect("non-empty").out_features
+    }
+
+    /// Total MACs to run `points` inputs through the whole stack.
+    pub fn macs(&self, points: usize) -> u64 {
+        self.layers.iter().map(|l| l.macs(points)).sum()
+    }
+
+    /// Total parameters of the stack.
+    pub fn params(&self) -> usize {
+        self.layers.iter().map(LayerShape::params).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macs_and_params() {
+        let l = LayerShape::new(3, 64);
+        assert_eq!(l.macs(10), 10 * 3 * 64);
+        assert_eq!(l.params(), 3 * 64 + 64);
+        assert_eq!(l.to_string(), "3→64");
+    }
+
+    #[test]
+    fn mlp_chains_widths() {
+        let mlp = MlpSpec::new(6, &[64, 64, 128]);
+        assert_eq!(mlp.layers().len(), 3);
+        assert_eq!(mlp.layers()[0], LayerShape::new(6, 64));
+        assert_eq!(mlp.layers()[2], LayerShape::new(64, 128));
+        assert_eq!(mlp.output_width(), 128);
+        assert_eq!(mlp.macs(1), (6 * 64 + 64 * 64 + 64 * 128) as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_panics() {
+        let _ = LayerShape::new(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_mlp_panics() {
+        let _ = MlpSpec::new(3, &[]);
+    }
+}

@@ -1,0 +1,23 @@
+//! The Feature Computation Unit: a commercial-DLA-style systolic array.
+//!
+//! The paper's Inference Engine pairs its custom Data Structuring Unit with
+//! a commercially available DLA implementing "a classic systolic array
+//! design" (§VI); the accelerator baselines (PointACC, Mesorasi) are
+//! evaluated with the **same 16×16 systolic array** for feature computation
+//! (§VII-A), so one shared model keeps the comparison fair — exactly the
+//! paper's methodology.
+//!
+//! The model is a weight-stationary array: a layer's weight matrix is
+//! tiled onto the PE grid, activations stream through, and each tile costs
+//! its streaming rows plus the pipeline fill. [`SystolicArray::layer`]
+//! returns cycles and [`hgpcn_memsim::OpCounts`] for one shared-MLP layer
+//! applied to a batch of points.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod layer;
+mod systolic;
+
+pub use layer::{LayerShape, MlpSpec};
+pub use systolic::{LayerRun, SystolicArray};

@@ -1,0 +1,157 @@
+use hgpcn_memsim::{Latency, OpCounts};
+
+use crate::{LayerShape, MlpSpec};
+
+/// Outcome of running one layer (or MLP) on the array.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LayerRun {
+    /// Total array cycles, including per-tile pipeline fills.
+    pub cycles: u64,
+    /// Operation tally (MACs plus weight/activation traffic).
+    pub counts: OpCounts,
+}
+
+/// A weight-stationary systolic array of `rows × cols` processing elements.
+///
+/// A layer `in → out` is tiled as `ceil(in/rows) × ceil(out/cols)` weight
+/// tiles; for each tile the point batch streams through, costing
+/// `points + rows + cols` cycles (stream + fill), and the tile's weights
+/// are loaded once.
+///
+/// # Examples
+///
+/// ```
+/// use hgpcn_dla::{LayerShape, SystolicArray};
+///
+/// let array = SystolicArray::paper_16x16();
+/// let run = array.layer(LayerShape::new(64, 128), 1024);
+/// assert_eq!(run.counts.macs, 1024 * 64 * 128);
+/// assert!(run.cycles > 0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SystolicArray {
+    /// PE rows (input-feature dimension).
+    pub rows: usize,
+    /// PE columns (output-feature dimension).
+    pub cols: usize,
+    /// Clock frequency in MHz.
+    pub clock_mhz: f64,
+}
+
+impl SystolicArray {
+    /// The evaluation configuration shared by HgPCN, PointACC and Mesorasi
+    /// (§VII-A): a 16×16 array. Clocked at 200 MHz like the rest of the
+    /// FPGA prototype.
+    pub fn paper_16x16() -> SystolicArray {
+        SystolicArray { rows: 16, cols: 16, clock_mhz: 200.0 }
+    }
+
+    /// Nanoseconds per cycle.
+    #[inline]
+    pub fn cycle_ns(&self) -> f64 {
+        1e3 / self.clock_mhz
+    }
+
+    /// Runs one shared-MLP layer over a batch of `points` inputs.
+    pub fn layer(&self, shape: LayerShape, points: usize) -> LayerRun {
+        let row_tiles = shape.in_features.div_ceil(self.rows) as u64;
+        let col_tiles = shape.out_features.div_ceil(self.cols) as u64;
+        let tiles = row_tiles * col_tiles;
+        let per_tile = points as u64 + self.rows as u64 + self.cols as u64;
+        let cycles = tiles * per_tile;
+        let weight_bytes = (shape.params() as u64) * 4;
+        let act_bytes = (points as u64) * (shape.in_features + shape.out_features) as u64 * 4;
+        let counts = OpCounts {
+            macs: shape.macs(points),
+            bytes_read: weight_bytes + act_bytes / 2,
+            bytes_written: act_bytes / 2,
+            mem_reads: tiles, // one weight-tile load per tile
+            ..OpCounts::default()
+        };
+        LayerRun { cycles, counts }
+    }
+
+    /// Runs a whole MLP stack over a batch of `points` inputs.
+    pub fn mlp(&self, spec: &MlpSpec, points: usize) -> LayerRun {
+        let mut total = LayerRun::default();
+        for &layer in spec.layers() {
+            let run = self.layer(layer, points);
+            total.cycles += run.cycles;
+            total.counts += run.counts;
+        }
+        total
+    }
+
+    /// Converts array cycles to time.
+    #[inline]
+    pub fn latency(&self, run: &LayerRun) -> Latency {
+        Latency::from_ns(run.cycles as f64 * self.cycle_ns())
+    }
+
+    /// Fraction of peak MACs actually used by a run (pipeline fills and
+    /// ragged tiles cost utilization).
+    pub fn utilization(&self, run: &LayerRun) -> f64 {
+        let peak = run.cycles * (self.rows * self.cols) as u64;
+        if peak == 0 {
+            return 0.0;
+        }
+        run.counts.macs as f64 / peak as f64
+    }
+}
+
+impl Default for SystolicArray {
+    fn default() -> Self {
+        SystolicArray::paper_16x16()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_math_for_exact_fit() {
+        let a = SystolicArray::paper_16x16();
+        // 16→16 layer on a 16x16 array: one tile.
+        let run = a.layer(LayerShape::new(16, 16), 100);
+        assert_eq!(run.cycles, 100 + 32);
+        assert_eq!(run.counts.macs, 100 * 256);
+    }
+
+    #[test]
+    fn ragged_layers_need_more_tiles() {
+        let a = SystolicArray::paper_16x16();
+        let run = a.layer(LayerShape::new(17, 16), 100);
+        assert_eq!(run.cycles, 2 * (100 + 32));
+    }
+
+    #[test]
+    fn mlp_sums_layers() {
+        let a = SystolicArray::paper_16x16();
+        let spec = MlpSpec::new(16, &[16, 16]);
+        let mlp = a.mlp(&spec, 50);
+        let single = a.layer(LayerShape::new(16, 16), 50);
+        assert_eq!(mlp.cycles, 2 * single.cycles);
+        assert_eq!(mlp.counts.macs, 2 * single.counts.macs);
+    }
+
+    #[test]
+    fn utilization_improves_with_batch() {
+        let a = SystolicArray::paper_16x16();
+        let small = a.layer(LayerShape::new(16, 16), 8);
+        let large = a.layer(LayerShape::new(16, 16), 4096);
+        assert!(a.utilization(&large) > a.utilization(&small));
+        assert!(a.utilization(&large) <= 1.0);
+    }
+
+    #[test]
+    fn latency_scales_with_clock() {
+        let fast = SystolicArray { clock_mhz: 400.0, ..SystolicArray::paper_16x16() };
+        let slow = SystolicArray { clock_mhz: 100.0, ..SystolicArray::paper_16x16() };
+        let shape = LayerShape::new(64, 64);
+        let run_f = fast.layer(shape, 256);
+        let run_s = slow.layer(shape, 256);
+        assert_eq!(run_f.cycles, run_s.cycles);
+        assert!(fast.latency(&run_f) < slow.latency(&run_s));
+    }
+}

@@ -1,0 +1,43 @@
+//! Property tests for the systolic-array cycle model.
+
+use proptest::prelude::*;
+
+use hgpcn_dla::{LayerShape, MlpSpec, SystolicArray};
+
+proptest! {
+    /// MAC counts are exact: points x in x out, and an MLP run equals the
+    /// sum of its layer runs.
+    #[test]
+    fn macs_and_composition(inputs in 1usize..512, w1 in 1usize..300, w2 in 1usize..300, points in 0usize..2000) {
+        let array = SystolicArray::paper_16x16();
+        let spec = MlpSpec::new(inputs, &[w1, w2]);
+        let run = array.mlp(&spec, points);
+        let l1 = array.layer(LayerShape::new(inputs, w1), points);
+        let l2 = array.layer(LayerShape::new(w1, w2), points);
+        prop_assert_eq!(run.cycles, l1.cycles + l2.cycles);
+        prop_assert_eq!(run.counts.macs, (points * inputs * w1 + points * w1 * w2) as u64);
+    }
+
+    /// Cycles are monotone in every dimension and utilization never
+    /// exceeds 1.
+    #[test]
+    fn cycles_monotone_and_utilization_bounded(inp in 1usize..256, out in 1usize..256, points in 1usize..2000) {
+        let array = SystolicArray::paper_16x16();
+        let base = array.layer(LayerShape::new(inp, out), points);
+        let more_points = array.layer(LayerShape::new(inp, out), points + 1);
+        let wider = array.layer(LayerShape::new(inp, out + 1), points);
+        prop_assert!(more_points.cycles >= base.cycles);
+        prop_assert!(wider.cycles >= base.cycles);
+        let u = array.utilization(&base);
+        prop_assert!((0.0..=1.0).contains(&u), "utilization {u}");
+    }
+
+    /// A bigger array never needs more cycles for the same layer.
+    #[test]
+    fn bigger_arrays_are_not_slower(inp in 1usize..200, out in 1usize..200, points in 1usize..1000) {
+        let small = SystolicArray { rows: 8, cols: 8, clock_mhz: 200.0 };
+        let big = SystolicArray { rows: 32, cols: 32, clock_mhz: 200.0 };
+        let shape = LayerShape::new(inp, out);
+        prop_assert!(big.layer(shape, points).cycles <= small.layer(shape, points).cycles);
+    }
+}

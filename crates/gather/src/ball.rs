@@ -1,0 +1,117 @@
+//! Brute-force ball query (BQ): the other common data-structuring method
+//! the paper names alongside KNN (§II-A, §VI).
+//!
+//! BQ returns up to `k` points within radius `r` of the center, padding
+//! PointNet++-style by repeating the first hit when fewer than `k` points
+//! fall inside the ball.
+
+use hgpcn_geometry::PointCloud;
+use hgpcn_memsim::OpCounts;
+
+use crate::{GatherError, GatherResult};
+
+/// Gathers up to `k` points of `cloud` within `radius` of `cloud[center]`.
+///
+/// Candidates are scanned in index order (the PointNet++ reference
+/// behaviour); if fewer than `k` qualify, the first hit is repeated to pad
+/// the subset to `k`, matching how the PCN expects fixed-size groups.
+///
+/// # Errors
+///
+/// * [`GatherError::EmptyCloud`] and [`GatherError::CenterOutOfRange`] as
+///   for KNN. `k` may exceed the cloud size here because BQ pads.
+pub fn gather(
+    cloud: &PointCloud,
+    center: usize,
+    radius: f32,
+    k: usize,
+) -> Result<GatherResult, GatherError> {
+    if cloud.is_empty() {
+        return Err(GatherError::EmptyCloud);
+    }
+    if center >= cloud.len() {
+        return Err(GatherError::CenterOutOfRange { center, len: cloud.len() });
+    }
+    let c = cloud.point(center);
+    let r2 = radius * radius;
+    let mut neighbors = Vec::with_capacity(k);
+    for i in 0..cloud.len() {
+        if i == center {
+            continue;
+        }
+        if cloud.point(i).distance_sq(c) <= r2 {
+            neighbors.push(i);
+            if neighbors.len() == k {
+                break;
+            }
+        }
+    }
+    // Pad by repeating the first in-ball point (PointNet++ convention).
+    if let Some(&first) = neighbors.first() {
+        while neighbors.len() < k {
+            neighbors.push(first);
+        }
+    }
+    let n = cloud.len() as u64;
+    let counts = OpCounts {
+        mem_reads: n,
+        bytes_read: n * 12,
+        mem_writes: k as u64,
+        bytes_written: (k as u64) * 12,
+        distance_computations: n - 1,
+        comparisons: n - 1,
+        ..OpCounts::default()
+    };
+    Ok(GatherResult { neighbors, counts, stats: Default::default() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgpcn_geometry::Point3;
+
+    fn line(n: usize) -> PointCloud {
+        (0..n).map(|i| Point3::new(i as f32, 0.0, 0.0)).collect()
+    }
+
+    #[test]
+    fn gathers_only_points_in_ball() {
+        let cloud = line(10);
+        let r = gather(&cloud, 5, 2.0, 8).unwrap();
+        // Points within distance 2 of x=5: 3,4,6,7.
+        let mut n = r.neighbors.clone();
+        n.sort_unstable();
+        n.dedup();
+        assert_eq!(n, vec![3, 4, 6, 7]);
+    }
+
+    #[test]
+    fn pads_to_k_by_repetition() {
+        let cloud = line(10);
+        let r = gather(&cloud, 0, 1.5, 6).unwrap();
+        assert_eq!(r.len(), 6);
+        // Only point 1 is within 1.5 of point 0; the rest is padding.
+        assert!(r.neighbors.iter().all(|&i| i == 1));
+    }
+
+    #[test]
+    fn empty_ball_returns_empty() {
+        let cloud = line(5);
+        let r = gather(&cloud, 0, 0.1, 4).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn stops_at_k_hits() {
+        let cloud = line(100);
+        let r = gather(&cloud, 50, 49.0, 3).unwrap();
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        assert!(matches!(gather(&PointCloud::new(), 0, 1.0, 1), Err(GatherError::EmptyCloud)));
+        let cloud = line(3);
+        assert!(matches!(gather(&cloud, 9, 1.0, 1), Err(GatherError::CenterOutOfRange { .. })));
+    }
+}

@@ -1,0 +1,203 @@
+//! The Data Structuring Unit (DSU): VEG in hardware (§VI, Fig. 8).
+//!
+//! The DSU is a six-stage pipeline — Fetch central Point (FP), Locate
+//! central Voxel (LV), Voxel Expansion (VE), Gather Points (GP), Sort (ST),
+//! Buffering (BF) — fed by parallel octree walkers and a bitonic sorter.
+//! This module converts the algorithmic statistics of a [`GatherResult`]
+//! into per-stage cycle counts (Fig. 16's breakdown) and pipeline latency.
+
+use hgpcn_memsim::Latency;
+
+use crate::{sorter, GatherResult};
+
+/// Cycle counts per pipeline stage for one or more central points.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageCycles {
+    /// FP: fetch the central point and its m-code.
+    pub fetch: u64,
+    /// LV: walk down to the gather-level voxel.
+    pub locate: u64,
+    /// VE: probe shell voxels in the Octree-Table.
+    pub expand: u64,
+    /// GP: stream the free (inner-shell) points into the subset.
+    pub gather: u64,
+    /// ST: bitonic-sort the final shell's candidates.
+    pub sort: u64,
+    /// BF: write the K-point subset to the FCU input buffer.
+    pub buffer: u64,
+}
+
+impl StageCycles {
+    /// Total cycles across all stages (un-pipelined sum).
+    pub fn total(&self) -> u64 {
+        self.fetch + self.locate + self.expand + self.gather + self.sort + self.buffer
+    }
+
+    /// The largest single stage — the pipeline's steady-state bottleneck.
+    pub fn bottleneck(&self) -> u64 {
+        [self.fetch, self.locate, self.expand, self.gather, self.sort, self.buffer]
+            .into_iter()
+            .max()
+            .expect("six stages")
+    }
+
+    /// Fractions of the total per stage, in FP/LV/VE/GP/ST/BF order
+    /// (the Fig. 16 breakdown).
+    pub fn fractions(&self) -> [f64; 6] {
+        let t = self.total().max(1) as f64;
+        [
+            self.fetch as f64 / t,
+            self.locate as f64 / t,
+            self.expand as f64 / t,
+            self.gather as f64 / t,
+            self.sort as f64 / t,
+            self.buffer as f64 / t,
+        ]
+    }
+}
+
+impl std::ops::Add for StageCycles {
+    type Output = StageCycles;
+    fn add(self, rhs: StageCycles) -> StageCycles {
+        StageCycles {
+            fetch: self.fetch + rhs.fetch,
+            locate: self.locate + rhs.locate,
+            expand: self.expand + rhs.expand,
+            gather: self.gather + rhs.gather,
+            sort: self.sort + rhs.sort,
+            buffer: self.buffer + rhs.buffer,
+        }
+    }
+}
+
+/// Hardware configuration of the DSU.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DataStructuringUnit {
+    /// Parallel octree walkers probing shell voxels (the paper executes
+    /// "multiple octree neighbor search operations in parallel").
+    pub walkers: usize,
+    /// Comparator lanes of the bitonic sorter.
+    pub sorter_width: usize,
+    /// Points streamed per cycle in the GP/BF stages.
+    pub stream_width: usize,
+    /// Clock frequency in MHz.
+    pub clock_mhz: f64,
+}
+
+impl DataStructuringUnit {
+    /// The paper's prototype configuration at 200 MHz.
+    pub fn prototype() -> DataStructuringUnit {
+        DataStructuringUnit { walkers: 8, sorter_width: 16, stream_width: 4, clock_mhz: 200.0 }
+    }
+
+    /// Nanoseconds per cycle.
+    pub fn cycle_ns(&self) -> f64 {
+        1e3 / self.clock_mhz
+    }
+
+    /// Per-stage cycles for one central point's gather.
+    pub fn stage_cycles(&self, result: &GatherResult, k: usize) -> StageCycles {
+        let s = &result.stats;
+        StageCycles {
+            fetch: 1,
+            locate: u64::from(s.locate_lookups).max(1),
+            expand: u64::from(s.expand_lookups).div_ceil(self.walkers as u64),
+            gather: (s.gathered_free as u64).div_ceil(self.stream_width as u64),
+            sort: sorter::sort_cycles(s.candidates_sorted, self.sorter_width),
+            buffer: (k as u64).div_ceil(self.stream_width as u64),
+        }
+    }
+
+    /// Aggregate stage cycles and pipeline latency for a batch of central
+    /// points: in steady state one point occupies each stage, so the batch
+    /// drains at the per-point bottleneck rate, plus one fill of the pipe.
+    pub fn run(&self, results: &[GatherResult], k: usize) -> (StageCycles, Latency) {
+        let mut agg = StageCycles::default();
+        let mut drain_cycles = 0u64;
+        for r in results {
+            let c = self.stage_cycles(r, k);
+            drain_cycles += c.bottleneck();
+            agg = agg + c;
+        }
+        let fill = results.first().map_or(0, |r| self.stage_cycles(r, k).total());
+        let latency = Latency::from_ns((drain_cycles + fill) as f64 * self.cycle_ns());
+        (agg, latency)
+    }
+}
+
+impl Default for DataStructuringUnit {
+    fn default() -> Self {
+        DataStructuringUnit::prototype()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VegStats;
+    use hgpcn_memsim::OpCounts;
+
+    fn result(free: usize, sorted: usize, expand: u32) -> GatherResult {
+        GatherResult {
+            neighbors: vec![0; 32],
+            counts: OpCounts::default(),
+            stats: VegStats {
+                shells_expanded: 2,
+                gathered_free: free,
+                candidates_sorted: sorted,
+                locate_lookups: 4,
+                expand_lookups: expand,
+                ..VegStats::default()
+            },
+        }
+    }
+
+    #[test]
+    fn stage_cycles_reflect_stats() {
+        let dsu = DataStructuringUnit::prototype();
+        let c = dsu.stage_cycles(&result(20, 100, 33), 32);
+        assert_eq!(c.fetch, 1);
+        assert_eq!(c.locate, 4);
+        assert_eq!(c.expand, 33u64.div_ceil(8));
+        assert_eq!(c.gather, 5);
+        assert_eq!(c.sort, sorter::sort_cycles(100, 16));
+        assert_eq!(c.buffer, 8);
+    }
+
+    #[test]
+    fn sort_dominates_the_breakdown() {
+        // The §VIII motivation for semi-approximate VEG: the final-shell
+        // sort contributes most of the workload.
+        let dsu = DataStructuringUnit::prototype();
+        let c = dsu.stage_cycles(&result(24, 300, 30), 32);
+        let f = c.fractions();
+        let sort_frac = f[4];
+        assert!(sort_frac > 0.5, "sort fraction {sort_frac}");
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipeline_beats_serial_execution() {
+        let dsu = DataStructuringUnit::prototype();
+        let batch: Vec<GatherResult> = (0..64).map(|_| result(20, 120, 30)).collect();
+        let (agg, latency) = dsu.run(&batch, 32);
+        let serial = Latency::from_ns(agg.total() as f64 * dsu.cycle_ns());
+        assert!(latency < serial, "pipelining must overlap stages");
+    }
+
+    #[test]
+    fn wider_sorter_is_faster() {
+        let narrow = DataStructuringUnit { sorter_width: 2, ..DataStructuringUnit::prototype() };
+        let wide = DataStructuringUnit { sorter_width: 64, ..DataStructuringUnit::prototype() };
+        let r = result(16, 256, 26);
+        assert!(wide.stage_cycles(&r, 32).sort < narrow.stage_cycles(&r, 32).sort);
+    }
+
+    #[test]
+    fn empty_batch_has_zero_latency() {
+        let dsu = DataStructuringUnit::prototype();
+        let (agg, latency) = dsu.run(&[], 32);
+        assert_eq!(agg.total(), 0);
+        assert_eq!(latency, Latency::ZERO);
+    }
+}

@@ -1,0 +1,56 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the gathering methods.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GatherError {
+    /// The input cloud has no points.
+    EmptyCloud,
+    /// Asked for more neighbors than exist (excluding the center itself).
+    KTooLarge {
+        /// Requested neighborhood size.
+        k: usize,
+        /// Points available as neighbors.
+        available: usize,
+    },
+    /// The central-point index is outside the cloud.
+    CenterOutOfRange {
+        /// The offending index.
+        center: usize,
+        /// Cloud size.
+        len: usize,
+    },
+}
+
+impl fmt::Display for GatherError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GatherError::EmptyCloud => write!(f, "cannot gather from an empty cloud"),
+            GatherError::KTooLarge { k, available } => {
+                write!(f, "neighborhood size {k} exceeds the {available} available points")
+            }
+            GatherError::CenterOutOfRange { center, len } => {
+                write!(f, "central point index {center} out of range for cloud of {len}")
+            }
+        }
+    }
+}
+
+impl Error for GatherError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            GatherError::EmptyCloud,
+            GatherError::KTooLarge { k: 3, available: 1 },
+            GatherError::CenterOutOfRange { center: 9, len: 4 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! A k-d tree gatherer: the data structure behind the *approximate/tree*
+//! class of PCN accelerators the paper surveys (QuickNN, Tigris, Crescent
+//! — its refs 5, 20 and 29).
+//!
+//! HgPCN deliberately avoids this class because approximate gathering
+//! "requires some adaptation in the model training phase" (§II-B). This
+//! module provides the exact-search k-d tree as a software baseline so the
+//! trade-off is measurable: build cost, per-query node visits, and — in
+//! [`KdTree::knn_approximate`] — the backtracking-free descent those accelerators
+//! use, whose recall loss motivates the paper's choice.
+
+use hgpcn_geometry::{Point3, PointCloud};
+use hgpcn_memsim::OpCounts;
+
+use crate::{GatherError, GatherResult};
+
+/// One k-d tree node over point indices.
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf {
+        /// Indices into the cloud.
+        points: Vec<usize>,
+    },
+    Split {
+        axis: usize,
+        value: f32,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// An exact k-d tree over a point cloud.
+///
+/// # Examples
+///
+/// ```
+/// use hgpcn_gather::kdtree::KdTree;
+/// use hgpcn_geometry::{Point3, PointCloud};
+///
+/// let cloud: PointCloud = (0..100).map(|i| Point3::splat(i as f32)).collect();
+/// let tree = KdTree::build(&cloud, 8);
+/// let r = tree.knn(&cloud, 50, 4)?;
+/// assert_eq!(r.neighbors.len(), 4);
+/// # Ok::<(), hgpcn_gather::GatherError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct KdTree {
+    root: Node,
+    leaf_capacity: usize,
+    size: usize,
+}
+
+impl KdTree {
+    /// Builds a balanced tree by median splits along the widest axis,
+    /// stopping at `leaf_capacity` points per leaf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf_capacity == 0`.
+    pub fn build(cloud: &PointCloud, leaf_capacity: usize) -> KdTree {
+        assert!(leaf_capacity > 0, "leaf capacity must be positive");
+        let indices: Vec<usize> = (0..cloud.len()).collect();
+        let root = Self::build_node(cloud, indices, leaf_capacity);
+        KdTree { root, leaf_capacity, size: cloud.len() }
+    }
+
+    fn build_node(cloud: &PointCloud, mut indices: Vec<usize>, cap: usize) -> Node {
+        if indices.len() <= cap {
+            return Node::Leaf { points: indices };
+        }
+        // Widest axis of the bounding box.
+        let bounds =
+            hgpcn_geometry::Aabb::from_points(indices.iter().map(|&i| cloud.point(i)))
+                .expect("non-empty");
+        let e = bounds.extent();
+        let axis = if e.x >= e.y && e.x >= e.z {
+            0
+        } else if e.y >= e.z {
+            1
+        } else {
+            2
+        };
+        let mid = indices.len() / 2;
+        indices.select_nth_unstable_by(mid, |&a, &b| {
+            cloud.point(a)[axis]
+                .partial_cmp(&cloud.point(b)[axis])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let value = cloud.point(indices[mid])[axis];
+        let right_idx = indices.split_off(mid);
+        Node::Split {
+            axis,
+            value,
+            left: Box::new(Self::build_node(cloud, indices, cap)),
+            right: Box::new(Self::build_node(cloud, right_idx, cap)),
+        }
+    }
+
+    /// Number of indexed points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// Returns `true` if the tree indexes no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// Leaf capacity the tree was built with.
+    #[inline]
+    pub fn leaf_capacity(&self) -> usize {
+        self.leaf_capacity
+    }
+
+    /// Exact K-nearest-neighbor query with backtracking. Matches
+    /// brute-force KNN's neighbor set; the op counts record how much of
+    /// the tree a query actually touches.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`crate::knn::gather`].
+    pub fn knn(&self, cloud: &PointCloud, center: usize, k: usize) -> Result<GatherResult, GatherError> {
+        self.query(cloud, center, k, true)
+    }
+
+    /// Backtracking-free approximate KNN: descend to the center's leaf and
+    /// rank only that leaf (plus its sibling when the leaf is too small) —
+    /// the QuickNN-style traversal. Fast, but recall < 1.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`crate::knn::gather`].
+    pub fn knn_approximate(
+        &self,
+        cloud: &PointCloud,
+        center: usize,
+        k: usize,
+    ) -> Result<GatherResult, GatherError> {
+        self.query(cloud, center, k, false)
+    }
+
+    fn query(
+        &self,
+        cloud: &PointCloud,
+        center: usize,
+        k: usize,
+        backtrack: bool,
+    ) -> Result<GatherResult, GatherError> {
+        if cloud.is_empty() {
+            return Err(GatherError::EmptyCloud);
+        }
+        if center >= cloud.len() {
+            return Err(GatherError::CenterOutOfRange { center, len: cloud.len() });
+        }
+        if k > cloud.len() - 1 {
+            return Err(GatherError::KTooLarge { k, available: cloud.len() - 1 });
+        }
+        let c = cloud.point(center);
+        let mut counts = OpCounts::default();
+        // Max-heap of (dist, idx) keeping the k best.
+        let mut best: Vec<(f32, usize)> = Vec::with_capacity(k + 1);
+        Self::search(&self.root, cloud, c, center, k, backtrack, &mut best, &mut counts);
+        best.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1)));
+        let mut neighbors: Vec<usize> = best.into_iter().map(|(_, i)| i).collect();
+        if !backtrack {
+            // The truncated traversal may find fewer than k; pad from a
+            // full scan only if genuinely short (rare, tiny leaves).
+            if neighbors.len() < k {
+                for i in 0..cloud.len() {
+                    if i != center && !neighbors.contains(&i) {
+                        neighbors.push(i);
+                        if neighbors.len() == k {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        neighbors.truncate(k);
+        Ok(GatherResult { neighbors, counts, stats: Default::default() })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn search(
+        node: &Node,
+        cloud: &PointCloud,
+        c: Point3,
+        center: usize,
+        k: usize,
+        backtrack: bool,
+        best: &mut Vec<(f32, usize)>,
+        counts: &mut OpCounts,
+    ) {
+        counts.table_lookups += 1; // one node visit
+        match node {
+            Node::Leaf { points } => {
+                for &i in points {
+                    if i == center {
+                        continue;
+                    }
+                    let d = cloud.point(i).distance_sq(c);
+                    counts.distance_computations += 1;
+                    counts.mem_reads += 1;
+                    counts.bytes_read += 12;
+                    if best.len() < k {
+                        best.push((d, i));
+                        counts.comparisons += 1;
+                    } else {
+                        let (wi, &worst) = best
+                            .iter()
+                            .enumerate()
+                            .max_by(|a, b| {
+                                a.1 .0.partial_cmp(&b.1 .0).unwrap_or(std::cmp::Ordering::Equal)
+                            })
+                            .expect("non-empty");
+                        counts.comparisons += 1;
+                        if d < worst.0 {
+                            best[wi] = (d, i);
+                        }
+                    }
+                }
+            }
+            Node::Split { axis, value, left, right } => {
+                let diff = c[*axis] - value;
+                counts.comparisons += 1;
+                let (near, far) = if diff < 0.0 { (left, right) } else { (right, left) };
+                Self::search(near, cloud, c, center, k, backtrack, best, counts);
+                if backtrack {
+                    let worst = best
+                        .iter()
+                        .map(|&(d, _)| d)
+                        .fold(f32::NEG_INFINITY, f32::max);
+                    if best.len() < k || diff * diff < worst {
+                        Self::search(far, cloud, c, center, k, backtrack, best, counts);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn;
+
+    fn cloud(n: usize) -> PointCloud {
+        (0..n)
+            .map(|i| {
+                let f = i as f32;
+                Point3::new((f * 0.618).fract() * 5.0, (f * 0.414).fract() * 5.0, (f * 0.732).fract() * 5.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_query_matches_brute_force() {
+        let c = cloud(300);
+        let tree = KdTree::build(&c, 8);
+        for center in [0usize, 57, 150, 299] {
+            let a = tree.knn(&c, center, 10).unwrap();
+            let b = knn::gather(&c, center, 10).unwrap();
+            let ctr = c.point(center);
+            let da: Vec<u32> =
+                a.neighbors.iter().map(|&i| c.point(i).distance_sq(ctr).to_bits()).collect();
+            let db: Vec<u32> =
+                b.neighbors.iter().map(|&i| c.point(i).distance_sq(ctr).to_bits()).collect();
+            assert_eq!(da, db, "center {center}");
+        }
+    }
+
+    #[test]
+    fn exact_query_visits_fewer_points_than_brute() {
+        let c = cloud(2000);
+        let tree = KdTree::build(&c, 8);
+        let r = tree.knn(&c, 1000, 8).unwrap();
+        assert!(
+            r.counts.distance_computations < 1999,
+            "visited {} distances",
+            r.counts.distance_computations
+        );
+    }
+
+    #[test]
+    fn approximate_is_cheaper_with_partial_recall() {
+        let c = cloud(2000);
+        let tree = KdTree::build(&c, 32);
+        let exact = tree.knn(&c, 555, 16).unwrap();
+        let approx = tree.knn_approximate(&c, 555, 16).unwrap();
+        assert!(approx.counts.table_lookups <= exact.counts.table_lookups);
+        assert!(approx.counts.distance_computations <= exact.counts.distance_computations);
+        let recall = approx.recall_against(&exact.neighbors);
+        assert!(recall > 0.2, "approximate recall {recall} unreasonably low");
+        assert_eq!(approx.neighbors.len(), 16);
+    }
+
+    #[test]
+    fn build_handles_duplicates_and_small_clouds() {
+        let mut c = PointCloud::new();
+        for _ in 0..50 {
+            c.push(Point3::splat(1.0));
+        }
+        let tree = KdTree::build(&c, 4);
+        assert_eq!(tree.len(), 50);
+        let r = tree.knn(&c, 0, 5).unwrap();
+        assert_eq!(r.neighbors.len(), 5);
+        assert!(!r.neighbors.contains(&0));
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let c = cloud(10);
+        let tree = KdTree::build(&c, 4);
+        assert!(matches!(tree.knn(&c, 99, 2), Err(GatherError::CenterOutOfRange { .. })));
+        assert!(matches!(tree.knn(&c, 0, 10), Err(GatherError::KTooLarge { .. })));
+        let empty = PointCloud::new();
+        let t2 = KdTree::build(&empty, 4);
+        assert!(t2.is_empty());
+        assert!(matches!(t2.knn(&empty, 0, 1), Err(GatherError::EmptyCloud)));
+    }
+
+    #[test]
+    fn leaf_capacity_respected() {
+        let c = cloud(200);
+        let tree = KdTree::build(&c, 16);
+        assert_eq!(tree.leaf_capacity(), 16);
+        fn max_leaf(node: &Node) -> usize {
+            match node {
+                Node::Leaf { points } => points.len(),
+                Node::Split { left, right, .. } => max_leaf(left).max(max_leaf(right)),
+            }
+        }
+        assert!(max_leaf(&tree.root) <= 16);
+    }
+}

@@ -1,0 +1,149 @@
+//! Brute-force K-nearest-neighbors: the traditional data-structuring
+//! method (§II-A) and the core of the PointACC/GPU baselines.
+//!
+//! For every central point it computes the distance to every other input
+//! point and selects the K smallest — the "4095 distances for 32
+//! neighbors" waste the paper quantifies in §VI.
+
+use hgpcn_geometry::PointCloud;
+use hgpcn_memsim::OpCounts;
+
+use crate::{sorter, GatherError, GatherResult};
+
+fn validate(cloud: &PointCloud, center: usize, k: usize) -> Result<(), GatherError> {
+    if cloud.is_empty() {
+        return Err(GatherError::EmptyCloud);
+    }
+    if center >= cloud.len() {
+        return Err(GatherError::CenterOutOfRange { center, len: cloud.len() });
+    }
+    if k > cloud.len() - 1 {
+        return Err(GatherError::KTooLarge { k, available: cloud.len() - 1 });
+    }
+    Ok(())
+}
+
+/// Gathers the `k` nearest neighbors of `cloud[center]` by exhaustive
+/// search, charging the full-cloud distance pass plus a hardware bitonic
+/// sort over all candidates (how PointACC's Mapping Unit prices it).
+///
+/// Ties are broken by index, so results are deterministic.
+///
+/// # Errors
+///
+/// See [`GatherError`] for the rejected inputs.
+pub fn gather(cloud: &PointCloud, center: usize, k: usize) -> Result<GatherResult, GatherError> {
+    validate(cloud, center, k)?;
+    let c = cloud.point(center);
+    let mut scored: Vec<(f32, usize)> = (0..cloud.len())
+        .filter(|&i| i != center)
+        .map(|i| (cloud.point(i).distance_sq(c), i))
+        .collect();
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1)));
+    let neighbors: Vec<usize> = scored.iter().take(k).map(|&(_, i)| i).collect();
+
+    let n = cloud.len() as u64;
+    let counts = OpCounts {
+        // Read every candidate point once, write K gathered records.
+        mem_reads: n,
+        bytes_read: n * 12,
+        mem_writes: k as u64,
+        bytes_written: (k as u64) * 12,
+        distance_computations: n - 1,
+        comparisons: sorter::comparator_count(cloud.len() - 1),
+        ..OpCounts::default()
+    };
+    Ok(GatherResult { neighbors, counts, stats: Default::default() })
+}
+
+/// Brute-force KNN for a batch of central points, summing the costs.
+///
+/// # Errors
+///
+/// Fails on the first invalid center (see [`GatherError`]).
+pub fn gather_all(
+    cloud: &PointCloud,
+    centers: &[usize],
+    k: usize,
+) -> Result<(Vec<GatherResult>, OpCounts), GatherError> {
+    let mut total = OpCounts::default();
+    let mut out = Vec::with_capacity(centers.len());
+    for &c in centers {
+        let r = gather(cloud, c, k)?;
+        total += r.counts;
+        out.push(r);
+    }
+    Ok((out, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgpcn_geometry::Point3;
+
+    fn grid() -> PointCloud {
+        let mut cloud = PointCloud::new();
+        for x in 0..5 {
+            for y in 0..5 {
+                cloud.push(Point3::new(x as f32, y as f32, 0.0));
+            }
+        }
+        cloud
+    }
+
+    #[test]
+    fn finds_true_neighbors_on_grid() {
+        let cloud = grid();
+        // Center (2,2) is index 12; its 4 nearest are the +-1 axis moves.
+        let r = gather(&cloud, 12, 4).unwrap();
+        let mut n = r.neighbors.clone();
+        n.sort_unstable();
+        assert_eq!(n, vec![7, 11, 13, 17]);
+    }
+
+    #[test]
+    fn neighbors_exclude_center_and_are_unique() {
+        let cloud = grid();
+        let r = gather(&cloud, 0, 10).unwrap();
+        assert!(!r.neighbors.contains(&0));
+        let set: std::collections::HashSet<_> = r.neighbors.iter().collect();
+        assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn neighbors_sorted_by_distance() {
+        let cloud = grid();
+        let c = cloud.point(12);
+        let r = gather(&cloud, 12, 8).unwrap();
+        let dists: Vec<f32> = r.neighbors.iter().map(|&i| cloud.point(i).distance_sq(c)).collect();
+        assert!(dists.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn counts_charge_full_cloud() {
+        let cloud = grid();
+        let r = gather(&cloud, 3, 5).unwrap();
+        assert_eq!(r.counts.distance_computations, 24);
+        assert_eq!(r.counts.mem_reads, 25);
+        assert_eq!(r.counts.comparisons, sorter::comparator_count(24));
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let cloud = grid();
+        assert!(matches!(gather(&cloud, 99, 3), Err(GatherError::CenterOutOfRange { .. })));
+        assert!(matches!(gather(&cloud, 0, 25), Err(GatherError::KTooLarge { .. })));
+        assert!(matches!(
+            gather(&PointCloud::new(), 0, 1),
+            Err(GatherError::EmptyCloud)
+        ));
+    }
+
+    #[test]
+    fn batch_sums_costs() {
+        let cloud = grid();
+        let (results, total) = gather_all(&cloud, &[0, 12, 24], 4).unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(total.distance_computations, 3 * 24);
+    }
+}

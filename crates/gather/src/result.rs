@@ -1,0 +1,72 @@
+use hgpcn_memsim::OpCounts;
+
+/// Per-shell statistics of one VEG gather, feeding Figs. 15 and 16.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct VegStats {
+    /// Shells expanded beyond the seed voxel (the paper's `n`).
+    pub shells_expanded: u32,
+    /// Points gathered for free from the seed voxel and inner shells
+    /// (`N_0 + … + N_{n-1}`): no distance computation or sorting needed.
+    pub gathered_free: usize,
+    /// Candidates in the final shell that had to be distance-sorted
+    /// (`N_n`). The Fig. 15 comparison is this value vs. the full input
+    /// size a traditional sorter processes.
+    pub candidates_sorted: usize,
+    /// Octree-Table lookups spent locating the seed voxel (LV stage).
+    pub locate_lookups: u32,
+    /// Octree-Table lookups spent enumerating shell voxels (VE stage).
+    pub expand_lookups: u32,
+}
+
+/// One central point's gather: the neighbor set plus its cost.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GatherResult {
+    /// Indices of the K gathered neighbors (into the input cloud).
+    pub neighbors: Vec<usize>,
+    /// Operations spent.
+    pub counts: OpCounts,
+    /// VEG-specific statistics (zeroed for the brute-force methods).
+    pub stats: VegStats,
+}
+
+impl GatherResult {
+    /// Number of gathered neighbors.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Returns `true` if nothing was gathered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.neighbors.is_empty()
+    }
+
+    /// Recall of this neighbor set against a reference set: the fraction of
+    /// `reference` indices present here. Used to validate VEG against
+    /// brute-force KNN.
+    pub fn recall_against(&self, reference: &[usize]) -> f64 {
+        if reference.is_empty() {
+            return 1.0;
+        }
+        let mine: std::collections::HashSet<usize> = self.neighbors.iter().copied().collect();
+        let hit = reference.iter().filter(|i| mine.contains(i)).count();
+        hit as f64 / reference.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recall_counts_overlap() {
+        let r = GatherResult { neighbors: vec![1, 2, 3, 4], ..GatherResult::default() };
+        assert_eq!(r.recall_against(&[1, 2, 3, 4]), 1.0);
+        assert_eq!(r.recall_against(&[1, 2, 9, 10]), 0.5);
+        assert_eq!(r.recall_against(&[]), 1.0);
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+    }
+}

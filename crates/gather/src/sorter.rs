@@ -1,0 +1,79 @@
+//! Bitonic-sorter cost helpers.
+//!
+//! Both HgPCN's DSU and PointACC's Mapping Unit rank neighbor candidates
+//! with a bitonic sorter (§VII-D); the difference is *how many keys* each
+//! feeds it. These helpers give comparator and stage counts for a hardware
+//! bitonic network, so both models price sorting identically.
+
+/// Smallest power of two ≥ `n` (hardware networks pad to a power of two).
+pub fn padded_size(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// Total comparators a bitonic network uses to sort `n` keys:
+/// `(p/2)·log2(p)·(log2(p)+1)/2` with `p` the padded size.
+pub fn comparator_count(n: usize) -> u64 {
+    if n <= 1 {
+        return 0;
+    }
+    let p = padded_size(n) as u64;
+    let lg = p.trailing_zeros() as u64;
+    (p / 2) * lg * (lg + 1) / 2
+}
+
+/// Pipeline stages (depth) of the network: `log2(p)·(log2(p)+1)/2`.
+pub fn stage_count(n: usize) -> u32 {
+    if n <= 1 {
+        return 0;
+    }
+    let lg = padded_size(n).trailing_zeros();
+    lg * (lg + 1) / 2
+}
+
+/// Cycles for a `width`-lane hardware sorter to sort `n` keys: each stage
+/// processes `p/2` comparator operations spread over the lanes.
+pub fn sort_cycles(n: usize, width: usize) -> u64 {
+    if n <= 1 {
+        return 0;
+    }
+    let per_stage = (padded_size(n) as u64 / 2).div_ceil(width.max(1) as u64);
+    u64::from(stage_count(n)) * per_stage
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padded_sizes() {
+        assert_eq!(padded_size(0), 1);
+        assert_eq!(padded_size(1), 1);
+        assert_eq!(padded_size(5), 8);
+        assert_eq!(padded_size(8), 8);
+    }
+
+    #[test]
+    fn known_comparator_counts() {
+        // Sorting 4 keys: p=4, lg=2 -> 2*2*3/2 = 6 comparators.
+        assert_eq!(comparator_count(4), 6);
+        // Sorting 8 keys: p=8, lg=3 -> 4*3*4/2 = 24.
+        assert_eq!(comparator_count(8), 24);
+        assert_eq!(comparator_count(1), 0);
+    }
+
+    #[test]
+    fn stages_grow_quadratically_in_lg() {
+        assert_eq!(stage_count(2), 1);
+        assert_eq!(stage_count(4), 3);
+        assert_eq!(stage_count(8), 6);
+        assert_eq!(stage_count(1024), 55);
+    }
+
+    #[test]
+    fn wider_sorters_take_fewer_cycles() {
+        assert!(sort_cycles(1024, 16) < sort_cycles(1024, 4));
+        assert_eq!(sort_cycles(1, 16), 0);
+        // A sorter at least p/2 wide does one stage per cycle.
+        assert_eq!(sort_cycles(8, 4), 6);
+    }
+}

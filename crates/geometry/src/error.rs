@@ -1,0 +1,59 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by geometric constructions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GeometryError {
+    /// An operation that needs at least one point was given an empty cloud.
+    EmptyCloud,
+    /// A feature buffer's length is not a multiple of the declared dimension,
+    /// or does not match the number of points.
+    FeatureShape {
+        /// Number of points in the cloud.
+        points: usize,
+        /// Declared per-point feature dimension.
+        feature_dim: usize,
+        /// Actual flat feature buffer length.
+        buffer_len: usize,
+    },
+    /// A coordinate was NaN or infinite.
+    NonFinitePoint {
+        /// Index of the offending point.
+        index: usize,
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::EmptyCloud => write!(f, "point cloud is empty"),
+            GeometryError::FeatureShape { points, feature_dim, buffer_len } => write!(
+                f,
+                "feature buffer of length {buffer_len} does not equal {points} points x {feature_dim} dims"
+            ),
+            GeometryError::NonFinitePoint { index } => {
+                write!(f, "point {index} has a non-finite coordinate")
+            }
+        }
+    }
+}
+
+impl Error for GeometryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errs = [
+            GeometryError::EmptyCloud,
+            GeometryError::FeatureShape { points: 2, feature_dim: 3, buffer_len: 5 },
+            GeometryError::NonFinitePoint { index: 7 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! Morton codes ("m-codes") and the space-filling-curve order.
+//!
+//! The paper's octree labels every voxel with an m-code: 3 new bits per
+//! subdivision level (2 in the quadtree illustration of Fig. 5), where the
+//! first bit is the X half, the second the Y half and the third the Z half
+//! of the parent voxel. The concatenated code of a voxel at level `L` is the
+//! `3·L`-bit path from the root; sorting leaf codes lexicographically yields
+//! the SFC traversal order used to linearize the frame in host memory.
+//!
+//! The Down-sampling Unit measures "distance" between two voxels as the
+//! **Hamming distance of their m-codes** ([`MortonCode::hamming_distance`]) —
+//! an XOR + popcount that the paper's Sampling Modules evaluate in one cycle
+//! (§V-B, Fig. 7).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::{Aabb, Octant, Point3};
+
+/// Maximum supported octree depth (21 levels × 3 bits = 63 bits ≤ u64).
+pub const MAX_LEVEL: u8 = 21;
+
+/// A variable-level Morton code: the path of [`Octant`] choices from the
+/// octree root down to a voxel.
+///
+/// `level == 0` is the root voxel (empty code). Codes at different levels
+/// are *different voxels* even when one prefixes the other.
+///
+/// # Examples
+///
+/// ```
+/// use hgpcn_geometry::{MortonCode, Octant};
+///
+/// let root = MortonCode::root();
+/// let v = root.child(Octant::new(0b110).unwrap());
+/// assert_eq!(v.level(), 1);
+/// assert_eq!(v.to_string(), "110");
+/// assert_eq!(v.parent(), Some(root));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MortonCode {
+    bits: u64,
+    level: u8,
+}
+
+impl MortonCode {
+    /// The root voxel's (empty) code.
+    #[inline]
+    pub const fn root() -> MortonCode {
+        MortonCode { bits: 0, level: 0 }
+    }
+
+    /// Builds a code from raw bits and a level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level > MAX_LEVEL` or if `bits` has set bits above
+    /// `3 * level`.
+    #[inline]
+    pub fn from_bits(bits: u64, level: u8) -> MortonCode {
+        assert!(level <= MAX_LEVEL, "level {level} exceeds MAX_LEVEL {MAX_LEVEL}");
+        assert!(
+            level == MAX_LEVEL || bits >> (3 * level) == 0,
+            "bits 0x{bits:x} wider than 3*{level}"
+        );
+        MortonCode { bits, level }
+    }
+
+    /// Raw code bits (the low `3 * level()` bits).
+    #[inline]
+    pub fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// Depth of the voxel below the root.
+    #[inline]
+    pub fn level(self) -> u8 {
+        self.level
+    }
+
+    /// The code of the child voxel in the given octant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the code is already at [`MAX_LEVEL`].
+    #[inline]
+    pub fn child(self, octant: Octant) -> MortonCode {
+        assert!(self.level < MAX_LEVEL, "cannot descend below MAX_LEVEL");
+        MortonCode { bits: (self.bits << 3) | u64::from(octant.index()), level: self.level + 1 }
+    }
+
+    /// The parent voxel's code, or `None` for the root.
+    #[inline]
+    pub fn parent(self) -> Option<MortonCode> {
+        (self.level > 0).then(|| MortonCode { bits: self.bits >> 3, level: self.level - 1 })
+    }
+
+    /// The octant this voxel occupies inside its parent, or `None` for the
+    /// root.
+    #[inline]
+    pub fn octant_in_parent(self) -> Option<Octant> {
+        (self.level > 0).then(|| Octant::new((self.bits & 0b111) as u8).expect("3-bit value"))
+    }
+
+    /// The ancestor voxel at `level` (`ancestor_at(level()) == self`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level > self.level()`.
+    #[inline]
+    pub fn ancestor_at(self, level: u8) -> MortonCode {
+        assert!(level <= self.level, "ancestor level {level} below own level {}", self.level);
+        MortonCode { bits: self.bits >> (3 * (self.level - level)), level }
+    }
+
+    /// Hamming distance between two codes **at the same level**: the popcount
+    /// of their XOR. This is the voxel-distance proxy evaluated by each
+    /// Sampling Module (one XOR, Fig. 7(a)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the levels differ.
+    #[inline]
+    pub fn hamming_distance(self, other: MortonCode) -> u32 {
+        assert_eq!(self.level, other.level, "Hamming distance requires equal levels");
+        (self.bits ^ other.bits).count_ones()
+    }
+
+    /// The code of the voxel at `level` containing point `p` inside `root`.
+    ///
+    /// Descends `level` subdivisions, picking the octant of `p` each time —
+    /// the same per-point walk the Octree-build Unit performs in its single
+    /// pass over the frame (§V-A).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level > MAX_LEVEL`.
+    pub fn encode(p: Point3, root: &Aabb, level: u8) -> MortonCode {
+        assert!(level <= MAX_LEVEL, "level {level} exceeds MAX_LEVEL {MAX_LEVEL}");
+        let mut code = MortonCode::root();
+        let mut voxel = *root;
+        for _ in 0..level {
+            let oct = voxel.octant_of(p);
+            voxel = voxel.octant_bounds(oct);
+            code = code.child(oct);
+        }
+        code
+    }
+
+    /// The bounds of this voxel inside `root`.
+    pub fn decode_bounds(self, root: &Aabb) -> Aabb {
+        let mut voxel = *root;
+        for lvl in 1..=self.level {
+            let shift = 3 * (self.level - lvl);
+            let oct = Octant::new(((self.bits >> shift) & 0b111) as u8).expect("3-bit value");
+            voxel = voxel.octant_bounds(oct);
+        }
+        voxel
+    }
+
+    /// Integer grid coordinates `(x, y, z)` of this voxel at its own level
+    /// (each in `0..2^level`), de-interleaved from the code bits.
+    pub fn grid_coords(self) -> (u32, u32, u32) {
+        let (mut x, mut y, mut z) = (0u32, 0u32, 0u32);
+        for lvl in 0..self.level {
+            let shift = 3 * (self.level - 1 - lvl);
+            let oct = (self.bits >> shift) & 0b111;
+            x = (x << 1) | ((oct >> 2) & 1) as u32;
+            y = (y << 1) | ((oct >> 1) & 1) as u32;
+            z = (z << 1) | (oct & 1) as u32;
+        }
+        (x, y, z)
+    }
+
+    /// Builds the code at `level` from integer grid coordinates by bit
+    /// interleaving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level > MAX_LEVEL` or any coordinate is `>= 2^level`.
+    pub fn from_grid_coords(x: u32, y: u32, z: u32, level: u8) -> MortonCode {
+        assert!(level <= MAX_LEVEL, "level {level} exceeds MAX_LEVEL {MAX_LEVEL}");
+        let limit = 1u64 << level;
+        assert!(
+            u64::from(x) < limit && u64::from(y) < limit && u64::from(z) < limit,
+            "grid coords ({x},{y},{z}) out of range for level {level}"
+        );
+        let mut bits = 0u64;
+        for lvl in (0..level).rev() {
+            let oct = (((x >> lvl) & 1) << 2) | (((y >> lvl) & 1) << 1) | ((z >> lvl) & 1);
+            bits = (bits << 3) | u64::from(oct);
+        }
+        MortonCode { bits, level }
+    }
+
+    /// Chebyshev (max-axis) grid distance to `other` at the same level —
+    /// the shell index used by VEG voxel expansion (§VI): shell 1 contains
+    /// all voxels *touching* the seed voxel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the levels differ.
+    pub fn chebyshev_distance(self, other: MortonCode) -> u32 {
+        assert_eq!(self.level, other.level, "Chebyshev distance requires equal levels");
+        let (ax, ay, az) = self.grid_coords();
+        let (bx, by, bz) = other.grid_coords();
+        let d = |a: u32, b: u32| a.abs_diff(b);
+        d(ax, bx).max(d(ay, by)).max(d(az, bz))
+    }
+}
+
+impl PartialOrd for MortonCode {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for MortonCode {
+    /// SFC order: compares the shared-depth prefixes first, then lets the
+    /// shallower (ancestor) code come first. Restricted to codes of a single
+    /// level this is plain lexicographic order of the octant paths.
+    fn cmp(&self, other: &Self) -> Ordering {
+        let common = self.level.min(other.level);
+        let a = self.bits >> (3 * (self.level - common));
+        let b = other.bits >> (3 * (other.level - common));
+        a.cmp(&b).then(self.level.cmp(&other.level))
+    }
+}
+
+impl fmt::Debug for MortonCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MortonCode({self})")
+    }
+}
+
+impl fmt::Display for MortonCode {
+    /// Renders the code as the concatenated 3-bit octant labels, e.g.
+    /// `"110101"` for a level-2 voxel; the root renders as `"ε"`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.level == 0 {
+            return write!(f, "ε");
+        }
+        for lvl in 1..=self.level {
+            let shift = 3 * (self.level - lvl);
+            write!(f, "{:03b}", (self.bits >> shift) & 0b111)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn child_parent_round_trip() {
+        let mut code = MortonCode::root();
+        for oct in [3u8, 7, 0, 5] {
+            code = code.child(Octant::new(oct).unwrap());
+        }
+        assert_eq!(code.level(), 4);
+        assert_eq!(code.octant_in_parent().unwrap().index(), 5);
+        let back = code.parent().unwrap().parent().unwrap().parent().unwrap().parent().unwrap();
+        assert_eq!(back, MortonCode::root());
+        assert!(MortonCode::root().parent().is_none());
+    }
+
+    #[test]
+    fn encode_decode_bounds_contains_point() {
+        let root = Aabb::unit();
+        let p = Point3::new(0.3, 0.7, 0.1);
+        for level in 0..8 {
+            let code = MortonCode::encode(p, &root, level);
+            assert!(code.decode_bounds(&root).contains(p), "level {level}");
+        }
+    }
+
+    #[test]
+    fn grid_coords_round_trip() {
+        for level in 1..6u8 {
+            let n = 1u32 << level;
+            for (x, y, z) in [(0, 0, 0), (n - 1, n - 1, n - 1), (1 % n, n / 2, n - 1)] {
+                let code = MortonCode::from_grid_coords(x, y, z, level);
+                assert_eq!(code.grid_coords(), (x, y, z));
+            }
+        }
+    }
+
+    #[test]
+    fn hamming_distance_is_xor_popcount() {
+        let a = MortonCode::from_bits(0b000_000, 2);
+        let b = MortonCode::from_bits(0b110_101, 2);
+        assert_eq!(a.hamming_distance(b), 4);
+        assert_eq!(a.hamming_distance(a), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal levels")]
+    fn hamming_distance_level_mismatch_panics() {
+        let a = MortonCode::from_bits(0b000, 1);
+        let b = MortonCode::from_bits(0b000_000, 2);
+        let _ = a.hamming_distance(b);
+    }
+
+    #[test]
+    fn chebyshev_shell_of_touching_voxels_is_one() {
+        let level = 3;
+        let seed = MortonCode::from_grid_coords(3, 3, 3, level);
+        for dx in -1i64..=1 {
+            for dy in -1i64..=1 {
+                for dz in -1i64..=1 {
+                    if dx == 0 && dy == 0 && dz == 0 {
+                        continue;
+                    }
+                    let n = MortonCode::from_grid_coords(
+                        (3 + dx) as u32,
+                        (3 + dy) as u32,
+                        (3 + dz) as u32,
+                        level,
+                    );
+                    assert_eq!(seed.chebyshev_distance(n), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sfc_order_matches_octant_paths() {
+        let root = MortonCode::root();
+        let a = root.child(Octant::new(0).unwrap()).child(Octant::new(7).unwrap());
+        let b = root.child(Octant::new(1).unwrap()).child(Octant::new(0).unwrap());
+        assert!(a < b);
+        // An ancestor precedes its descendants.
+        let anc = root.child(Octant::new(1).unwrap());
+        assert!(anc < b);
+        assert!(a < anc);
+    }
+
+    #[test]
+    fn ancestor_at_prefix() {
+        let root = Aabb::unit();
+        let code = MortonCode::encode(Point3::new(0.9, 0.2, 0.6), &root, 6);
+        let anc = code.ancestor_at(2);
+        assert_eq!(anc.level(), 2);
+        assert_eq!(code.ancestor_at(6), code);
+        assert!(anc.decode_bounds(&root).contains(Point3::new(0.9, 0.2, 0.6)));
+    }
+
+    #[test]
+    fn display_renders_bit_path() {
+        let code = MortonCode::root()
+            .child(Octant::new(0b110).unwrap())
+            .child(Octant::new(0b011).unwrap());
+        assert_eq!(code.to_string(), "110011");
+        assert_eq!(MortonCode::root().to_string(), "ε");
+    }
+
+    #[test]
+    fn encode_matches_manual_octants() {
+        let root = Aabb::unit();
+        // Point in the high-x/high-y/high-z corner: every level picks 0b111.
+        let code = MortonCode::encode(Point3::splat(0.99), &root, 3);
+        assert_eq!(code.bits(), 0b111_111_111);
+    }
+}

@@ -1,0 +1,100 @@
+//! Space-filling-curve (SFC) ordering of point clouds.
+//!
+//! The Octree-build Unit reorganizes the raw frame in host memory into SFC
+//! (Morton) order so that every leaf voxel's points sit at consecutive
+//! addresses (§V-A, Fig. 5(b)). These helpers compute that permutation.
+
+use crate::{Aabb, MortonCode, Point3, PointCloud};
+
+/// Returns the permutation that sorts `points` into SFC order at `level`
+/// inside `root`: element `k` of the result is the original index of the
+/// `k`-th point in SFC order. The sort is stable, so points sharing a leaf
+/// voxel keep their relative order (the paper's "intra-node point
+/// arrangement also follows the SFC traversal").
+///
+/// # Examples
+///
+/// ```
+/// use hgpcn_geometry::{Aabb, Point3, sfc};
+///
+/// let pts = [Point3::new(0.9, 0.9, 0.9), Point3::new(0.1, 0.1, 0.1)];
+/// let order = sfc::sort_order(&pts, &Aabb::unit(), 4);
+/// assert_eq!(order, vec![1, 0]);
+/// ```
+pub fn sort_order(points: &[Point3], root: &Aabb, level: u8) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    let codes: Vec<MortonCode> =
+        points.iter().map(|&p| MortonCode::encode(p, root, level)).collect();
+    order.sort_by_key(|&i| codes[i]);
+    order
+}
+
+/// Reorders `cloud` into SFC order at `level`, returning the reordered cloud
+/// together with the permutation used (original index of each output point).
+///
+/// The permutation is what the Octree-Table stores: it maps SFC positions
+/// (1-D addresses) back to raw-frame indices.
+pub fn reorder(cloud: &PointCloud, root: &Aabb, level: u8) -> (PointCloud, Vec<usize>) {
+    let order = sort_order(cloud.points(), root, level);
+    (cloud.permuted(&order), order)
+}
+
+/// Checks whether `points` are already in SFC order at `level`.
+pub fn is_sorted(points: &[Point3], root: &Aabb, level: u8) -> bool {
+    points
+        .windows(2)
+        .all(|w| MortonCode::encode(w[0], root, level) <= MortonCode::encode(w[1], root, level))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cross_cloud() -> (PointCloud, Aabb) {
+        let pts = vec![
+            Point3::new(0.9, 0.1, 0.1),
+            Point3::new(0.1, 0.9, 0.1),
+            Point3::new(0.1, 0.1, 0.9),
+            Point3::new(0.05, 0.05, 0.05),
+            Point3::new(0.95, 0.95, 0.95),
+        ];
+        (PointCloud::from_points(pts), Aabb::unit())
+    }
+
+    #[test]
+    fn reorder_produces_sorted_cloud() {
+        let (cloud, root) = cross_cloud();
+        let (sorted, perm) = reorder(&cloud, &root, 6);
+        assert!(is_sorted(sorted.points(), &root, 6));
+        assert_eq!(perm.len(), cloud.len());
+        // Permutation maps back to the originals.
+        for (k, &orig) in perm.iter().enumerate() {
+            assert_eq!(sorted.point(k), cloud.point(orig));
+        }
+    }
+
+    #[test]
+    fn order_is_permutation() {
+        let (cloud, root) = cross_cloud();
+        let mut order = sort_order(cloud.points(), &root, 5);
+        order.sort_unstable();
+        assert_eq!(order, (0..cloud.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stable_within_leaf() {
+        // Two identical points must keep their input order.
+        let pts = vec![Point3::splat(0.5), Point3::splat(0.5), Point3::splat(0.1)];
+        let order = sort_order(&pts, &Aabb::unit(), 3);
+        let pos0 = order.iter().position(|&i| i == 0).unwrap();
+        let pos1 = order.iter().position(|&i| i == 1).unwrap();
+        assert!(pos0 < pos1, "stable sort must preserve duplicate order");
+    }
+
+    #[test]
+    fn level_zero_is_identity() {
+        let (cloud, root) = cross_cloud();
+        let order = sort_order(cloud.points(), &root, 0);
+        assert_eq!(order, (0..cloud.len()).collect::<Vec<_>>());
+    }
+}

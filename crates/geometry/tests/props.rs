@@ -1,0 +1,130 @@
+//! Property tests for the geometric primitives.
+
+use proptest::prelude::*;
+
+use hgpcn_geometry::{sfc, Aabb, MortonCode, Point3, PointCloud};
+
+fn arb_point() -> impl Strategy<Value = Point3> {
+    (-1000.0f32..1000.0, -1000.0f32..1000.0, -1000.0f32..1000.0)
+        .prop_map(|(x, y, z)| Point3::new(x, y, z))
+}
+
+fn arb_unit_point() -> impl Strategy<Value = Point3> {
+    (0.0f32..1.0, 0.0f32..1.0, 0.0f32..1.0).prop_map(|(x, y, z)| Point3::new(x, y, z))
+}
+
+proptest! {
+    /// Triangle inequality and symmetry of the distance.
+    #[test]
+    fn distance_metric_properties(a in arb_point(), b in arb_point(), c in arb_point()) {
+        prop_assert!((a.distance(b) - b.distance(a)).abs() <= 1e-3);
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-2);
+        prop_assert_eq!(a.distance(a), 0.0);
+    }
+
+    /// distance_sq is the square of distance.
+    #[test]
+    fn distance_sq_consistent(a in arb_point(), b in arb_point()) {
+        let d = a.distance(b);
+        prop_assert!((d * d - a.distance_sq(b)).abs() <= a.distance_sq(b).max(1.0) * 1e-4);
+    }
+
+    /// The bounding box of any point set contains every point, and
+    /// cubifying preserves containment.
+    #[test]
+    fn aabb_contains_its_points(pts in prop::collection::vec(arb_point(), 1..50)) {
+        let bounds = Aabb::from_points(pts.iter().copied()).unwrap();
+        for &p in &pts {
+            prop_assert!(bounds.contains(p));
+            prop_assert!(bounds.cubified().inflate(1e-3).contains(p));
+        }
+    }
+
+    /// Every point belongs to exactly the octant octant_of names.
+    #[test]
+    fn octant_of_is_consistent(p in arb_unit_point()) {
+        let root = Aabb::unit();
+        let oct = root.octant_of(p);
+        prop_assert!(root.octant_bounds(oct).contains(p));
+    }
+
+    /// Morton encode/decode: the decoded voxel contains the point, and the
+    /// voxel shrinks by half each level.
+    #[test]
+    fn morton_encode_decode(p in arb_unit_point(), level in 0u8..12) {
+        let root = Aabb::unit();
+        let code = MortonCode::encode(p, &root, level);
+        let bounds = code.decode_bounds(&root);
+        prop_assert!(bounds.inflate(1e-6).contains(p));
+        let expected_edge = 1.0 / (1u64 << level) as f32;
+        prop_assert!((bounds.extent().x - expected_edge).abs() < 1e-5);
+    }
+
+    /// Grid-coordinate round trip at every level.
+    #[test]
+    fn grid_coords_round_trip(x in 0u32..256, y in 0u32..256, z in 0u32..256) {
+        let code = MortonCode::from_grid_coords(x % 256, y % 256, z % 256, 8);
+        prop_assert_eq!(code.grid_coords(), (x % 256, y % 256, z % 256));
+    }
+
+    /// Morton order restricted to one level is total and antisymmetric,
+    /// and ancestors sort before descendants.
+    #[test]
+    fn morton_order_properties(a in 0u64..4096, b in 0u64..4096) {
+        let ca = MortonCode::from_bits(a, 4);
+        let cb = MortonCode::from_bits(b, 4);
+        prop_assert_eq!(ca.cmp(&cb), cb.cmp(&ca).reverse());
+        let parent = ca.parent().unwrap();
+        prop_assert!(parent < ca);
+    }
+
+    /// SFC sorting produces a permutation under which codes are monotone.
+    #[test]
+    fn sfc_sort_is_monotone_permutation(pts in prop::collection::vec(arb_unit_point(), 1..100)) {
+        let cloud = PointCloud::from_points(pts);
+        let root = Aabb::unit();
+        let (sorted, perm) = sfc::reorder(&cloud, &root, 8);
+        prop_assert!(sfc::is_sorted(sorted.points(), &root, 8));
+        let mut check = perm.clone();
+        check.sort_unstable();
+        prop_assert_eq!(check, (0..cloud.len()).collect::<Vec<_>>());
+    }
+
+    /// Normalization maps every cloud into the unit cube and preserves
+    /// relative distances up to the uniform scale.
+    #[test]
+    fn normalization_preserves_shape(pts in prop::collection::vec(arb_point(), 2..40)) {
+        let cloud = PointCloud::from_points(pts);
+        let norm = cloud.normalized_unit_cube().unwrap();
+        let unit = Aabb::unit();
+        for p in norm.iter() {
+            prop_assert!(unit.contains(p));
+        }
+        // Ratios of pairwise distances are preserved (scale-invariant).
+        let d01 = cloud.point(0).distance(cloud.point(1));
+        let n01 = norm.point(0).distance(norm.point(1));
+        if d01 > 1.0 {
+            for i in 2..cloud.len() {
+                let di = cloud.point(0).distance(cloud.point(i));
+                let ni = norm.point(0).distance(norm.point(i));
+                if di > 1.0 {
+                    prop_assert!(((di / d01) - (ni / n01)).abs() < 0.05,
+                        "ratio drift: {} vs {}", di / d01, ni / n01);
+                }
+            }
+        }
+    }
+
+    /// Hamming distance on equal-level codes is a metric.
+    #[test]
+    fn hamming_is_a_metric(a in 0u64..512, b in 0u64..512, c in 0u64..512) {
+        let (ca, cb, cc) = (
+            MortonCode::from_bits(a, 3),
+            MortonCode::from_bits(b, 3),
+            MortonCode::from_bits(c, 3),
+        );
+        prop_assert_eq!(ca.hamming_distance(cb), cb.hamming_distance(ca));
+        prop_assert_eq!(ca.hamming_distance(ca), 0);
+        prop_assert!(ca.hamming_distance(cc) <= ca.hamming_distance(cb) + cb.hamming_distance(cc));
+    }
+}

@@ -1,0 +1,191 @@
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul};
+
+/// A modeled latency in nanoseconds.
+///
+/// All latencies in this workspace are deterministic cost-model outputs, so
+/// they are exact `f64` nanosecond values rather than measured `Duration`s.
+///
+/// # Examples
+///
+/// ```
+/// use hgpcn_memsim::Latency;
+///
+/// let a = Latency::from_ms(2.0);
+/// let b = Latency::from_us(500.0);
+/// assert_eq!((a + b).to_string(), "2.500 ms");
+/// assert_eq!(a.speedup_over(b), 0.25);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, PartialOrd)]
+pub struct Latency(f64);
+
+impl Latency {
+    /// Zero latency.
+    pub const ZERO: Latency = Latency(0.0);
+
+    /// From nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is negative or NaN.
+    #[inline]
+    pub fn from_ns(ns: f64) -> Latency {
+        assert!(ns >= 0.0, "latency must be non-negative, got {ns}");
+        Latency(ns)
+    }
+
+    /// From microseconds.
+    #[inline]
+    pub fn from_us(us: f64) -> Latency {
+        Latency::from_ns(us * 1e3)
+    }
+
+    /// From milliseconds.
+    #[inline]
+    pub fn from_ms(ms: f64) -> Latency {
+        Latency::from_ns(ms * 1e6)
+    }
+
+    /// From seconds.
+    #[inline]
+    pub fn from_secs(s: f64) -> Latency {
+        Latency::from_ns(s * 1e9)
+    }
+
+    /// Nanoseconds.
+    #[inline]
+    pub fn ns(self) -> f64 {
+        self.0
+    }
+
+    /// Milliseconds.
+    #[inline]
+    pub fn ms(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// Seconds.
+    #[inline]
+    pub fn secs(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// Throughput in frames per second if one frame takes `self`.
+    ///
+    /// Returns `f64::INFINITY` for zero latency.
+    #[inline]
+    pub fn fps(self) -> f64 {
+        1e9 / self.0
+    }
+
+    /// How many times faster `self` is than `other` (`other / self`).
+    ///
+    /// `speedup_over > 1` means `self` is faster.
+    #[inline]
+    pub fn speedup_over(self, other: Latency) -> f64 {
+        other.0 / self.0
+    }
+
+    /// The larger of two latencies (e.g. the roofline of overlapped memory
+    /// and compute phases).
+    #[inline]
+    pub fn max(self, other: Latency) -> Latency {
+        Latency(self.0.max(other.0))
+    }
+}
+
+impl Add for Latency {
+    type Output = Latency;
+    #[inline]
+    fn add(self, rhs: Latency) -> Latency {
+        Latency(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Latency {
+    #[inline]
+    fn add_assign(&mut self, rhs: Latency) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<f64> for Latency {
+    type Output = Latency;
+    #[inline]
+    fn mul(self, k: f64) -> Latency {
+        Latency::from_ns(self.0 * k)
+    }
+}
+
+impl Div<f64> for Latency {
+    type Output = Latency;
+    #[inline]
+    fn div(self, k: f64) -> Latency {
+        Latency::from_ns(self.0 / k)
+    }
+}
+
+impl Sum for Latency {
+    fn sum<I: Iterator<Item = Latency>>(iter: I) -> Latency {
+        iter.fold(Latency::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Latency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1e9 {
+            write!(f, "{:.3} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            write!(f, "{:.3} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            write!(f, "{:.3} us", ns / 1e3)
+        } else {
+            write!(f, "{:.1} ns", ns)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Latency::from_secs(1.5).ns(), 1.5e9);
+        assert_eq!(Latency::from_ms(2.0), Latency::from_us(2000.0));
+        assert_eq!(Latency::from_us(1.0), Latency::from_ns(1000.0));
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(Latency::from_ns(12.0).to_string(), "12.0 ns");
+        assert_eq!(Latency::from_us(3.5).to_string(), "3.500 us");
+        assert_eq!(Latency::from_ms(7.25).to_string(), "7.250 ms");
+        assert_eq!(Latency::from_secs(2.0).to_string(), "2.000 s");
+    }
+
+    #[test]
+    fn speedup_and_fps() {
+        let fast = Latency::from_ms(10.0);
+        let slow = Latency::from_ms(40.0);
+        assert_eq!(fast.speedup_over(slow), 4.0);
+        assert!((fast.fps() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic_and_sum() {
+        let total: Latency = [Latency::from_ms(1.0), Latency::from_ms(2.0)].into_iter().sum();
+        assert_eq!(total, Latency::from_ms(3.0));
+        assert_eq!(total * 2.0, Latency::from_ms(6.0));
+        assert_eq!(total / 3.0, Latency::from_ms(1.0));
+        assert_eq!(Latency::from_ms(1.0).max(Latency::from_ms(2.0)), Latency::from_ms(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_latency_panics() {
+        let _ = Latency::from_ns(-1.0);
+    }
+}

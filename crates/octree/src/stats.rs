@@ -1,0 +1,44 @@
+/// Operation counts recorded while building an octree.
+///
+/// The Octree-build Unit runs on the CPU and its cost is the dominant part
+/// of OIS latency when everything runs in software (Fig. 11, 0.25–0.8 of
+/// total). The memory simulator converts these counts into bytes and cycles;
+/// this struct only records *what happened*, not how long it took.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct BuildStats {
+    /// Number of points in the frame.
+    pub points: usize,
+    /// Point reads performed (one per point: the "single pass" of §V-A).
+    pub point_reads: usize,
+    /// Point writes performed (the reorganized SFC copy in host memory).
+    pub point_writes: usize,
+    /// Comparisons spent sorting points into SFC order.
+    pub sort_comparisons: usize,
+    /// Morton-code computations (one octant walk per point).
+    pub code_computations: usize,
+    /// Nodes created (internal + leaf).
+    pub nodes_created: usize,
+    /// Depth of the deepest leaf actually created. Depends on the frame's
+    /// spatial non-uniformity (the MN.piano vs MN.plant effect in Fig. 11).
+    pub achieved_depth: u8,
+}
+
+impl BuildStats {
+    /// Total host-memory accesses (reads + writes) in units of points.
+    #[inline]
+    pub fn memory_accesses(&self) -> usize {
+        self.point_reads + self.point_writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_accesses_sums_reads_and_writes() {
+        let s = BuildStats { point_reads: 10, point_writes: 7, ..BuildStats::default() };
+        assert_eq!(s.memory_accesses(), 17);
+    }
+}

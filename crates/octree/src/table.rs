@@ -1,0 +1,275 @@
+use hgpcn_geometry::{MortonCode, Octant};
+
+use crate::{NodeId, Octree};
+
+/// One row of the flattened [`OctreeTable`].
+///
+/// The hardware table does not store the full m-code — a voxel's code is
+/// implicit in the lookup path — so an entry carries only what a Sampling
+/// Module needs: which children exist, where they sit in the table, and the
+/// host-memory address range of the voxel's points.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TableEntry {
+    /// Index of the first child entry; children are stored contiguously.
+    pub child_base: u32,
+    /// Bitmask over octants (bit `i` set ⇔ child in octant `i` exists).
+    pub child_mask: u8,
+    /// Level of this voxel below the root.
+    pub level: u8,
+    /// First host-memory point address (in units of points, SFC order).
+    pub point_start: u32,
+    /// Number of points in the voxel.
+    pub point_count: u32,
+}
+
+impl TableEntry {
+    /// Returns `true` if the voxel has no children in the table.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.child_mask == 0
+    }
+
+    /// Table index of the child in `octant`, if present.
+    ///
+    /// Children are packed densely after `child_base` in octant order, so
+    /// the offset is the popcount of the mask bits below `octant` — exactly
+    /// the adder a hardware table walker uses.
+    #[inline]
+    pub fn child(&self, octant: Octant) -> Option<u32> {
+        let bit = 1u8 << octant.index();
+        if self.child_mask & bit == 0 {
+            return None;
+        }
+        let below = self.child_mask & (bit - 1);
+        Some(self.child_base + below.count_ones())
+    }
+
+    /// Octants of the children present, in SFC order.
+    pub fn child_octants(&self) -> impl Iterator<Item = Octant> + '_ {
+        Octant::ALL.into_iter().filter(|o| self.child_mask & (1 << o.index()) != 0)
+    }
+}
+
+/// The flattened Octree-Table transferred to the FPGA over MMIO (§IV, §V-B).
+///
+/// Rows are stored in breadth-first order with each node's children
+/// contiguous, which is both how a hardware walker wants them and what makes
+/// [`TableEntry::child`] a mask-popcount-add. [`OctreeTable::size_bits`]
+/// models its on-chip footprint for the Fig. 13 comparison.
+///
+/// # Examples
+///
+/// ```
+/// use hgpcn_geometry::{Point3, PointCloud};
+/// use hgpcn_octree::{Octree, OctreeConfig, OctreeTable};
+///
+/// let cloud: PointCloud = (0..32).map(|i| Point3::splat(i as f32)).collect();
+/// let tree = Octree::build(&cloud, OctreeConfig::default())?;
+/// let table = OctreeTable::from_octree(&tree);
+/// assert_eq!(table.entry(table.root()).point_count as usize, cloud.len());
+/// # Ok::<(), hgpcn_octree::OctreeError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct OctreeTable {
+    entries: Vec<TableEntry>,
+    codes: Vec<MortonCode>,
+    max_depth: u8,
+}
+
+impl OctreeTable {
+    /// Bits per table entry in the hardware layout: 24 (child base, up to
+    /// 16M nodes) + 8 (child mask) + 24 (point start, up to 16M points) +
+    /// 16 (leaf point count; internal-node counts are derived by the
+    /// walker, and the Sampling Modules' working counters are registers,
+    /// not table state).
+    pub const ENTRY_BITS: usize = 72;
+
+    /// Flattens an [`Octree`] into table form.
+    pub fn from_octree(tree: &Octree) -> OctreeTable {
+        // Breadth-first placement so each node's children are contiguous.
+        let mut order: Vec<NodeId> = Vec::with_capacity(tree.node_count());
+        let mut table_index = vec![u32::MAX; tree.node_count()];
+        order.push(tree.root());
+        table_index[tree.root().index()] = 0;
+        let mut head = 0;
+        while head < order.len() {
+            let id = order[head];
+            head += 1;
+            for child in tree.node(id).children() {
+                table_index[child.index()] = order.len() as u32;
+                order.push(child);
+            }
+        }
+
+        let mut entries = Vec::with_capacity(order.len());
+        let mut codes = Vec::with_capacity(order.len());
+        let mut next_child_base = 1u32;
+        for &id in &order {
+            let node = tree.node(id);
+            let mut mask = 0u8;
+            for octant in Octant::ALL {
+                if node.child(octant).is_some() {
+                    mask |= 1 << octant.index();
+                }
+            }
+            let child_base = if mask == 0 { 0 } else { next_child_base };
+            next_child_base += mask.count_ones();
+            let range = node.point_range();
+            entries.push(TableEntry {
+                child_base,
+                child_mask: mask,
+                level: node.level(),
+                point_start: range.start as u32,
+                point_count: range.len() as u32,
+            });
+            codes.push(node.code());
+        }
+        OctreeTable { entries, codes, max_depth: tree.config().max_depth_value() }
+    }
+
+    /// Index of the root entry (always 0).
+    #[inline]
+    pub fn root(&self) -> u32 {
+        0
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the table is empty (never the case for a built tree).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// A row by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[inline]
+    pub fn entry(&self, index: u32) -> &TableEntry {
+        &self.entries[index as usize]
+    }
+
+    /// The m-code of the voxel at `index` (kept for verification and
+    /// display; the hardware table does not store it).
+    #[inline]
+    pub fn code(&self, index: u32) -> MortonCode {
+        self.codes[index as usize]
+    }
+
+    /// The depth cap of the source octree.
+    #[inline]
+    pub fn max_depth(&self) -> u8 {
+        self.max_depth
+    }
+
+    /// Modeled on-chip size of the table in bits (Fig. 13). This is the only
+    /// pre-processing state the FPGA must hold under OIS, versus the whole
+    /// frame plus intermediate distances under on-chip FPS.
+    #[inline]
+    pub fn size_bits(&self) -> usize {
+        self.entries.len() * Self::ENTRY_BITS
+    }
+
+    /// Walks from the root along `code`'s octant path.
+    ///
+    /// Returns the table index reached and the number of lookups spent; the
+    /// walk stops early (returning the deepest entry on the path) if the
+    /// path runs past a leaf or into an absent child.
+    pub fn walk(&self, code: MortonCode) -> (u32, u32) {
+        let mut index = self.root();
+        let mut lookups = 1; // reading the root row
+        for level in 1..=code.level() {
+            let octant = code.ancestor_at(level).octant_in_parent().expect("level >= 1");
+            match self.entry(index).child(octant) {
+                Some(next) => {
+                    index = next;
+                    lookups += 1;
+                }
+                None => break,
+            }
+        }
+        (index, lookups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OctreeConfig;
+    use hgpcn_geometry::{Point3, PointCloud};
+
+    fn sample_tree() -> Octree {
+        let mut cloud = PointCloud::new();
+        for x in 0..8 {
+            for y in 0..8 {
+                cloud.push(Point3::new(x as f32, y as f32, ((x * y) % 3) as f32));
+            }
+        }
+        Octree::build(&cloud, OctreeConfig::new().max_depth(5).leaf_capacity(2)).unwrap()
+    }
+
+    #[test]
+    fn table_mirrors_tree() {
+        let tree = sample_tree();
+        let table = OctreeTable::from_octree(&tree);
+        assert_eq!(table.len(), tree.node_count());
+        let root = table.entry(table.root());
+        assert_eq!(root.point_count as usize, tree.points().len());
+        assert_eq!(root.point_start, 0);
+    }
+
+    #[test]
+    fn child_lookup_matches_tree_children() {
+        let tree = sample_tree();
+        let table = OctreeTable::from_octree(&tree);
+        // Walk to every node by its code and compare the point range.
+        for node in tree.nodes() {
+            let (idx, lookups) = table.walk(node.code());
+            let entry = table.entry(idx);
+            assert_eq!(entry.level, node.level());
+            assert_eq!(entry.point_start as usize, node.point_range().start);
+            assert_eq!(entry.point_count as usize, node.point_count());
+            assert_eq!(lookups, u32::from(node.level()) + 1);
+            assert_eq!(table.code(idx), node.code());
+        }
+    }
+
+    #[test]
+    fn children_are_contiguous() {
+        let tree = sample_tree();
+        let table = OctreeTable::from_octree(&tree);
+        for i in 0..table.len() as u32 {
+            let e = table.entry(i);
+            let kids: Vec<u32> = e.child_octants().filter_map(|o| e.child(o)).collect();
+            for (k, idx) in kids.iter().enumerate() {
+                assert_eq!(*idx, e.child_base + k as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn size_bits_scales_with_entries() {
+        let tree = sample_tree();
+        let table = OctreeTable::from_octree(&tree);
+        assert_eq!(table.size_bits(), table.len() * OctreeTable::ENTRY_BITS);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn walk_stops_at_absent_child() {
+        let tree = sample_tree();
+        let table = OctreeTable::from_octree(&tree);
+        // A code deeper than the tree: the walk must stop at some entry
+        // without panicking and report the lookups it actually did.
+        let deep = MortonCode::from_grid_coords(0, 0, 0, tree.config().max_depth_value());
+        let (idx, lookups) = table.walk(deep);
+        assert!(lookups >= 1);
+        assert!((idx as usize) < table.len());
+    }
+}

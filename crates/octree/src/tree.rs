@@ -1,0 +1,502 @@
+use std::cell::Cell;
+use std::ops::Range;
+
+use hgpcn_geometry::morton::MAX_LEVEL;
+use hgpcn_geometry::{Aabb, MortonCode, Octant, Point3, PointCloud};
+
+use crate::{BuildStats, Node, NodeId, OctreeConfig, OctreeError};
+
+/// An octree over one point-cloud frame, with its SFC-reorganized copy of
+/// the points.
+///
+/// Building the tree performs exactly what the paper's Octree-build Unit
+/// does in one pass (§V-A): per-point m-code computation, a stable SFC sort
+/// (the host-memory *pre-configuration*), and node construction. The
+/// reorganized cloud, the permutation back to raw indices, and the
+/// [`BuildStats`] the memory simulator charges are all retained.
+///
+/// # Examples
+///
+/// ```
+/// use hgpcn_geometry::{Point3, PointCloud};
+/// use hgpcn_octree::{Octree, OctreeConfig};
+///
+/// let cloud: PointCloud =
+///     (0..64).map(|i| Point3::new((i % 4) as f32, ((i / 4) % 4) as f32, (i / 16) as f32)).collect();
+/// let tree = Octree::build(&cloud, OctreeConfig::new().max_depth(4).leaf_capacity(1))?;
+/// assert!(tree.depth() <= 4);
+/// assert_eq!(tree.permutation().len(), 64);
+/// # Ok::<(), hgpcn_octree::OctreeError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Octree {
+    root_bounds: Aabb,
+    nodes: Vec<Node>,
+    root: NodeId,
+    points: PointCloud,
+    permutation: Vec<usize>,
+    codes: Vec<MortonCode>,
+    config: OctreeConfig,
+    stats: BuildStats,
+}
+
+impl Octree {
+    /// Builds an octree over `cloud`.
+    ///
+    /// # Errors
+    ///
+    /// * [`OctreeError::EmptyCloud`] if the frame has no points;
+    /// * [`OctreeError::DepthTooLarge`] if `config.max_depth` exceeds the
+    ///   m-code limit;
+    /// * [`OctreeError::InvalidGeometry`] if any coordinate is non-finite.
+    pub fn build(cloud: &PointCloud, config: OctreeConfig) -> Result<Octree, OctreeError> {
+        if cloud.is_empty() {
+            return Err(OctreeError::EmptyCloud);
+        }
+        if !config.is_supported() {
+            return Err(OctreeError::DepthTooLarge { requested: config.max_depth, max: MAX_LEVEL });
+        }
+        cloud.validate_finite()?;
+
+        let bounds = cloud.bounds().expect("non-empty cloud has bounds");
+        // Inflate a hair so boundary points never fall outside after f32
+        // rounding, then cubify so each level halves the voxel edge.
+        let margin = (bounds.diagonal() * 1e-6).max(f32::MIN_POSITIVE);
+        let root_bounds = bounds.inflate(margin).cubified();
+
+        let mut stats = BuildStats { points: cloud.len(), ..BuildStats::default() };
+
+        // Single pass: one m-code per point (the per-point octant walk).
+        let raw_codes: Vec<MortonCode> = cloud
+            .iter()
+            .map(|p| MortonCode::encode(p, &root_bounds, config.max_depth))
+            .collect();
+        stats.code_computations = cloud.len();
+        stats.point_reads = cloud.len();
+
+        // Host-memory pre-configuration: stable SFC sort + reorganized copy.
+        let comparisons = Cell::new(0usize);
+        let mut permutation: Vec<usize> = (0..cloud.len()).collect();
+        permutation.sort_by(|&a, &b| {
+            comparisons.set(comparisons.get() + 1);
+            raw_codes[a].cmp(&raw_codes[b])
+        });
+        stats.sort_comparisons = comparisons.get();
+        let points = cloud.permuted(&permutation);
+        stats.point_writes = cloud.len();
+        let codes: Vec<MortonCode> = permutation.iter().map(|&i| raw_codes[i]).collect();
+
+        // Node construction over the sorted code array; each voxel's points
+        // are a contiguous range, so children partition the parent range.
+        let mut nodes = Vec::new();
+        let mut max_level = 0u8;
+        let root = Self::build_node(
+            &codes,
+            MortonCode::root(),
+            0..cloud.len() as u32,
+            &config,
+            &mut nodes,
+            &mut max_level,
+        );
+        stats.nodes_created = nodes.len();
+        stats.achieved_depth = max_level;
+
+        Ok(Octree { root_bounds, nodes, root, points, permutation, codes, config, stats })
+    }
+
+    fn build_node(
+        codes: &[MortonCode],
+        code: MortonCode,
+        range: Range<u32>,
+        config: &OctreeConfig,
+        nodes: &mut Vec<Node>,
+        max_level: &mut u8,
+    ) -> NodeId {
+        *max_level = (*max_level).max(code.level());
+        let count = (range.end - range.start) as usize;
+        let is_leaf = code.level() >= config.max_depth || count <= config.leaf_capacity;
+        let id = NodeId(nodes.len() as u32);
+        nodes.push(Node { code, range: range.clone(), children: [None; 8], is_leaf });
+        if is_leaf {
+            return id;
+        }
+        let mut children = [None; 8];
+        let mut start = range.start;
+        for octant in Octant::ALL {
+            let child_code = code.child(octant);
+            // Points of this child are the prefix-matching run beginning at
+            // `start`; binary search for its end within the parent range.
+            let end = range.start
+                + partition_end(codes, range.clone(), child_code) as u32;
+            if end > start {
+                let child_id = Self::build_node(
+                    codes,
+                    child_code,
+                    start..end,
+                    config,
+                    nodes,
+                    max_level,
+                );
+                children[octant.index() as usize] = Some(child_id);
+            }
+            start = end;
+            if start >= range.end {
+                break;
+            }
+        }
+        nodes[id.index()].children = children;
+        nodes[id.index()].is_leaf = false;
+        id
+    }
+
+    /// The cubified root voxel.
+    #[inline]
+    pub fn root_bounds(&self) -> Aabb {
+        self.root_bounds
+    }
+
+    /// Id of the root node.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Looks up a node by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this tree.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// All nodes in creation (pre)order.
+    #[inline]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaf nodes.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf()).count()
+    }
+
+    /// Depth of the deepest leaf.
+    #[inline]
+    pub fn depth(&self) -> u8 {
+        self.stats.achieved_depth
+    }
+
+    /// The SFC-reorganized copy of the frame (the paper's pre-configured
+    /// host-memory layout).
+    #[inline]
+    pub fn points(&self) -> &PointCloud {
+        &self.points
+    }
+
+    /// Maps each SFC position to the index of that point in the raw frame.
+    #[inline]
+    pub fn permutation(&self) -> &[usize] {
+        &self.permutation
+    }
+
+    /// The per-point m-codes at `config.max_depth`, in SFC order.
+    #[inline]
+    pub fn point_codes(&self) -> &[MortonCode] {
+        &self.codes
+    }
+
+    /// The configuration the tree was built with.
+    #[inline]
+    pub fn config(&self) -> OctreeConfig {
+        self.config
+    }
+
+    /// Operation counts of the build (charged to the CPU by the simulator).
+    #[inline]
+    pub fn build_stats(&self) -> BuildStats {
+        self.stats
+    }
+
+    /// Descends from the root to the leaf voxel containing `p`.
+    ///
+    /// Returns `None` if `p` lies outside the root voxel or in an empty
+    /// sub-voxel (no point of the frame shares its leaf).
+    pub fn leaf_for(&self, p: Point3) -> Option<NodeId> {
+        if !self.root_bounds.contains(p) {
+            return None;
+        }
+        let mut id = self.root;
+        let mut bounds = self.root_bounds;
+        loop {
+            let node = self.node(id);
+            if node.is_leaf() {
+                return Some(id);
+            }
+            let octant = bounds.octant_of(p);
+            bounds = bounds.octant_bounds(octant);
+            id = node.child(octant)?;
+        }
+    }
+
+    /// Finds the node with exactly this m-code, descending by octant path.
+    ///
+    /// Returns `None` if the path leads through an empty sub-voxel or stops
+    /// at a shallower leaf.
+    pub fn node_at(&self, code: MortonCode) -> Option<NodeId> {
+        let mut id = self.root;
+        for level in 1..=code.level() {
+            let step = code.ancestor_at(level).octant_in_parent().expect("level >= 1");
+            let node = self.node(id);
+            if node.is_leaf() {
+                return None;
+            }
+            id = node.child(step)?;
+        }
+        Some(id)
+    }
+
+    /// The SFC-position range of all points inside the voxel `code`, whether
+    /// or not the tree has a node at that exact level.
+    ///
+    /// Implemented as two binary searches over the sorted point codes — this
+    /// is the Octree-Table lookup primitive the VEG point-count step uses.
+    pub fn voxel_range(&self, code: MortonCode) -> Range<usize> {
+        debug_assert!(code.level() <= self.config.max_depth);
+        let shift = 3 * (self.config.max_depth - code.level()) as u32;
+        let lo = code.bits() << shift;
+        let hi = lo + (1u64 << shift);
+        let start = self.codes.partition_point(|c| c.bits() < lo);
+        let end = self.codes.partition_point(|c| c.bits() < hi);
+        start..end
+    }
+
+    /// Number of points inside the voxel `code`.
+    #[inline]
+    pub fn voxel_point_count(&self, code: MortonCode) -> usize {
+        self.voxel_range(code).len()
+    }
+
+    /// SFC addresses of all points inside `query`, found by pruned tree
+    /// traversal — the spatial-database range query the paper's §VIII
+    /// generality claim builds on (its \[25\] indexes point clouds in an
+    /// Oracle Spatial octree the same way).
+    pub fn points_in_aabb(&self, query: &Aabb) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![(self.root, self.root_bounds)];
+        while let Some((id, bounds)) = stack.pop() {
+            if !bounds.intersects(query) {
+                continue;
+            }
+            let node = self.node(id);
+            // Fully covered voxel: take the whole contiguous range.
+            if query.contains(bounds.min()) && query.contains(bounds.max()) {
+                out.extend(node.point_range());
+                continue;
+            }
+            if node.is_leaf() {
+                for i in node.point_range() {
+                    if query.contains(self.points.point(i)) {
+                        out.push(i);
+                    }
+                }
+                continue;
+            }
+            for octant in hgpcn_geometry::Octant::ALL {
+                if let Some(child) = node.child(octant) {
+                    stack.push((child, bounds.octant_bounds(octant)));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Index (relative to `range.start`) of the first code in `range` that does
+/// not belong to the voxel `child_code`.
+fn partition_end(codes: &[MortonCode], range: Range<u32>, child_code: MortonCode) -> usize {
+    let slice = &codes[range.start as usize..range.end as usize];
+    let max_depth = codes[0].level();
+    let shift = 3 * (max_depth - child_code.level()) as u32;
+    let hi = (child_code.bits() + 1) << shift;
+    slice.partition_point(|c| c.bits() < hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_cloud(n_per_axis: usize) -> PointCloud {
+        let mut cloud = PointCloud::new();
+        for x in 0..n_per_axis {
+            for y in 0..n_per_axis {
+                for z in 0..n_per_axis {
+                    cloud.push(Point3::new(x as f32, y as f32, z as f32));
+                }
+            }
+        }
+        cloud
+    }
+
+    #[test]
+    fn build_rejects_empty() {
+        assert_eq!(
+            Octree::build(&PointCloud::new(), OctreeConfig::default()).unwrap_err(),
+            OctreeError::EmptyCloud
+        );
+    }
+
+    #[test]
+    fn build_rejects_huge_depth() {
+        let cloud = grid_cloud(2);
+        let err = Octree::build(&cloud, OctreeConfig::new().max_depth(40)).unwrap_err();
+        assert!(matches!(err, OctreeError::DepthTooLarge { .. }));
+    }
+
+    #[test]
+    fn build_rejects_nan() {
+        let mut cloud = grid_cloud(2);
+        cloud.push(Point3::new(f32::NAN, 0.0, 0.0));
+        assert!(matches!(
+            Octree::build(&cloud, OctreeConfig::default()).unwrap_err(),
+            OctreeError::InvalidGeometry(_)
+        ));
+    }
+
+    #[test]
+    fn nodes_partition_points() {
+        let cloud = grid_cloud(4);
+        let tree = Octree::build(&cloud, OctreeConfig::new().max_depth(5).leaf_capacity(1)).unwrap();
+        // Root covers everything.
+        assert_eq!(tree.node(tree.root()).point_count(), cloud.len());
+        // Children of every internal node partition its range exactly.
+        for node in tree.nodes() {
+            if node.is_leaf() {
+                continue;
+            }
+            let total: usize =
+                node.children().map(|c| tree.node(c).point_count()).sum();
+            assert_eq!(total, node.point_count());
+            // Child ranges are consecutive and ordered.
+            let mut cursor = node.point_range().start;
+            for child in node.children() {
+                let r = tree.node(child).point_range();
+                assert_eq!(r.start, cursor);
+                cursor = r.end;
+            }
+            assert_eq!(cursor, node.point_range().end);
+        }
+    }
+
+    #[test]
+    fn leaf_for_contains_the_point() {
+        let cloud = grid_cloud(5);
+        let tree = Octree::build(&cloud, OctreeConfig::new().max_depth(6).leaf_capacity(2)).unwrap();
+        for i in 0..cloud.len() {
+            let p = cloud.point(i);
+            let leaf = tree.leaf_for(p).expect("point inside root");
+            let node = tree.node(leaf);
+            let bounds = node.code().decode_bounds(&tree.root_bounds());
+            assert!(bounds.contains(p), "leaf voxel must contain its point");
+        }
+        assert!(tree.leaf_for(Point3::splat(1e6)).is_none());
+    }
+
+    #[test]
+    fn voxel_range_matches_nodes() {
+        let cloud = grid_cloud(4);
+        let tree = Octree::build(&cloud, OctreeConfig::new().max_depth(4).leaf_capacity(1)).unwrap();
+        for node in tree.nodes() {
+            assert_eq!(tree.voxel_range(node.code()), node.point_range());
+        }
+    }
+
+    #[test]
+    fn node_at_finds_every_node() {
+        let cloud = grid_cloud(3);
+        let tree = Octree::build(&cloud, OctreeConfig::new().max_depth(4).leaf_capacity(1)).unwrap();
+        for (i, node) in tree.nodes().iter().enumerate() {
+            assert_eq!(tree.node_at(node.code()), Some(NodeId(i as u32)));
+        }
+    }
+
+    #[test]
+    fn permutation_is_valid_and_points_sorted() {
+        let cloud = grid_cloud(4);
+        let tree = Octree::build(&cloud, OctreeConfig::default()).unwrap();
+        let mut perm = tree.permutation().to_vec();
+        perm.sort_unstable();
+        assert_eq!(perm, (0..cloud.len()).collect::<Vec<_>>());
+        // Codes must be non-decreasing after reorganization.
+        assert!(tree.point_codes().windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn stats_record_single_pass() {
+        let cloud = grid_cloud(4);
+        let tree = Octree::build(&cloud, OctreeConfig::default()).unwrap();
+        let s = tree.build_stats();
+        assert_eq!(s.points, 64);
+        assert_eq!(s.point_reads, 64);
+        assert_eq!(s.point_writes, 64);
+        assert!(s.sort_comparisons > 0);
+        assert!(s.nodes_created >= 1);
+    }
+
+    #[test]
+    fn leaf_capacity_limits_leaf_sizes() {
+        let cloud = grid_cloud(4);
+        let tree = Octree::build(&cloud, OctreeConfig::new().max_depth(8).leaf_capacity(3)).unwrap();
+        for node in tree.nodes() {
+            if node.is_leaf() && node.level() < 8 {
+                assert!(node.point_count() <= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn depth_cap_respected() {
+        let cloud = grid_cloud(6);
+        let tree = Octree::build(&cloud, OctreeConfig::new().max_depth(2).leaf_capacity(1)).unwrap();
+        assert!(tree.depth() <= 2);
+        assert!(tree.nodes().iter().all(|n| n.level() <= 2));
+    }
+
+    #[test]
+    fn points_in_aabb_matches_brute_filter() {
+        let cloud = grid_cloud(5);
+        let tree = Octree::build(&cloud, OctreeConfig::new().max_depth(5).leaf_capacity(2)).unwrap();
+        let query = Aabb::new(Point3::new(0.5, 0.5, 0.5), Point3::new(3.2, 2.7, 4.0));
+        let got = tree.points_in_aabb(&query);
+        let expect: Vec<usize> = (0..tree.points().len())
+            .filter(|&i| query.contains(tree.points().point(i)))
+            .collect();
+        assert_eq!(got, expect);
+        // Empty query region.
+        let nothing = Aabb::new(Point3::splat(100.0), Point3::splat(101.0));
+        assert!(tree.points_in_aabb(&nothing).is_empty());
+        // Whole-root query returns everything.
+        let all = tree.points_in_aabb(&tree.root_bounds());
+        assert_eq!(all.len(), cloud.len());
+    }
+
+    #[test]
+    fn duplicate_points_share_leaf() {
+        let mut cloud = PointCloud::new();
+        for _ in 0..10 {
+            cloud.push(Point3::splat(0.5));
+        }
+        let tree = Octree::build(&cloud, OctreeConfig::new().max_depth(4).leaf_capacity(1)).unwrap();
+        // All duplicates collapse into one deep leaf of 10 points.
+        let leaf = tree.leaf_for(Point3::splat(0.5)).unwrap();
+        assert_eq!(tree.node(leaf).point_count(), 10);
+    }
+}

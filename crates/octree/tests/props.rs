@@ -1,0 +1,106 @@
+//! Property tests for the octree: structural invariants over arbitrary
+//! clouds.
+
+use proptest::prelude::*;
+
+use hgpcn_geometry::{MortonCode, Point3, PointCloud};
+use hgpcn_octree::{neighbor, Octree, OctreeConfig, OctreeTable};
+
+fn arb_cloud() -> impl Strategy<Value = PointCloud> {
+    prop::collection::vec((-50.0f32..50.0, -50.0f32..50.0, -50.0f32..50.0), 1..250)
+        .prop_map(|pts| pts.into_iter().map(|(x, y, z)| Point3::new(x, y, z)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Children's ranges tile their parent's range in order, at every node.
+    #[test]
+    fn ranges_are_nested_and_ordered(cloud in arb_cloud(), cap in 1usize..6) {
+        let tree = Octree::build(&cloud, OctreeConfig::new().max_depth(7).leaf_capacity(cap)).unwrap();
+        for node in tree.nodes() {
+            if node.is_leaf() {
+                continue;
+            }
+            let mut cursor = node.point_range().start;
+            for child in node.children() {
+                let r = tree.node(child).point_range();
+                prop_assert_eq!(r.start, cursor);
+                prop_assert!(r.end <= node.point_range().end);
+                cursor = r.end;
+            }
+            prop_assert_eq!(cursor, node.point_range().end);
+        }
+    }
+
+    /// voxel_range at any level equals the brute-force prefix filter.
+    #[test]
+    fn voxel_range_matches_brute_filter(cloud in arb_cloud(), level in 0u8..5) {
+        let tree = Octree::build(&cloud, OctreeConfig::new().max_depth(6)).unwrap();
+        let codes = tree.point_codes();
+        // Probe the voxel of the first point at the given level.
+        let voxel = codes[0].ancestor_at(level);
+        let range = tree.voxel_range(voxel);
+        for (i, code) in codes.iter().enumerate() {
+            let inside = code.ancestor_at(level) == voxel;
+            prop_assert_eq!(range.contains(&i), inside, "point {}", i);
+        }
+    }
+
+    /// Every point's voxel at max depth contains exactly the points that
+    /// share its code.
+    #[test]
+    fn leaf_voxels_group_equal_codes(cloud in arb_cloud()) {
+        let tree = Octree::build(&cloud, OctreeConfig::new().max_depth(5).leaf_capacity(1)).unwrap();
+        let codes = tree.point_codes();
+        for (i, code) in codes.iter().enumerate() {
+            let range = tree.voxel_range(*code);
+            prop_assert!(range.contains(&i));
+            for j in range {
+                prop_assert_eq!(codes[j], *code);
+            }
+        }
+    }
+
+    /// The flattened table and the tree agree on every node, and the table
+    /// size model is exact.
+    #[test]
+    fn table_is_a_faithful_flattening(cloud in arb_cloud()) {
+        let tree = Octree::build(&cloud, OctreeConfig::new().max_depth(6).leaf_capacity(3)).unwrap();
+        let table = OctreeTable::from_octree(&tree);
+        prop_assert_eq!(table.len(), tree.node_count());
+        prop_assert_eq!(table.size_bits(), table.len() * OctreeTable::ENTRY_BITS);
+        for node in tree.nodes() {
+            let (idx, lookups) = table.walk(node.code());
+            prop_assert_eq!(u64::from(lookups), u64::from(node.level()) + 1);
+            prop_assert_eq!(table.entry(idx).point_count as usize, node.point_count());
+        }
+    }
+
+    /// Shell enumeration: shells are disjoint, distance-correct, and their
+    /// union over 0..=s is the clipped Chebyshev ball.
+    #[test]
+    fn shells_partition_the_ball(x in 0u32..16, y in 0u32..16, z in 0u32..16, s in 0u32..4) {
+        let center = MortonCode::from_grid_coords(x, y, z, 4);
+        let mut seen = std::collections::HashSet::new();
+        for shell in 0..=s {
+            for v in neighbor::shell_codes(center, shell) {
+                prop_assert_eq!(center.chebyshev_distance(v), shell);
+                prop_assert!(seen.insert(v), "duplicate voxel across shells");
+            }
+        }
+        let ball = neighbor::ball_codes(center, s);
+        prop_assert_eq!(ball.len(), seen.len());
+    }
+
+    /// Depth never exceeds the cap and the build is deterministic.
+    #[test]
+    fn build_is_deterministic_and_bounded(cloud in arb_cloud(), depth in 1u8..8) {
+        let cfg = OctreeConfig::new().max_depth(depth).leaf_capacity(2);
+        let a = Octree::build(&cloud, cfg).unwrap();
+        let b = Octree::build(&cloud, cfg).unwrap();
+        prop_assert!(a.depth() <= depth);
+        prop_assert_eq!(a.permutation(), b.permutation());
+        prop_assert_eq!(a.node_count(), b.node_count());
+    }
+}

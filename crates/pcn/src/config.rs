@@ -1,0 +1,269 @@
+use hgpcn_dla::MlpSpec;
+
+/// What the network predicts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskKind {
+    /// One label for the whole cloud (ModelNet40: 40 classes).
+    Classification {
+        /// Number of classes.
+        classes: usize,
+    },
+    /// One label per point (ShapeNet parts: 50; S3DIS/KITTI semantics: 13).
+    Segmentation {
+        /// Number of classes.
+        classes: usize,
+    },
+}
+
+impl TaskKind {
+    /// Number of output classes.
+    pub fn classes(&self) -> usize {
+        match *self {
+            TaskKind::Classification { classes } | TaskKind::Segmentation { classes } => classes,
+        }
+    }
+}
+
+/// One abstraction stage of the encoder.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Sample `npoint` centers, gather `k` neighbors each, run the shared
+    /// MLP and max-pool per group.
+    SetAbstraction {
+        /// Number of centers (group count).
+        npoint: usize,
+        /// Neighbors gathered per center.
+        k: usize,
+        /// The shared MLP (input width = 3 + previous feature width).
+        mlp: MlpSpec,
+    },
+    /// One group over all remaining points (PointNet++'s `group_all`).
+    GlobalAbstraction {
+        /// The shared MLP.
+        mlp: MlpSpec,
+    },
+}
+
+impl Stage {
+    /// The stage's MLP.
+    pub fn mlp(&self) -> &MlpSpec {
+        match self {
+            Stage::SetAbstraction { mlp, .. } | Stage::GlobalAbstraction { mlp } => mlp,
+        }
+    }
+}
+
+/// The feature-computation workload of one stage: how many point-rows run
+/// through which MLP. The system crate prices these on the shared systolic
+/// array.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageWorkload {
+    /// Human-readable stage name (e.g. `"SA1"`, `"FP2"`, `"head"`).
+    pub name: String,
+    /// Rows fed through the MLP.
+    pub points: usize,
+    /// The MLP shape.
+    pub mlp: MlpSpec,
+}
+
+/// A full PointNet++ configuration (encoder stages, optional feature
+/// propagation for segmentation, and the head).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PointNetConfig {
+    /// Variant name as printed in Table I (e.g. `"Pointnet++(c)"`).
+    pub name: String,
+    /// Prediction task.
+    pub task: TaskKind,
+    /// Down-sampled input size the network expects (Table I).
+    pub input_size: usize,
+    /// Encoder stages, finest first.
+    pub stages: Vec<Stage>,
+    /// Feature-propagation MLPs, coarsest first (segmentation only).
+    pub fp_mlps: Vec<MlpSpec>,
+    /// Head MLP (fully connected layers; last layer emits class logits).
+    pub head: MlpSpec,
+}
+
+impl PointNetConfig {
+    /// PointNet++(c) for ModelNet40 classification (Table I row 1):
+    /// SSG with SA(512, 32), SA(128, 64), global abstraction, FC head.
+    pub fn classification() -> PointNetConfig {
+        PointNetConfig {
+            name: "Pointnet++(c)".to_owned(),
+            task: TaskKind::Classification { classes: 40 },
+            input_size: 1024,
+            stages: vec![
+                Stage::SetAbstraction { npoint: 512, k: 32, mlp: MlpSpec::new(3, &[64, 64, 128]) },
+                Stage::SetAbstraction {
+                    npoint: 128,
+                    k: 64,
+                    mlp: MlpSpec::new(3 + 128, &[128, 128, 256]),
+                },
+                Stage::GlobalAbstraction { mlp: MlpSpec::new(3 + 256, &[256, 512, 1024]) },
+            ],
+            fp_mlps: Vec::new(),
+            head: MlpSpec::new(1024, &[512, 256, 40]),
+        }
+    }
+
+    /// PointNet++(ps) for ShapeNet part segmentation (Table I row 2).
+    pub fn part_segmentation() -> PointNetConfig {
+        PointNetConfig {
+            name: "Pointnet++(ps)".to_owned(),
+            task: TaskKind::Segmentation { classes: 50 },
+            input_size: 2048,
+            stages: vec![
+                Stage::SetAbstraction { npoint: 512, k: 32, mlp: MlpSpec::new(3, &[64, 64, 128]) },
+                Stage::SetAbstraction {
+                    npoint: 128,
+                    k: 64,
+                    mlp: MlpSpec::new(3 + 128, &[128, 128, 256]),
+                },
+                Stage::GlobalAbstraction { mlp: MlpSpec::new(3 + 256, &[256, 512, 1024]) },
+            ],
+            fp_mlps: vec![
+                MlpSpec::new(1024 + 256, &[256, 256]),
+                MlpSpec::new(256 + 128, &[256, 128]),
+                MlpSpec::new(128, &[128, 128, 128]),
+            ],
+            head: MlpSpec::new(128, &[128, 50]),
+        }
+    }
+
+    /// PointNet++(s) for scene semantic segmentation (Table I rows 3–4),
+    /// parameterized by the down-sampled input size (4096 for S3DIS,
+    /// 16384 for KITTI). Center counts scale as n/4, n/16, n/64, n/256.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_size < 512` (the coarsest stage would vanish).
+    pub fn semantic_segmentation(input_size: usize) -> PointNetConfig {
+        assert!(input_size >= 512, "semantic segmentation needs >= 512 input points");
+        let np = |div: usize| (input_size / div).max(1);
+        PointNetConfig {
+            name: "Pointnet++(s)".to_owned(),
+            task: TaskKind::Segmentation { classes: 13 },
+            input_size,
+            stages: vec![
+                Stage::SetAbstraction { npoint: np(4), k: 32, mlp: MlpSpec::new(3, &[32, 32, 64]) },
+                Stage::SetAbstraction {
+                    npoint: np(16),
+                    k: 32,
+                    mlp: MlpSpec::new(3 + 64, &[64, 64, 128]),
+                },
+                Stage::SetAbstraction {
+                    npoint: np(64),
+                    k: 32,
+                    mlp: MlpSpec::new(3 + 128, &[128, 128, 256]),
+                },
+                Stage::SetAbstraction {
+                    npoint: np(256),
+                    k: 32,
+                    mlp: MlpSpec::new(3 + 256, &[256, 256, 512]),
+                },
+            ],
+            fp_mlps: vec![
+                MlpSpec::new(512 + 256, &[256, 256]),
+                MlpSpec::new(256 + 128, &[256, 256]),
+                MlpSpec::new(256 + 64, &[256, 128]),
+                MlpSpec::new(128, &[128, 128, 128]),
+            ],
+            head: MlpSpec::new(128, &[128, 13]),
+        }
+    }
+
+    /// The Table I configuration for a given dataset input size, matching
+    /// the paper's benchmark table.
+    pub fn for_input_size(input_size: usize) -> PointNetConfig {
+        match input_size {
+            1024 => PointNetConfig::classification(),
+            2048 => PointNetConfig::part_segmentation(),
+            n => PointNetConfig::semantic_segmentation(n),
+        }
+    }
+
+    /// The per-stage feature-computation workload for this configuration.
+    pub fn workload(&self) -> Vec<StageWorkload> {
+        let mut out = Vec::new();
+        let mut level_sizes = vec![self.input_size];
+        for (i, stage) in self.stages.iter().enumerate() {
+            match stage {
+                Stage::SetAbstraction { npoint, k, mlp } => {
+                    out.push(StageWorkload {
+                        name: format!("SA{}", i + 1),
+                        points: npoint * k,
+                        mlp: mlp.clone(),
+                    });
+                    level_sizes.push(*npoint);
+                }
+                Stage::GlobalAbstraction { mlp } => {
+                    let n = *level_sizes.last().expect("at least the input level");
+                    out.push(StageWorkload { name: format!("SA{}*", i + 1), points: n, mlp: mlp.clone() });
+                    level_sizes.push(1);
+                }
+            }
+        }
+        for (j, mlp) in self.fp_mlps.iter().enumerate() {
+            // FP j upsamples to the (coarsest - j - 1)-th level's size.
+            let target = level_sizes[level_sizes.len() - 2 - j];
+            out.push(StageWorkload { name: format!("FP{}", j + 1), points: target, mlp: mlp.clone() });
+        }
+        let head_points = match self.task {
+            TaskKind::Classification { .. } => 1,
+            TaskKind::Segmentation { .. } => self.input_size,
+        };
+        out.push(StageWorkload { name: "head".to_owned(), points: head_points, mlp: self.head.clone() });
+        out
+    }
+
+    /// Total feature-computation MACs for one inference.
+    pub fn total_macs(&self) -> u64 {
+        self.workload().iter().map(|w| w.mlp.macs(w.points)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_table_i_sizes() {
+        assert_eq!(PointNetConfig::classification().input_size, 1024);
+        assert_eq!(PointNetConfig::part_segmentation().input_size, 2048);
+        assert_eq!(PointNetConfig::semantic_segmentation(4096).input_size, 4096);
+        assert_eq!(PointNetConfig::for_input_size(16384).name, "Pointnet++(s)");
+    }
+
+    #[test]
+    fn workload_covers_all_stages() {
+        let cfg = PointNetConfig::part_segmentation();
+        let w = cfg.workload();
+        let names: Vec<&str> = w.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["SA1", "SA2", "SA3*", "FP1", "FP2", "FP3", "head"]);
+        // SA1 runs 512 groups x 32 neighbors.
+        assert_eq!(w[0].points, 512 * 32);
+        // FP3 upsamples back to the full input.
+        assert_eq!(w[5].points, 2048);
+        assert_eq!(w[6].points, 2048);
+    }
+
+    #[test]
+    fn classification_head_runs_once() {
+        let cfg = PointNetConfig::classification();
+        let w = cfg.workload();
+        assert_eq!(w.last().unwrap().points, 1);
+    }
+
+    #[test]
+    fn macs_grow_with_input_size() {
+        let small = PointNetConfig::semantic_segmentation(4096).total_macs();
+        let large = PointNetConfig::semantic_segmentation(16384).total_macs();
+        assert!(large > 2 * small);
+    }
+
+    #[test]
+    fn task_classes() {
+        assert_eq!(PointNetConfig::classification().task.classes(), 40);
+        assert_eq!(PointNetConfig::part_segmentation().task.classes(), 50);
+    }
+}

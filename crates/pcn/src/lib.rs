@@ -1,0 +1,34 @@
+//! PointNet++ — the backend PCN the paper runs on every platform
+//! (Table I: Pointnet++(c), (ps) and (s) variants).
+//!
+//! This is a real forward pass over `f32` tensors, not just a cost model:
+//! set-abstraction stages group neighbors, run shared MLPs and max-pool;
+//! feature-propagation stages interpolate back up for segmentation; heads
+//! produce class logits. Weights are seeded-random — the paper's latency
+//! results depend only on layer dimensions and gather patterns, never on
+//! trained weight values (see `DESIGN.md`).
+//!
+//! The neighbor-gathering step is **pluggable** through [`Gatherer`]: the
+//! CPU/GPU baselines plug brute-force KNN, HgPCN plugs VEG. Because both
+//! return neighbor index sets, the equivalence of VEG to traditional data
+//! structuring is testable end-to-end: identical gathers ⇒ identical
+//! logits.
+//!
+//! [`PointNetConfig::workload`] exports each stage's batch size and MLP
+//! shape so the system crate can price feature computation on the shared
+//! systolic-array model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod error;
+mod gatherer;
+mod network;
+mod tensor;
+
+pub use config::{PointNetConfig, Stage, StageWorkload, TaskKind};
+pub use error::PcnError;
+pub use gatherer::{BruteKnnGatherer, Gatherer};
+pub use network::{CenterPolicy, InferenceOutput, PointNet};
+pub use tensor::Matrix;

@@ -1,0 +1,429 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hgpcn_dla::MlpSpec;
+use hgpcn_geometry::{Point3, PointCloud};
+use hgpcn_memsim::OpCounts;
+
+use crate::{Gatherer, Matrix, PcnError, PointNetConfig, Stage, TaskKind};
+
+/// How set-abstraction centers are chosen.
+///
+/// The paper's inference comparison picks centers randomly for every
+/// platform "to ensure a fair comparison" with Mesorasi (§VII-D);
+/// [`CenterPolicy::FirstN`] is a deterministic alternative for tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CenterPolicy {
+    /// Uniform random centers, seeded.
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// The first `npoint` points, in order.
+    FirstN,
+}
+
+/// The result of one inference.
+#[derive(Clone, Debug)]
+pub struct InferenceOutput {
+    /// Class logits: `1 × classes` for classification, `n × classes` for
+    /// segmentation.
+    pub logits: Matrix,
+    /// Operations spent in data structuring (neighbor gathering and FP
+    /// interpolation searches).
+    pub gather_counts: OpCounts,
+    /// Multiply-accumulates actually executed in feature computation.
+    pub macs: u64,
+}
+
+impl InferenceOutput {
+    /// Softmax probabilities of row `r` of the logits (numerically
+    /// stabilized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn probabilities(&self, r: usize) -> Vec<f32> {
+        let row = self.logits.row(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        exps.into_iter().map(|e| e / sum).collect()
+    }
+
+    /// Argmax class of row `r` of the logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn predicted_class(&self, r: usize) -> usize {
+        let row = self.logits.row(r);
+        row.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .expect("logits are non-empty")
+    }
+}
+
+type LayerWeights = (Matrix, Vec<f32>);
+
+/// A PointNet++ network with materialized (seeded-random) weights.
+///
+/// The network consumes coordinates only (the standard xyz-only PointNet++
+/// configuration); any features carried by the input cloud are ignored.
+///
+/// # Examples
+///
+/// ```
+/// use hgpcn_geometry::{Point3, PointCloud};
+/// use hgpcn_pcn::{BruteKnnGatherer, CenterPolicy, PointNet, PointNetConfig};
+///
+/// let net = PointNet::new(PointNetConfig::classification(), 7);
+/// let cloud: PointCloud = (0..1024)
+///     .map(|i| Point3::new((i % 32) as f32, ((i / 32) % 32) as f32, (i % 7) as f32))
+///     .collect();
+/// let mut gatherer = BruteKnnGatherer::new();
+/// let out = net.infer(&cloud, &mut gatherer, CenterPolicy::FirstN)?;
+/// assert_eq!(out.logits.cols(), 40);
+/// # Ok::<(), hgpcn_pcn::PcnError>(())
+/// ```
+#[derive(Debug)]
+pub struct PointNet {
+    config: PointNetConfig,
+    stage_weights: Vec<Vec<LayerWeights>>,
+    fp_weights: Vec<Vec<LayerWeights>>,
+    head_weights: Vec<LayerWeights>,
+}
+
+fn init_mlp(rng: &mut StdRng, spec: &MlpSpec) -> Vec<LayerWeights> {
+    spec.layers()
+        .iter()
+        .map(|l| {
+            let bound = (6.0 / (l.in_features + l.out_features) as f32).sqrt();
+            let data: Vec<f32> =
+                (0..l.in_features * l.out_features).map(|_| rng.gen_range(-bound..bound)).collect();
+            let w = Matrix::from_vec(l.in_features, l.out_features, data);
+            let b = vec![0.0; l.out_features];
+            (w, b)
+        })
+        .collect()
+}
+
+impl PointNet {
+    /// Materializes a network for `config` with weights seeded from `seed`.
+    pub fn new(config: PointNetConfig, seed: u64) -> PointNet {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+        let stage_weights = config.stages.iter().map(|s| init_mlp(&mut rng, s.mlp())).collect();
+        let fp_weights = config.fp_mlps.iter().map(|m| init_mlp(&mut rng, m)).collect();
+        let head_weights = init_mlp(&mut rng, &config.head);
+        PointNet { config, stage_weights, fp_weights, head_weights }
+    }
+
+    /// The network's configuration.
+    pub fn config(&self) -> &PointNetConfig {
+        &self.config
+    }
+
+    fn apply_mlp(
+        weights: &[LayerWeights],
+        mut x: Matrix,
+        macs: &mut u64,
+        relu_last: bool,
+    ) -> Matrix {
+        let n_layers = weights.len();
+        for (i, (w, b)) in weights.iter().enumerate() {
+            *macs += (x.rows() * x.cols() * w.cols()) as u64;
+            x = x.linear(w, b);
+            if relu_last || i + 1 < n_layers {
+                x.relu();
+            }
+        }
+        x
+    }
+
+    fn select_centers(policy: CenterPolicy, n: usize, npoint: usize, stage: usize) -> Vec<usize> {
+        match policy {
+            CenterPolicy::FirstN => (0..npoint).collect(),
+            CenterPolicy::Random { seed } => {
+                let mut rng =
+                    StdRng::seed_from_u64(seed ^ (stage as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+                let mut idx: Vec<usize> = (0..n).collect();
+                for i in 0..npoint {
+                    let j = rng.gen_range(i..n);
+                    idx.swap(i, j);
+                }
+                idx.truncate(npoint);
+                idx
+            }
+        }
+    }
+
+    /// Runs one inference over `cloud` using `gatherer` for the data
+    /// structuring step.
+    ///
+    /// # Errors
+    ///
+    /// * [`PcnError::InputTooSmall`] if a stage needs more points than the
+    ///   previous level provides;
+    /// * [`PcnError::Gather`] if neighbor gathering fails.
+    pub fn infer(
+        &self,
+        cloud: &PointCloud,
+        gatherer: &mut dyn Gatherer,
+        policy: CenterPolicy,
+    ) -> Result<InferenceOutput, PcnError> {
+        let mut macs = 0u64;
+        let mut interp_counts = OpCounts::default();
+
+        // Levels of the encoder: (coords, features). Level 0 = raw input.
+        let mut level_points: Vec<Vec<Point3>> = vec![cloud.points().to_vec()];
+        let mut level_feats: Vec<Option<Matrix>> = vec![None];
+
+        for (si, stage) in self.config.stages.iter().enumerate() {
+            let cur_pts = level_points.last().expect("at least the input level").clone();
+            let cur_feats = level_feats.last().expect("levels aligned").clone();
+            let n = cur_pts.len();
+            match stage {
+                Stage::SetAbstraction { npoint, k, .. } => {
+                    if *npoint > n {
+                        return Err(PcnError::InputTooSmall { points: n, needed: *npoint });
+                    }
+                    let centers = Self::select_centers(policy, n, *npoint, si);
+                    let cur_cloud = PointCloud::from_points(cur_pts.clone());
+                    // Coarse stages can ask for more neighbors than exist;
+                    // clamp like the PointNet++ reference implementation.
+                    let k_eff = (*k).min(n.saturating_sub(1)).max(1);
+                    let groups = gatherer.gather(&cur_cloud, &centers, k_eff)?;
+                    let feat_dim = cur_feats.as_ref().map_or(0, Matrix::cols);
+                    let out_dim = stage.mlp().output_width();
+                    let mut pooled = Matrix::zeros(*npoint, out_dim);
+                    for (gi, (&c, group)) in centers.iter().zip(&groups).enumerate() {
+                        let center = cur_pts[c];
+                        let mut rows = Matrix::zeros(group.len(), 3 + feat_dim);
+                        for (r, &ni) in group.iter().enumerate() {
+                            let rel = cur_pts[ni] - center;
+                            let row = rows.row_mut(r);
+                            row[0] = rel.x;
+                            row[1] = rel.y;
+                            row[2] = rel.z;
+                            if let Some(f) = &cur_feats {
+                                row[3..].copy_from_slice(f.row(ni));
+                            }
+                        }
+                        let out =
+                            Self::apply_mlp(&self.stage_weights[si], rows, &mut macs, true);
+                        pooled.row_mut(gi).copy_from_slice(out.max_pool().row(0));
+                    }
+                    level_points.push(centers.iter().map(|&c| cur_pts[c]).collect());
+                    level_feats.push(Some(pooled));
+                }
+                Stage::GlobalAbstraction { .. } => {
+                    let centroid = cur_pts.iter().fold(Point3::ORIGIN, |a, &p| a + p)
+                        / n.max(1) as f32;
+                    let feat_dim = cur_feats.as_ref().map_or(0, Matrix::cols);
+                    let mut rows = Matrix::zeros(n, 3 + feat_dim);
+                    for (r, &p) in cur_pts.iter().enumerate() {
+                        let rel = p - centroid;
+                        let row = rows.row_mut(r);
+                        row[0] = rel.x;
+                        row[1] = rel.y;
+                        row[2] = rel.z;
+                        if let Some(f) = &cur_feats {
+                            row[3..].copy_from_slice(f.row(r));
+                        }
+                    }
+                    let out = Self::apply_mlp(&self.stage_weights[si], rows, &mut macs, true);
+                    level_points.push(vec![centroid]);
+                    level_feats.push(Some(out.max_pool()));
+                }
+            }
+        }
+
+        let logits = match self.config.task {
+            TaskKind::Classification { .. } => {
+                let global = level_feats.last().expect("global level").clone().expect("features");
+                Self::apply_mlp(&self.head_weights, global, &mut macs, false)
+            }
+            TaskKind::Segmentation { .. } => {
+                // Feature propagation: coarsest -> finest.
+                let top = level_points.len() - 1;
+                let mut carried = level_feats[top].clone().expect("coarsest features");
+                for (j, fp) in self.fp_weights.iter().enumerate() {
+                    let coarse = top - j;
+                    let fine = coarse - 1;
+                    let interpolated = interpolate(
+                        &level_points[fine],
+                        &level_points[coarse],
+                        &carried,
+                        &mut interp_counts,
+                    );
+                    let x = match &level_feats[fine] {
+                        Some(skip) => interpolated.hcat(skip),
+                        None => interpolated,
+                    };
+                    carried = Self::apply_mlp(fp, x, &mut macs, true);
+                }
+                Self::apply_mlp(&self.head_weights, carried, &mut macs, false)
+            }
+        };
+
+        let gather_counts = gatherer.counts() + interp_counts;
+        Ok(InferenceOutput { logits, gather_counts, macs })
+    }
+}
+
+/// Inverse-distance 3-NN interpolation of `coarse` features onto the
+/// `fine` coordinates (PointNet++'s FP rule), tallying the search cost.
+fn interpolate(
+    fine: &[Point3],
+    coarse: &[Point3],
+    coarse_feats: &Matrix,
+    counts: &mut OpCounts,
+) -> Matrix {
+    let dim = coarse_feats.cols();
+    let mut out = Matrix::zeros(fine.len(), dim);
+    for (r, &p) in fine.iter().enumerate() {
+        // Distances to every coarse point; keep the best three.
+        let mut best: Vec<(f32, usize)> = Vec::with_capacity(4);
+        for (ci, &c) in coarse.iter().enumerate() {
+            counts.distance_computations += 1;
+            counts.comparisons += 1;
+            let d = p.distance_sq(c);
+            best.push((d, ci));
+            best.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            best.truncate(3);
+        }
+        counts.mem_reads += coarse.len() as u64;
+        counts.bytes_read += coarse.len() as u64 * 12;
+        let mut wsum = 0.0f32;
+        let weights: Vec<(f32, usize)> =
+            best.iter().map(|&(d, ci)| (1.0 / (d + 1e-8), ci)).collect();
+        for &(w, _) in &weights {
+            wsum += w;
+        }
+        let row = out.row_mut(r);
+        for &(w, ci) in &weights {
+            let f = coarse_feats.row(ci);
+            let scale = w / wsum;
+            for (o, &v) in row.iter_mut().zip(f) {
+                *o += scale * v;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BruteKnnGatherer;
+
+    fn cloud(n: usize) -> PointCloud {
+        (0..n)
+            .map(|i| {
+                let f = i as f32;
+                Point3::new((f * 0.618).fract() * 2.0, (f * 0.414).fract() * 2.0, (f * 0.732).fract() * 2.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn classification_produces_40_logits() {
+        let net = PointNet::new(PointNetConfig::classification(), 1);
+        let mut g = BruteKnnGatherer::new();
+        let out = net.infer(&cloud(1024), &mut g, CenterPolicy::FirstN).unwrap();
+        assert_eq!(out.logits.rows(), 1);
+        assert_eq!(out.logits.cols(), 40);
+        assert!(out.macs > 0);
+        assert!(out.gather_counts.distance_computations > 0);
+        let class = out.predicted_class(0);
+        assert!(class < 40);
+    }
+
+    #[test]
+    fn segmentation_labels_every_point() {
+        let net = PointNet::new(PointNetConfig::semantic_segmentation(512), 2);
+        let mut g = BruteKnnGatherer::new();
+        let out = net.infer(&cloud(512), &mut g, CenterPolicy::FirstN).unwrap();
+        assert_eq!(out.logits.rows(), 512);
+        assert_eq!(out.logits.cols(), 13);
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_policy() {
+        let net = PointNet::new(PointNetConfig::classification(), 5);
+        let c = cloud(1024);
+        let mut g1 = BruteKnnGatherer::new();
+        let mut g2 = BruteKnnGatherer::new();
+        let a = net.infer(&c, &mut g1, CenterPolicy::Random { seed: 3 }).unwrap();
+        let b = net.infer(&c, &mut g2, CenterPolicy::Random { seed: 3 }).unwrap();
+        assert_eq!(a.logits, b.logits);
+    }
+
+    #[test]
+    fn different_weights_change_logits() {
+        let c = cloud(1024);
+        let mut g1 = BruteKnnGatherer::new();
+        let mut g2 = BruteKnnGatherer::new();
+        let a = PointNet::new(PointNetConfig::classification(), 1)
+            .infer(&c, &mut g1, CenterPolicy::FirstN)
+            .unwrap();
+        let b = PointNet::new(PointNetConfig::classification(), 2)
+            .infer(&c, &mut g2, CenterPolicy::FirstN)
+            .unwrap();
+        assert_ne!(a.logits, b.logits);
+    }
+
+    #[test]
+    fn probabilities_are_a_distribution() {
+        let net = PointNet::new(PointNetConfig::classification(), 3);
+        let mut g = BruteKnnGatherer::new();
+        let out = net.infer(&cloud(1024), &mut g, CenterPolicy::FirstN).unwrap();
+        let p = out.probabilities(0);
+        assert_eq!(p.len(), 40);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        // Argmax of probabilities equals argmax of logits.
+        let argmax = p
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        assert_eq!(argmax, out.predicted_class(0));
+    }
+
+    #[test]
+    fn too_small_input_is_rejected() {
+        let net = PointNet::new(PointNetConfig::classification(), 1);
+        let mut g = BruteKnnGatherer::new();
+        assert!(matches!(
+            net.infer(&cloud(100), &mut g, CenterPolicy::FirstN),
+            Err(PcnError::InputTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn macs_match_config_estimate_for_classification() {
+        // The executed MAC count must equal the workload model's estimate
+        // (same layer dims, same batch sizes).
+        let cfg = PointNetConfig::classification();
+        let net = PointNet::new(cfg.clone(), 1);
+        let mut g = BruteKnnGatherer::new();
+        let out = net.infer(&cloud(1024), &mut g, CenterPolicy::FirstN).unwrap();
+        assert_eq!(out.macs, cfg.total_macs());
+    }
+
+    #[test]
+    fn interpolation_is_exact_on_coincident_points() {
+        let coarse = vec![Point3::ORIGIN, Point3::splat(1.0)];
+        let feats = Matrix::from_vec(2, 1, vec![10.0, 20.0]);
+        let mut counts = OpCounts::default();
+        let out = interpolate(&[Point3::ORIGIN], &coarse, &feats, &mut counts);
+        // A fine point sitting on a coarse point takes (almost) all its
+        // weight from it.
+        assert!((out.get(0, 0) - 10.0).abs() < 1e-3);
+        assert!(counts.distance_computations > 0);
+    }
+}

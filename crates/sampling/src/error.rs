@@ -1,0 +1,57 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the samplers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SamplingError {
+    /// The frame has no points.
+    EmptyCloud,
+    /// Asked for more samples than the frame contains.
+    TargetExceedsInput {
+        /// Requested sample count K.
+        target: usize,
+        /// Points available in the frame.
+        available: usize,
+    },
+    /// The octree passed to OIS does not describe the host-memory frame.
+    OctreeMismatch {
+        /// Points indexed by the octree.
+        octree_points: usize,
+        /// Points resident in host memory.
+        memory_points: usize,
+    },
+}
+
+impl fmt::Display for SamplingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SamplingError::EmptyCloud => write!(f, "cannot sample from an empty frame"),
+            SamplingError::TargetExceedsInput { target, available } => {
+                write!(f, "sample target {target} exceeds the {available} points available")
+            }
+            SamplingError::OctreeMismatch { octree_points, memory_points } => write!(
+                f,
+                "octree indexes {octree_points} points but host memory holds {memory_points}"
+            ),
+        }
+    }
+}
+
+impl Error for SamplingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            SamplingError::EmptyCloud,
+            SamplingError::TargetExceedsInput { target: 5, available: 3 },
+            SamplingError::OctreeMismatch { octree_points: 1, memory_points: 2 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

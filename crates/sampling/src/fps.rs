@@ -1,0 +1,222 @@
+//! The common farthest-point-sampling method (Algorithm 1 of Fig. 6).
+//!
+//! FPS picks, K times, the unpicked point farthest from the picked set.
+//! Per iteration it streams the whole frame: reads every point, reads its
+//! running minimum distance, updates it against the newest picked point,
+//! **writes the distance back to memory, and reads it again** in the
+//! ranking pass — the low-locality behaviour §III-A identifies as the
+//! pre-processing bottleneck. Running it over [`HostMemory`] makes those
+//! accesses measurable, which is how Fig. 9 is regenerated.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hgpcn_memsim::{HostMemory, OpCounts};
+
+use crate::{SampleResult, SamplingError};
+
+/// Runs common FPS over the frame resident in `mem`, sampling `k` points.
+///
+/// The seed point is chosen uniformly from the frame (deterministically
+/// from `seed`), matching the paper's "randomly selecting a seed point".
+/// The memory's access counters are reset on entry so the returned counts
+/// describe exactly this run.
+///
+/// # Errors
+///
+/// * [`SamplingError::EmptyCloud`] if the frame is empty;
+/// * [`SamplingError::TargetExceedsInput`] if `k` exceeds the frame size.
+pub fn sample(mem: &mut HostMemory, k: usize, seed: u64) -> Result<SampleResult, SamplingError> {
+    let n = mem.len();
+    if n == 0 {
+        return Err(SamplingError::EmptyCloud);
+    }
+    if k > n {
+        return Err(SamplingError::TargetExceedsInput { target: k, available: n });
+    }
+    // The result reports only this run's accesses.
+    let _ = mem.reset_counts();
+    let mut counts = OpCounts::default();
+    let mut indices = Vec::with_capacity(k);
+    if k == 0 {
+        return Ok(SampleResult { indices, counts });
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let first = rng.gen_range(0..n);
+    indices.push(first);
+
+    // The intermediate min-distance array lives in host memory; initialize
+    // it (N scalar writes).
+    let mut min_dist = vec![f32::INFINITY; n];
+    for _ in 0..n {
+        mem.write_scalar();
+    }
+
+    let mut picked = vec![false; n];
+    picked[first] = true;
+
+    for _ in 1..k {
+        let last = mem.read_point(*indices.last().expect("non-empty"));
+        // Pass 1: update every point's distance-to-set against the newest
+        // picked point and spill it back to memory.
+        for (i, slot) in min_dist.iter_mut().enumerate() {
+            let p = mem.read_point(i);
+            mem.read_scalar(); // old min distance
+            let d = p.distance_sq(last);
+            counts.distance_computations += 1;
+            counts.comparisons += 1;
+            if d < *slot {
+                *slot = d;
+            }
+            mem.write_scalar(); // updated min distance
+        }
+        // Pass 2: rank — re-read all distances and take the farthest
+        // unpicked point.
+        let mut best = None;
+        let mut best_d = f32::NEG_INFINITY;
+        for (i, &d) in min_dist.iter().enumerate() {
+            mem.read_scalar();
+            counts.comparisons += 1;
+            if !picked[i] && d > best_d {
+                best_d = d;
+                best = Some(i);
+            }
+        }
+        let best = best.expect("k <= n guarantees an unpicked point");
+        picked[best] = true;
+        indices.push(best);
+    }
+
+    // Read the sampled points out of host memory (the down-sampled frame
+    // handed to the inference phase).
+    for &i in &indices {
+        let _ = mem.read_point(i);
+    }
+
+    counts += mem.counts();
+    Ok(SampleResult { indices, counts })
+}
+
+/// Closed-form operation counts of [`sample`] for a frame of `n` points
+/// down-sampled to `k` — bit-for-bit identical to what the instrumented run
+/// reports (property-tested in this module). Used to extrapolate to the
+/// paper's 10^6-point frames, where physically executing FPS would take
+/// minutes per data point.
+pub fn analytic_counts(n: usize, k: usize) -> OpCounts {
+    if n == 0 || k == 0 {
+        return OpCounts::default();
+    }
+    let (n64, k64) = (n as u64, k as u64);
+    let iters = k64 - 1;
+    let point_reads = iters * (n64 + 1) + k64;
+    let scalar_reads = iters * 2 * n64;
+    let scalar_writes = n64 + iters * n64;
+    OpCounts {
+        mem_reads: point_reads + scalar_reads,
+        mem_writes: scalar_writes,
+        bytes_read: point_reads * 12 + scalar_reads * 4,
+        bytes_written: scalar_writes * 4,
+        distance_computations: iters * n64,
+        comparisons: iters * 2 * n64,
+        ..OpCounts::default()
+    }
+}
+
+/// The on-chip memory (bits) an FPGA implementation of common FPS needs:
+/// the whole frame plus its intermediate distance array must be resident
+/// (§VII-C). This is the Fig. 13 numerator.
+pub fn onchip_bits(n: usize) -> u64 {
+    // 3 x f32 coordinates + the running min-distance array + the
+    // per-iteration distance scratch the ranking pass re-reads.
+    (n as u64) * (96 + 32 + 32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgpcn_geometry::{Point3, PointCloud};
+
+    fn line_cloud(n: usize) -> PointCloud {
+        (0..n).map(|i| Point3::new(i as f32, 0.0, 0.0)).collect()
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mut empty = HostMemory::from_points(vec![]);
+        assert_eq!(sample(&mut empty, 1, 0).unwrap_err(), SamplingError::EmptyCloud);
+        let mut mem = HostMemory::from_cloud(&line_cloud(4));
+        assert!(matches!(
+            sample(&mut mem, 5, 0).unwrap_err(),
+            SamplingError::TargetExceedsInput { .. }
+        ));
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let mut mem = HostMemory::from_cloud(&line_cloud(4));
+        let r = sample(&mut mem, 0, 0).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn samples_are_valid_and_spread() {
+        let mut mem = HostMemory::from_cloud(&line_cloud(100));
+        let r = sample(&mut mem, 4, 7).unwrap();
+        assert_eq!(r.len(), 4);
+        assert!(r.is_valid_sample_of(100));
+        // On a line, FPS must include both endpoints among the first picks
+        // (whatever the seed, the farthest point from it is an endpoint).
+        assert!(r.indices.contains(&0) || r.indices.contains(&99));
+    }
+
+    #[test]
+    fn farthest_first_property_on_line() {
+        // From seed s, the second pick is the farther endpoint, and every
+        // later pick attains the maximum min-distance to the already-picked
+        // set (ties allowed).
+        let cloud = line_cloud(11);
+        let mut mem = HostMemory::from_cloud(&cloud);
+        let r = sample(&mut mem, 4, 1).unwrap();
+        let s = r.indices[0];
+        let expect_second = if s <= 5 { 10 } else { 0 };
+        assert_eq!(r.indices[1], expect_second);
+        for pick in 2..4 {
+            let picked = &r.indices[..pick];
+            let min_dist = |i: usize| {
+                picked
+                    .iter()
+                    .map(|&j| cloud.point(i).distance_sq(cloud.point(j)))
+                    .fold(f32::INFINITY, f32::min)
+            };
+            let best = (0..cloud.len())
+                .filter(|i| !picked.contains(i))
+                .map(min_dist)
+                .fold(0.0f32, f32::max);
+            assert_eq!(min_dist(r.indices[pick]), best, "pick {pick} not farthest-first");
+        }
+    }
+
+    #[test]
+    fn analytic_counts_match_instrumented_run() {
+        for (n, k) in [(1, 1), (10, 1), (10, 3), (57, 13), (200, 50)] {
+            let mut mem = HostMemory::from_cloud(&line_cloud(n));
+            let r = sample(&mut mem, k, 3).unwrap();
+            assert_eq!(r.counts, analytic_counts(n, k), "n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cloud = line_cloud(50);
+        let a = sample(&mut HostMemory::from_cloud(&cloud), 5, 9).unwrap();
+        let b = sample(&mut HostMemory::from_cloud(&cloud), 5, 9).unwrap();
+        assert_eq!(a.indices, b.indices);
+    }
+
+    #[test]
+    fn onchip_bits_grows_linearly() {
+        assert_eq!(onchip_bits(1000), 160_000);
+        assert!(onchip_bits(500_000) > hgpcn_memsim::OnChipMemory::ARRIA10_BITS);
+    }
+}

@@ -1,0 +1,143 @@
+//! The Down-sampling Unit: OIS in hardware (§V-B, Fig. 7).
+//!
+//! The FPGA engine holds the Octree-Table in on-chip BRAM and deploys
+//! multiple **Sampling Modules** exploiting voxel-level parallelism: at
+//! each descent level the (up to eight) children are scored concurrently,
+//! one XOR-popcount Hamming evaluation per module, and a bitonic stage
+//! selects the maximum. This module models that engine's latency and BRAM
+//! footprint; the algorithmic work itself is [`crate::ois`].
+
+use hgpcn_memsim::{DeviceProfile, Latency, OnChipMemory, OpCounts};
+use hgpcn_octree::OctreeTable;
+
+/// Hardware configuration of the Down-sampling Unit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DownsamplingUnit {
+    /// Number of parallel Sampling Modules (the paper uses 8: one per
+    /// child octant).
+    pub modules: usize,
+    /// Width of the voxel-scoreboard scoring array (XOR/compare lanes
+    /// evaluated per cycle; a few-hundred-lane compare array is a small
+    /// fraction of an Arria 10).
+    pub scoring_lanes: usize,
+    /// Clock frequency in MHz.
+    pub clock_mhz: f64,
+}
+
+impl DownsamplingUnit {
+    /// The paper's prototype configuration: 8 Sampling Modules with a
+    /// 256-lane scoring array at 200 MHz.
+    pub fn prototype() -> DownsamplingUnit {
+        DownsamplingUnit { modules: 8, scoring_lanes: 256, clock_mhz: 200.0 }
+    }
+
+    /// The device profile of this configuration, derived from the base
+    /// FPGA profile with the configured parallelism and clock.
+    pub fn device_profile(&self) -> DeviceProfile {
+        let mut p = DeviceProfile::hgpcn_downsampling_unit();
+        let cycle_ns = 1e3 / self.clock_mhz;
+        p.ns_per_lookup = cycle_ns;
+        p.ns_per_hamming = cycle_ns;
+        p.ns_per_distance = cycle_ns;
+        p.parallel_lanes = self.modules as f64;
+        p
+    }
+
+    /// Modeled latency of running a sampling workload of `counts` on this
+    /// unit.
+    ///
+    /// The descent is inherently serial — one Octree-Table level per cycle
+    /// — while the per-level child scoring runs across the parallel
+    /// Sampling Modules in a single cycle, and the remaining-count
+    /// decrement write-backs (half of the lookup tally) overlap with the
+    /// next level's fetch. Sampled-point reads cross the shared-memory
+    /// link and overlap with compute (roofline).
+    pub fn latency(&self, counts: &OpCounts) -> Latency {
+        let cycle_ns = 1e3 / self.clock_mhz;
+        let serial_lookups = counts.table_lookups as f64 / 2.0;
+        let scoring = counts.hamming_ops as f64 / self.scoring_lanes as f64
+            + counts.comparisons as f64 / self.modules as f64;
+        let compute_ns = (serial_lookups + scoring) * cycle_ns;
+        let profile = self.device_profile();
+        let mem_ns = counts.bytes_moved() as f64 * profile.ns_per_byte
+            + counts.memory_accesses() as f64 * profile.ns_per_access;
+        Latency::from_ns(compute_ns.max(mem_ns) + profile.overhead_ns)
+    }
+
+    /// BRAM bits this unit needs: the Octree-Table plus the
+    /// Sampled-Point-Table (`k` 32-bit addresses) plus per-module working
+    /// registers. This is the Fig. 13 OIS footprint.
+    pub fn onchip_bits(&self, table: &OctreeTable, k: usize) -> u64 {
+        let spt = (k as u64) * 32;
+        let working = (self.modules as u64) * 256;
+        table.size_bits() as u64 + spt + working
+    }
+
+    /// Whether the unit fits the paper's Arria 10 alongside a reserved
+    /// budget for the Inference Engine.
+    pub fn fits_arria10(&self, table: &OctreeTable, k: usize, inference_reserve_bits: u64) -> bool {
+        let mut bram = OnChipMemory::arria10();
+        bram.allocate(inference_reserve_bits).is_ok() && bram.fits(self.onchip_bits(table, k))
+    }
+}
+
+impl Default for DownsamplingUnit {
+    fn default() -> Self {
+        DownsamplingUnit::prototype()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgpcn_geometry::{Point3, PointCloud};
+    use hgpcn_octree::{Octree, OctreeConfig};
+
+    fn table(n: usize) -> OctreeTable {
+        let cloud: PointCloud = (0..n)
+            .map(|i| Point3::new((i % 17) as f32, (i % 13) as f32, (i % 11) as f32))
+            .collect();
+        let tree = Octree::build(&cloud, OctreeConfig::new().max_depth(6).leaf_capacity(2)).unwrap();
+        OctreeTable::from_octree(&tree)
+    }
+
+    #[test]
+    fn more_modules_is_faster() {
+        let counts = OpCounts {
+            table_lookups: 10_000,
+            hamming_ops: 80_000,
+            comparisons: 40_000,
+            ..OpCounts::default()
+        };
+        let one =
+            DownsamplingUnit { modules: 1, scoring_lanes: 32, clock_mhz: 200.0 }.latency(&counts);
+        let eight = DownsamplingUnit::prototype().latency(&counts);
+        assert!(eight < one);
+    }
+
+    #[test]
+    fn higher_clock_is_faster() {
+        let counts = OpCounts { table_lookups: 10_000, hamming_ops: 80_000, ..OpCounts::default() };
+        let slow = DownsamplingUnit { modules: 8, scoring_lanes: 256, clock_mhz: 100.0 }.latency(&counts);
+        let fast = DownsamplingUnit { modules: 8, scoring_lanes: 256, clock_mhz: 400.0 }.latency(&counts);
+        assert!(fast < slow);
+    }
+
+    #[test]
+    fn onchip_footprint_is_table_dominated() {
+        let t = table(5000);
+        let unit = DownsamplingUnit::prototype();
+        let bits = unit.onchip_bits(&t, 1024);
+        assert!(bits >= t.size_bits() as u64);
+        assert!(bits < t.size_bits() as u64 + 1024 * 32 + 8 * 256 + 1);
+    }
+
+    #[test]
+    fn prototype_fits_arria10_with_inference_reserve() {
+        let t = table(5000);
+        let unit = DownsamplingUnit::prototype();
+        // Reserve 40 Mb for the Inference Engine; the OIS footprint must
+        // still fit (the paper's single-device argument, §VII-C).
+        assert!(unit.fits_arria10(&t, 16384, 40_000_000));
+    }
+}

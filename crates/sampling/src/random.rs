@@ -1,0 +1,106 @@
+//! Random sampling (RS): the fast, lossy baseline of Fig. 12.
+//!
+//! RS picks K indices uniformly without replacement and reads just those
+//! points — minimal memory traffic, but the worst information retention
+//! ("the accuracy of random sampling is low and cannot be fully trusted",
+//! §II-A). [`crate::quality`] quantifies that loss.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hgpcn_memsim::HostMemory;
+
+use crate::{SampleResult, SamplingError};
+
+/// Samples `k` points uniformly without replacement (Floyd's algorithm),
+/// reading only the chosen points from host memory.
+///
+/// The memory's access counters are reset on entry so the returned counts
+/// describe exactly this run.
+///
+/// # Errors
+///
+/// * [`SamplingError::EmptyCloud`] if the frame is empty;
+/// * [`SamplingError::TargetExceedsInput`] if `k` exceeds the frame size.
+pub fn sample(mem: &mut HostMemory, k: usize, seed: u64) -> Result<SampleResult, SamplingError> {
+    let n = mem.len();
+    if n == 0 {
+        return Err(SamplingError::EmptyCloud);
+    }
+    if k > n {
+        return Err(SamplingError::TargetExceedsInput { target: k, available: n });
+    }
+    let _ = mem.reset_counts();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Floyd's sampling: k draws, no retries, uniform without replacement.
+    let mut chosen = std::collections::HashSet::with_capacity(k);
+    let mut indices = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j);
+        let pick = if chosen.insert(t) { t } else { j };
+        if pick != t {
+            chosen.insert(pick);
+        }
+        indices.push(pick);
+    }
+
+    for &i in &indices {
+        let _ = mem.read_point(i);
+    }
+    Ok(SampleResult { indices, counts: mem.counts() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgpcn_geometry::{Point3, PointCloud};
+
+    fn cloud(n: usize) -> PointCloud {
+        (0..n).map(|i| Point3::splat(i as f32)).collect()
+    }
+
+    #[test]
+    fn produces_valid_unique_sample() {
+        let mut mem = HostMemory::from_cloud(&cloud(100));
+        let r = sample(&mut mem, 30, 5).unwrap();
+        assert_eq!(r.len(), 30);
+        assert!(r.is_valid_sample_of(100));
+    }
+
+    #[test]
+    fn reads_exactly_k_points() {
+        let mut mem = HostMemory::from_cloud(&cloud(1000));
+        let r = sample(&mut mem, 64, 1).unwrap();
+        assert_eq!(r.counts.mem_reads, 64);
+        assert_eq!(r.counts.mem_writes, 0);
+        assert_eq!(r.counts.memory_accesses(), 64);
+    }
+
+    #[test]
+    fn k_equals_n_takes_everything() {
+        let mut mem = HostMemory::from_cloud(&cloud(10));
+        let r = sample(&mut mem, 10, 3).unwrap();
+        let mut idx = r.indices.clone();
+        idx.sort_unstable();
+        assert_eq!(idx, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mut empty = HostMemory::from_points(vec![]);
+        assert_eq!(sample(&mut empty, 1, 0).unwrap_err(), SamplingError::EmptyCloud);
+        let mut mem = HostMemory::from_cloud(&cloud(5));
+        assert!(sample(&mut mem, 6, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = cloud(200);
+        let a = sample(&mut HostMemory::from_cloud(&c), 20, 11).unwrap();
+        let b = sample(&mut HostMemory::from_cloud(&c), 20, 11).unwrap();
+        assert_eq!(a.indices, b.indices);
+        let c2 = sample(&mut HostMemory::from_cloud(&c), 20, 12).unwrap();
+        assert_ne!(a.indices, c2.indices);
+    }
+}

@@ -1,0 +1,74 @@
+//! The RS+reinforce baseline of Fig. 12.
+//!
+//! RandLA-Net-style pipelines (Hu et al., the paper's ref 10) tolerate random
+//! sampling by adding an encoder stage that "reinforces" the lossy sample:
+//! each kept point aggregates features from a local neighborhood through a
+//! small shared MLP. The paper lists it as faster than FPS but slower than
+//! RS alone, and **not universal** — it only applies to encoder–decoder
+//! PCNs. We reproduce it as random sampling plus the encoder's documented
+//! arithmetic cost.
+
+use hgpcn_memsim::HostMemory;
+
+use crate::{random, SampleResult, SamplingError};
+
+/// MACs per retained point for the reinforcement encoder: a local gather of
+/// 16 neighbors through a 3→32→32 shared MLP with attentive pooling
+/// (RandLA-Net's local feature aggregation at its first scale).
+pub const ENCODER_MACS_PER_POINT: u64 = 16 * (3 * 32 + 32 * 32) + 32 * 32;
+
+/// Neighborhood size the encoder gathers per retained point.
+pub const ENCODER_NEIGHBORS: u64 = 16;
+
+/// Random sampling followed by the reinforcement encoder's cost.
+///
+/// The sampled indices are identical to [`random::sample`] with the same
+/// seed; the extra cost is the encoder's neighbor reads and MACs.
+///
+/// # Errors
+///
+/// Propagates the errors of [`random::sample`].
+pub fn sample(mem: &mut HostMemory, k: usize, seed: u64) -> Result<SampleResult, SamplingError> {
+    let mut result = random::sample(mem, k, seed)?;
+    let k64 = k as u64;
+    // Encoder: read 16 neighbors per point and run the shared MLP.
+    result.counts.mem_reads += k64 * ENCODER_NEIGHBORS;
+    result.counts.bytes_read += k64 * ENCODER_NEIGHBORS * 12;
+    result.counts.macs += k64 * ENCODER_MACS_PER_POINT;
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgpcn_geometry::{Point3, PointCloud};
+    use hgpcn_memsim::HostMemory;
+
+    fn cloud(n: usize) -> PointCloud {
+        (0..n).map(|i| Point3::splat(i as f32)).collect()
+    }
+
+    #[test]
+    fn same_picks_as_rs_but_more_expensive() {
+        let c = cloud(500);
+        let rs = random::sample(&mut HostMemory::from_cloud(&c), 50, 4).unwrap();
+        let rf = sample(&mut HostMemory::from_cloud(&c), 50, 4).unwrap();
+        assert_eq!(rs.indices, rf.indices);
+        assert!(rf.counts.macs > 0);
+        assert!(rf.counts.mem_reads > rs.counts.mem_reads);
+    }
+
+    #[test]
+    fn cost_scales_with_k() {
+        let c = cloud(500);
+        let small = sample(&mut HostMemory::from_cloud(&c), 10, 4).unwrap();
+        let large = sample(&mut HostMemory::from_cloud(&c), 100, 4).unwrap();
+        assert_eq!(large.counts.macs, 10 * small.counts.macs);
+    }
+
+    #[test]
+    fn propagates_errors() {
+        let mut empty = HostMemory::from_points(vec![]);
+        assert!(sample(&mut empty, 1, 0).is_err());
+    }
+}

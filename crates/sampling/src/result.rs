@@ -1,0 +1,60 @@
+use hgpcn_memsim::OpCounts;
+
+/// The outcome of one down-sampling run: the Sampled-Point-Table plus the
+/// operations it cost.
+///
+/// `indices` are addresses into whatever frame the sampler ran over (raw
+/// order for FPS/RS, SFC order for OIS — use the octree's permutation to
+/// translate). This mirrors the paper's Sampled-Point-Table, which stores
+/// the *addresses* of the after-sampled points so the Down-sampling Unit
+/// can read them straight from host memory (§V-B, Fig. 5(c)).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SampleResult {
+    /// Addresses of the sampled points, in pick order.
+    pub indices: Vec<usize>,
+    /// Operations spent producing the table.
+    pub counts: OpCounts,
+}
+
+impl SampleResult {
+    /// Number of points sampled.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Returns `true` if nothing was sampled.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Checks the table is a valid sample of a frame of `n` points: every
+    /// address in range and no duplicates.
+    pub fn is_valid_sample_of(&self, n: usize) -> bool {
+        let mut seen = vec![false; n];
+        self.indices.iter().all(|&i| {
+            if i >= n || seen[i] {
+                return false;
+            }
+            seen[i] = true;
+            true
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validity_checks() {
+        let r = SampleResult { indices: vec![0, 2, 1], counts: OpCounts::default() };
+        assert!(r.is_valid_sample_of(3));
+        assert!(!r.is_valid_sample_of(2)); // 2 out of range
+        let dup = SampleResult { indices: vec![1, 1], counts: OpCounts::default() };
+        assert!(!dup.is_valid_sample_of(3));
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+    }
+}

@@ -1,0 +1,79 @@
+use std::error::Error;
+use std::fmt;
+
+use hgpcn_gather::GatherError;
+use hgpcn_octree::OctreeError;
+use hgpcn_pcn::PcnError;
+use hgpcn_sampling::SamplingError;
+
+/// Errors produced by the HgPCN system layers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SystemError {
+    /// Octree construction failed.
+    Octree(OctreeError),
+    /// Down-sampling failed.
+    Sampling(SamplingError),
+    /// Data structuring failed.
+    Gather(GatherError),
+    /// PCN inference failed.
+    Pcn(PcnError),
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::Octree(e) => write!(f, "octree construction failed: {e}"),
+            SystemError::Sampling(e) => write!(f, "down-sampling failed: {e}"),
+            SystemError::Gather(e) => write!(f, "data structuring failed: {e}"),
+            SystemError::Pcn(e) => write!(f, "inference failed: {e}"),
+        }
+    }
+}
+
+impl Error for SystemError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SystemError::Octree(e) => Some(e),
+            SystemError::Sampling(e) => Some(e),
+            SystemError::Gather(e) => Some(e),
+            SystemError::Pcn(e) => Some(e),
+        }
+    }
+}
+
+impl From<OctreeError> for SystemError {
+    fn from(e: OctreeError) -> Self {
+        SystemError::Octree(e)
+    }
+}
+
+impl From<SamplingError> for SystemError {
+    fn from(e: SamplingError) -> Self {
+        SystemError::Sampling(e)
+    }
+}
+
+impl From<GatherError> for SystemError {
+    fn from(e: GatherError) -> Self {
+        SystemError::Gather(e)
+    }
+}
+
+impl From<PcnError> for SystemError {
+    fn from(e: PcnError) -> Self {
+        SystemError::Pcn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SystemError::from(OctreeError::EmptyCloud);
+        assert!(!e.to_string().is_empty());
+        assert!(Error::source(&e).is_some());
+    }
+}

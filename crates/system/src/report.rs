@@ -1,0 +1,75 @@
+use hgpcn_memsim::{Latency, OpCounts};
+
+/// Modeled outcome of one phase (pre-processing or inference).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseReport {
+    /// Modeled latency of the phase.
+    pub latency: Latency,
+    /// Operations the phase performed.
+    pub counts: OpCounts,
+}
+
+/// End-to-end outcome of one frame: both phases (the Fig. 3 breakdown).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct E2eReport {
+    /// Pre-processing phase (octree build + down-sampling).
+    pub preprocess: PhaseReport,
+    /// Inference phase (data structuring + feature computation).
+    pub inference: PhaseReport,
+}
+
+impl E2eReport {
+    /// Total end-to-end latency.
+    pub fn total(&self) -> Latency {
+        self.preprocess.latency + self.inference.latency
+    }
+
+    /// Fraction of the total spent in pre-processing — the quantity Fig. 3
+    /// plots per dataset.
+    pub fn preprocess_fraction(&self) -> f64 {
+        let t = self.total().ns();
+        if t == 0.0 {
+            return 0.0;
+        }
+        self.preprocess.latency.ns() / t
+    }
+
+    /// Sustained frames per second if frames are processed serially.
+    pub fn serial_fps(&self) -> f64 {
+        self.total().fps()
+    }
+
+    /// Sustained frames per second with the two phases pipelined across
+    /// consecutive frames (frame `i+1` pre-processes while frame `i`
+    /// infers) — the steady-state throughput of the §VII-E experiment.
+    pub fn pipelined_fps(&self) -> f64 {
+        self.preprocess.latency.max(self.inference.latency).fps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(pre_ms: f64, inf_ms: f64) -> E2eReport {
+        E2eReport {
+            preprocess: PhaseReport { latency: Latency::from_ms(pre_ms), counts: OpCounts::default() },
+            inference: PhaseReport { latency: Latency::from_ms(inf_ms), counts: OpCounts::default() },
+        }
+    }
+
+    #[test]
+    fn totals_and_fractions() {
+        let r = report(30.0, 10.0);
+        assert_eq!(r.total(), Latency::from_ms(40.0));
+        assert!((r.preprocess_fraction() - 0.75).abs() < 1e-12);
+        assert!((r.serial_fps() - 25.0).abs() < 1e-9);
+        assert!((r.pipelined_fps() - 1000.0 / 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipelining_never_slower_than_serial() {
+        let r = report(7.0, 13.0);
+        assert!(r.pipelined_fps() >= r.serial_fps());
+    }
+}

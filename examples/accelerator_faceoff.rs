@@ -1,0 +1,74 @@
+//! Accelerator face-off: the Fig. 14 comparison as a runnable program.
+//!
+//! Runs the HgPCN Inference Engine for real on each Table I task and
+//! prints its modeled latency next to the PointACC-like, Mesorasi-like
+//! and Jetson-class baselines, plus the VEG workload-reduction statistics
+//! behind Figs. 15 and 16.
+//!
+//! ```text
+//! cargo run --release --example accelerator_faceoff [--seed N]
+//! ```
+
+use hgpcn::bench::figures;
+
+fn main() {
+    let seed = std::env::args()
+        .skip_while(|a| a != "--seed")
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+
+    println!("running the HgPCN Inference Engine on all four Table I tasks...\n");
+    let rows = figures::inference_comparison(seed).expect("inference comparison failed");
+
+    println!(
+        "{:<12} {:>8} | {:>12} {:>12} {:>12} {:>12}",
+        "task", "input", "HgPCN", "PointACC", "Mesorasi", "Jetson NX"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:>8} | {:>12} {:>12} {:>12} {:>12}",
+            r.task,
+            r.input_size,
+            r.hgpcn.to_string(),
+            r.pointacc.to_string(),
+            r.mesorasi.to_string(),
+            r.jetson.to_string()
+        );
+    }
+
+    println!("\nspeedups of HgPCN (paper: 1.3-10.2x / 2.2-16.5x / 6.4-21x):");
+    for r in &rows {
+        println!(
+            "  {:<12} {:>5.1}x vs PointACC, {:>5.1}x vs Mesorasi, {:>5.1}x vs Jetson",
+            r.task,
+            r.speedup_vs_pointacc(),
+            r.speedup_vs_mesorasi(),
+            r.speedup_vs_jetson()
+        );
+    }
+
+    println!("\nwhy: VEG sorts only the final voxel shell (Fig. 15):");
+    for r in &rows {
+        println!(
+            "  {:<12} {:>12} candidates traditionally vs {:>9} under VEG ({:>6.1}x less)",
+            r.task, r.traditional_sorted, r.veg_sorted, r.veg_workload_reduction()
+        );
+    }
+
+    println!("\nDSU pipeline occupancy (Fig. 16, FP/LV/VE/GP/ST/BF):");
+    for r in &rows {
+        let f = r.stage_fractions;
+        println!(
+            "  {:<12} {:>4.1}% {:>4.1}% {:>4.1}% {:>4.1}% {:>4.1}% {:>4.1}%",
+            r.task,
+            f[0] * 100.0,
+            f[1] * 100.0,
+            f[2] * 100.0,
+            f[3] * 100.0,
+            f[4] * 100.0,
+            f[5] * 100.0
+        );
+    }
+    println!("\n(the ST column is why SVIII proposes semi-approximate VEG)");
+}

@@ -1,0 +1,116 @@
+//! Failure-injection and degenerate-input tests: the pipeline must either
+//! work or fail with a typed error — never panic — on pathological frames.
+
+use hgpcn::gather::veg::{self, VegConfig};
+use hgpcn::memsim::HostMemory;
+use hgpcn::prelude::*;
+use hgpcn::sampling::{fps, ois};
+use hgpcn::system::{PreprocessingEngine, SystemError};
+
+fn engine() -> PreprocessingEngine {
+    PreprocessingEngine::prototype()
+}
+
+#[test]
+fn all_points_identical() {
+    // Zero-extent frame: the octree collapses to duplicate-filled leaves.
+    let frame: PointCloud = (0..500).map(|_| Point3::splat(3.0)).collect();
+    let out = engine().run(&frame, 64, 1).unwrap();
+    assert_eq!(out.sampled.len(), 64);
+    assert!(out.sampled.iter().all(|p| p == Point3::splat(3.0)));
+}
+
+#[test]
+fn collinear_frame() {
+    let frame: PointCloud = (0..1000).map(|i| Point3::new(i as f32, 0.0, 0.0)).collect();
+    let out = engine().run(&frame, 100, 2).unwrap();
+    assert_eq!(out.sampled.len(), 100);
+    // Collinear data degenerates the octree to a line of voxels; sampling
+    // must still spread across it.
+    let xs: Vec<f32> = out.sampled.iter().map(|p| p.x).collect();
+    let (min, max) = xs.iter().fold((f32::INFINITY, f32::NEG_INFINITY), |(a, b), &x| {
+        (a.min(x), b.max(x))
+    });
+    assert!(max - min > 500.0, "sample must span the line: {min}..{max}");
+}
+
+#[test]
+fn coplanar_frame() {
+    let frame: PointCloud = (0..900)
+        .map(|i| Point3::new((i % 30) as f32, (i / 30) as f32, 0.0))
+        .collect();
+    let out = engine().run(&frame, 128, 3).unwrap();
+    assert_eq!(out.sampled.len(), 128);
+}
+
+#[test]
+fn tiny_frames() {
+    for n in 1..6 {
+        let frame: PointCloud = (0..n).map(|i| Point3::splat(i as f32)).collect();
+        let out = engine().run(&frame, n, 4).unwrap();
+        assert_eq!(out.sampled.len(), n);
+    }
+}
+
+#[test]
+fn huge_coordinates() {
+    let frame: PointCloud =
+        (0..300).map(|i| Point3::splat(1e7 + i as f32 * 1e3)).collect();
+    let out = engine().run(&frame, 32, 5).unwrap();
+    assert_eq!(out.sampled.len(), 32);
+}
+
+#[test]
+fn nan_frame_is_a_typed_error_not_a_panic() {
+    let mut frame: PointCloud = (0..100).map(|i| Point3::splat(i as f32)).collect();
+    frame.push(Point3::new(f32::NAN, 0.0, 0.0));
+    match engine().run(&frame, 10, 6) {
+        Err(SystemError::Octree(_)) => {}
+        other => panic!("expected a typed octree error, got {other:?}"),
+    }
+}
+
+#[test]
+fn empty_frame_is_a_typed_error() {
+    assert!(matches!(engine().run(&PointCloud::new(), 1, 0), Err(SystemError::Octree(_))));
+}
+
+#[test]
+fn fps_and_ois_survive_duplicates() {
+    let frame: PointCloud = (0..200)
+        .map(|i| Point3::splat(if i % 2 == 0 { 1.0 } else { 2.0 }))
+        .collect();
+    let mut mem = HostMemory::from_cloud(&frame);
+    let f = fps::sample(&mut mem, 50, 1).unwrap();
+    assert!(f.is_valid_sample_of(200));
+
+    let tree = Octree::build(&frame, OctreeConfig::default()).unwrap();
+    let table = OctreeTable::from_octree(&tree);
+    let mut mem = HostMemory::from_cloud(tree.points());
+    let o = ois::sample(&tree, &table, &mut mem, 50, 1).unwrap();
+    assert!(o.is_valid_sample_of(200));
+}
+
+#[test]
+fn veg_survives_extreme_density_skew() {
+    // 990 points in one spot, 10 scattered: shells hit the duplicate mass.
+    let mut pts: Vec<Point3> = (0..990).map(|_| Point3::splat(0.5)).collect();
+    pts.extend((0..10).map(|i| Point3::splat(10.0 + i as f32)));
+    let cloud = PointCloud::from_points(pts);
+    let tree = Octree::build(&cloud, OctreeConfig::default()).unwrap();
+    for center in [0usize, 995] {
+        let r = veg::gather(&tree, center, 16, &VegConfig::default()).unwrap();
+        assert_eq!(r.len(), 16);
+        assert!(!r.neighbors.contains(&center));
+    }
+}
+
+#[test]
+fn inference_on_degenerate_input_completes() {
+    // A down-sampled cloud that is all duplicates still runs end to end.
+    let input: PointCloud = (0..1024).map(|_| Point3::splat(1.0)).collect();
+    let engine = hgpcn::system::InferenceEngine::prototype();
+    let net = PointNet::new(PointNetConfig::classification(), 1);
+    let report = engine.run(&input, &net, 1).unwrap();
+    assert_eq!(report.output.logits.cols(), 40);
+}
