@@ -43,12 +43,21 @@ fn ablate_sampling_modules(c: &mut Criterion) {
     let tree = Octree::build(&cloud, OctreeConfig::default()).unwrap();
     let table = OctreeTable::from_octree(&tree);
     let mut mem = HostMemory::from_cloud(tree.points());
-    let counts = ois::sample(&tree, &table, &mut mem, 1024, 1).unwrap().counts;
+    let counts = ois::sample(&tree, &table, &mut mem, 1024, 1)
+        .unwrap()
+        .counts;
     println!("\nablation: Down-sampling Unit latency vs parallelism");
     for modules in [1usize, 2, 4, 8, 16] {
         for lanes in [64usize, 256] {
-            let unit = DownsamplingUnit { modules, scoring_lanes: lanes, clock_mhz: 200.0 };
-            println!("  modules={modules:>2} lanes={lanes:>3}: {}", unit.latency(&counts));
+            let unit = DownsamplingUnit {
+                modules,
+                scoring_lanes: lanes,
+                clock_mhz: 200.0,
+            };
+            println!(
+                "  modules={modules:>2} lanes={lanes:>3}: {}",
+                unit.latency(&counts)
+            );
         }
     }
     let mut group = c.benchmark_group("ablation_modules_model");
@@ -88,8 +97,14 @@ fn ablate_semi_veg(c: &mut Criterion) {
     let cloud = golden_cloud(8_192, 1);
     let tree = Octree::build(&cloud, OctreeConfig::default()).unwrap();
     let centers: Vec<usize> = (0..128).map(|i| i * 64).collect();
-    for (label, mode) in [("paper", VegMode::Paper), ("semi_approx", VegMode::SemiApprox)] {
-        let cfg = VegConfig { gather_level: None, mode };
+    for (label, mode) in [
+        ("paper", VegMode::Paper),
+        ("semi_approx", VegMode::SemiApprox),
+    ] {
+        let cfg = VegConfig {
+            gather_level: None,
+            mode,
+        };
         group.bench_function(label, |b| {
             b.iter(|| veg::gather_all(&tree, &centers, 32, &cfg).unwrap())
         });
@@ -102,9 +117,15 @@ fn ablate_sorter_width(_c: &mut Criterion) {
     // ablation result (Fig. 16's ST stage is the target).
     println!("\nablation: DSU sort-stage cycles for 256 candidates vs sorter width");
     for width in [4usize, 8, 16, 32, 64] {
-        let dsu = DataStructuringUnit { sorter_width: width, ..DataStructuringUnit::prototype() };
+        let dsu = DataStructuringUnit {
+            sorter_width: width,
+            ..DataStructuringUnit::prototype()
+        };
         let _ = dsu;
-        println!("  width={width:>2}: {} cycles", sorter::sort_cycles(256, width));
+        println!(
+            "  width={width:>2}: {} cycles",
+            sorter::sort_cycles(256, width)
+        );
     }
 }
 

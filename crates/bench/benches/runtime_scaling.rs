@@ -1,0 +1,71 @@
+//! Scaling of the concurrent serving runtime: wall-clock cost of one
+//! `Runtime::run` as the worker pools widen and the fleet grows.
+//!
+//! Two sweeps:
+//! * `runtime_workers`: a fixed 4-stream fleet over 1/2/4 workers per
+//!   stage — measures how much host-side overlap the stage-pipelined
+//!   executor extracts;
+//! * `runtime_streams`: a fixed 2+2 worker pool over 1/2/4/8 streams —
+//!   measures multi-tenant admission and queue overhead as load grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use hgpcn_pcn::{PointNet, PointNetConfig};
+use hgpcn_runtime::{ArrivalModel, Runtime, RuntimeConfig, StreamSpec, SyntheticSource};
+
+const TARGET: usize = 512;
+const FRAMES_PER_STREAM: usize = 2;
+
+fn net() -> PointNet {
+    PointNet::new(PointNetConfig::semantic_segmentation(TARGET), 1)
+}
+
+fn fleet(streams: usize) -> Vec<StreamSpec> {
+    (0..streams)
+        .map(|i| {
+            StreamSpec::new(
+                format!("s{i}"),
+                SyntheticSource::new(1500 + 100 * i, 10.0, FRAMES_PER_STREAM, i as u64),
+            )
+        })
+        .collect()
+}
+
+fn config(workers: usize) -> RuntimeConfig {
+    RuntimeConfig::default()
+        .preproc_workers(workers)
+        .inference_workers(workers)
+        .arrival(ArrivalModel::Backlogged)
+        .target_points(TARGET)
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let net = net();
+    let mut group = c.benchmark_group("runtime_workers");
+    group.sample_size(3);
+    const STREAMS: usize = 4;
+    group.throughput(Throughput::Elements((STREAMS * FRAMES_PER_STREAM) as u64));
+    for &workers in &[1usize, 2, 4] {
+        let runtime = Runtime::new(config(workers)).expect("valid config");
+        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, _| {
+            b.iter(|| runtime.run(fleet(STREAMS), &net).expect("run succeeds"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_stream_scaling(c: &mut Criterion) {
+    let net = net();
+    let mut group = c.benchmark_group("runtime_streams");
+    group.sample_size(3);
+    for &streams in &[1usize, 2, 4, 8] {
+        let runtime = Runtime::new(config(2)).expect("valid config");
+        group.bench_with_input(BenchmarkId::new("streams", streams), &streams, |b, _| {
+            b.iter(|| runtime.run(fleet(streams), &net).expect("run succeeds"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_worker_scaling, bench_stream_scaling);
+criterion_main!(benches);

@@ -11,7 +11,10 @@ use hgpcn_system::VegGatherer;
 fn bench_cycle_model(c: &mut Criterion) {
     let mut group = c.benchmark_group("fcu_cycle_model");
     let array = SystolicArray::paper_16x16();
-    for cfg in [PointNetConfig::classification(), PointNetConfig::semantic_segmentation(4096)] {
+    for cfg in [
+        PointNetConfig::classification(),
+        PointNetConfig::semantic_segmentation(4096),
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{}_{}", cfg.name, cfg.input_size)),
             &cfg,

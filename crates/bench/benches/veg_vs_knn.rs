@@ -35,7 +35,10 @@ fn bench_gatherers(c: &mut Criterion) {
             ("veg_exact", VegMode::Exact),
             ("veg_semi_approx", VegMode::SemiApprox),
         ] {
-            let cfg = VegConfig { gather_level: None, mode };
+            let cfg = VegConfig {
+                gather_level: None,
+                mode,
+            };
             group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
                 b.iter(|| veg::gather_all(&tree, &centers, k, &cfg).unwrap())
             });

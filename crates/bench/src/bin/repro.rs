@@ -25,11 +25,23 @@ fn parse_args() -> (Vec<String>, u64) {
         }
     }
     if sections.is_empty() || sections.iter().any(|s| s == "all") {
-        sections = ["table1", "fig3", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-            "fig15", "fig16", "e2e", "ablations"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        sections = [
+            "table1",
+            "fig3",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "e2e",
+            "ablations",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
     (sections, seed)
 }
@@ -41,10 +53,17 @@ fn header(title: &str) {
 fn main() {
     let (sections, seed) = parse_args();
     // The OIS-vs-FPS rows feed three figures; compute them once.
-    let needs_ois = sections.iter().any(|s| matches!(s.as_str(), "fig9" | "fig10" | "fig11"));
-    let ois_rows = if needs_ois { Some(figures::ois_vs_fps(seed)) } else { None };
-    let needs_inf =
-        sections.iter().any(|s| matches!(s.as_str(), "fig14" | "fig15" | "fig16"));
+    let needs_ois = sections
+        .iter()
+        .any(|s| matches!(s.as_str(), "fig9" | "fig10" | "fig11"));
+    let ois_rows = if needs_ois {
+        Some(figures::ois_vs_fps(seed))
+    } else {
+        None
+    };
+    let needs_inf = sections
+        .iter()
+        .any(|s| matches!(s.as_str(), "fig14" | "fig15" | "fig16"));
     let inf_rows = if needs_inf {
         Some(figures::inference_comparison(seed).expect("inference comparison failed"))
     } else {
@@ -55,7 +74,10 @@ fn main() {
         match section.as_str() {
             "table1" => {
                 header("Table I: evaluation benchmarks");
-                println!("{:<24} {:<12} {:>10}  PCN Model", "Application", "Dataset", "Input");
+                println!(
+                    "{:<24} {:<12} {:>10}  PCN Model",
+                    "Application", "Dataset", "Input"
+                );
                 for r in figures::table1() {
                     println!(
                         "{:<24} {:<12} {:>10}  {}",
@@ -95,7 +117,11 @@ fn main() {
                         r.fps_accesses,
                         r.ois_accesses,
                         r.access_saving,
-                        if r.fps_executed { "executed" } else { "closed-form" }
+                        if r.fps_executed {
+                            "executed"
+                        } else {
+                            "closed-form"
+                        }
                     );
                 }
             }
@@ -117,7 +143,10 @@ fn main() {
             }
             "fig11" => {
                 header("Fig. 11: octree-build share of OIS-on-CPU (paper: 0.25-0.8)");
-                println!("{:<12} {:>9} {:>12} {:>8}", "Frame", "N", "Build frac", "Depth");
+                println!(
+                    "{:<12} {:>9} {:>12} {:>8}",
+                    "Frame", "N", "Build frac", "Depth"
+                );
                 for r in ois_rows.as_ref().expect("computed") {
                     println!(
                         "{:<12} {:>9} {:>11.2} {:>8}",
@@ -143,7 +172,9 @@ fn main() {
                         r.dsu_hw_speedup
                     );
                 }
-                println!("(paper: OIS-on-HgPCN 1.2x-4.1x over OIS-on-CPU; HW DSU ~6x over CPU DSU)");
+                println!(
+                    "(paper: OIS-on-HgPCN 1.2x-4.1x over OIS-on-CPU; HW DSU ~6x over CPU DSU)"
+                );
             }
             "fig13" => {
                 header("Fig. 13: on-chip memory, FPS vs OIS (paper: 12x-22x saving)");
@@ -176,7 +207,9 @@ fn main() {
                         r.speedup_vs_jetson()
                     );
                 }
-                println!("(paper: 1.3-10.2x vs PointACC, 2.2-16.5x vs Mesorasi, 6.4-21x vs Jetson)");
+                println!(
+                    "(paper: 1.3-10.2x vs PointACC, 2.2-16.5x vs Mesorasi, 6.4-21x vs Jetson)"
+                );
             }
             "fig15" => {
                 header("Fig. 15: VEG sorted-workload reduction (grows with input size)");
@@ -233,11 +266,18 @@ fn main() {
             "ablations" => {
                 header("SVIII future-work ablations");
                 println!("approximate OIS (MN-like frame, K=1024):");
-                println!("  {:<12} {:>14} {:>12}", "stop levels", "DSU latency", "coverage");
+                println!(
+                    "  {:<12} {:>14} {:>12}",
+                    "stop levels", "DSU latency", "coverage"
+                );
                 for r in figures::ablation_approx_ois(seed).expect("ablation failed") {
                     println!(
                         "  {:<12} {:>14} {:>12.4}",
-                        if r.stop_levels == 0 { "exact".to_owned() } else { r.stop_levels.to_string() },
+                        if r.stop_levels == 0 {
+                            "exact".to_owned()
+                        } else {
+                            r.stop_levels.to_string()
+                        },
                         r.hw_latency.to_string(),
                         r.coverage
                     );

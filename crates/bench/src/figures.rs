@@ -153,7 +153,9 @@ pub fn ois_vs_fps(seed: u64) -> Vec<OisVsFpsRow> {
             let target = f.sample_target().min(4096);
             let (fps_c, fps_executed) = fps_counts(&frame, target, seed);
             let fps_latency = engine.cpu.latency(&fps_c);
-            let out = engine.run_on_cpu(&frame, target, seed).expect("valid frame");
+            let out = engine
+                .run_on_cpu(&frame, target, seed)
+                .expect("valid frame");
             let ois_c = out.total_counts();
             OisVsFpsRow {
                 label: f.label(),
@@ -207,7 +209,9 @@ pub fn fig12(seed: u64) -> Vec<Fig12Row> {
         .map(|f| {
             let frame = f.generate(seed);
             let target = f.sample_target();
-            let sw = engine.run_on_cpu(&frame, target, seed).expect("valid frame");
+            let sw = engine
+                .run_on_cpu(&frame, target, seed)
+                .expect("valid frame");
             let hw = engine.run(&frame, target, seed).expect("valid frame");
             let (fps_c, _) = fps_counts(&frame, target, seed);
             let fps_best = cpu.latency(&fps_c).ns().min(gpu.latency(&fps_c).ns());
@@ -260,7 +264,11 @@ pub fn fig13(seed: u64) -> Vec<Fig13Row> {
             let table = OctreeTable::from_octree(&tree);
             // Sampling targets track Table I: 16384 for LiDAR-scale frames,
             // 4096 otherwise.
-            let k = if n >= 500_000 { 16_384 } else { 4_096.min(n / 2) };
+            let k = if n >= 500_000 {
+                16_384
+            } else {
+                4_096.min(n / 2)
+            };
             let fps_bits = fps::onchip_bits(n);
             let ois_bits = unit.onchip_bits(&table, k);
             Fig13Row {
@@ -336,7 +344,10 @@ fn task_input(input_size: usize, seed: u64) -> PointCloud {
             // Pre-processing Engine.
             let frame = hgpcn_datasets::kitti::generate_frame(KittiConfig::standard(), seed);
             let engine = PreprocessingEngine::prototype();
-            engine.run(&frame, n, seed).expect("frame larger than target").sampled
+            engine
+                .run(&frame, n, seed)
+                .expect("frame larger than target")
+                .sampled
         }
     }
 }
@@ -392,7 +403,6 @@ pub fn e2e_realtime(frames: usize, seed: u64) -> Result<RealtimeReport, SystemEr
     realtime::run_stream(&pipeline, &net, &stream, 16_384, seed)
 }
 
-
 // ---------------------------------------------------------------------
 // §VIII future-work ablations and the queue-level real-time view
 // ---------------------------------------------------------------------
@@ -403,7 +413,9 @@ pub fn e2e_realtime(frames: usize, seed: u64) -> Result<RealtimeReport, SystemEr
 /// # Errors
 ///
 /// Propagates engine failures.
-pub fn ablation_approx_ois(seed: u64) -> Result<Vec<hgpcn_system::ablation::ApproxOisRow>, SystemError> {
+pub fn ablation_approx_ois(
+    seed: u64,
+) -> Result<Vec<hgpcn_system::ablation::ApproxOisRow>, SystemError> {
     let frame = modelnet::generate(modelnet::ModelNetObject::Chair, 20_000, seed);
     hgpcn_system::ablation::approx_ois_tradeoff(&frame, 1024, seed, &[2, 4, 6])
 }
@@ -414,7 +426,9 @@ pub fn ablation_approx_ois(seed: u64) -> Result<Vec<hgpcn_system::ablation::Appr
 /// # Errors
 ///
 /// Propagates engine failures.
-pub fn ablation_semi_veg(seed: u64) -> Result<Vec<hgpcn_system::ablation::SemiVegRow>, SystemError> {
+pub fn ablation_semi_veg(
+    seed: u64,
+) -> Result<Vec<hgpcn_system::ablation::SemiVegRow>, SystemError> {
     let cloud = s3dis::generate_room(s3dis::RoomConfig::default(), 4096, seed);
     let centers: Vec<usize> = (0..256).map(|i| i * 16).collect();
     hgpcn_system::ablation::semi_veg_tradeoff(&cloud, &centers, 32)
@@ -501,7 +515,11 @@ mod tests {
     #[test]
     fn fig3_preprocessing_dominates_large_datasets() {
         let rows = fig3(1);
-        let shapenet = rows.iter().find(|r| r.dataset == "ShapeNet").unwrap().clone();
+        let shapenet = rows
+            .iter()
+            .find(|r| r.dataset == "ShapeNet")
+            .unwrap()
+            .clone();
         for r in &rows {
             if r.dataset == "ShapeNet" {
                 // ShapeNet's raw frames are barely above the input size, so

@@ -85,8 +85,11 @@ impl EvalFrame {
     /// The down-sampling target for this frame (Table I input sizes).
     pub fn sample_target(self) -> usize {
         match self {
-            EvalFrame::MnAirplane | EvalFrame::MnChair | EvalFrame::MnPiano
-            | EvalFrame::MnPlant | EvalFrame::MnCar => 1024,
+            EvalFrame::MnAirplane
+            | EvalFrame::MnChair
+            | EvalFrame::MnPiano
+            | EvalFrame::MnPlant
+            | EvalFrame::MnCar => 1024,
             EvalFrame::SnMug => 2048,
             EvalFrame::S3disRoom => 4096,
             EvalFrame::KittiAvg => 16384,
@@ -99,9 +102,15 @@ impl EvalFrame {
             EvalFrame::MnAirplane => {
                 modelnet::generate(ModelNetObject::Airplane, self.raw_points(), seed)
             }
-            EvalFrame::MnChair => modelnet::generate(ModelNetObject::Chair, self.raw_points(), seed),
-            EvalFrame::MnPiano => modelnet::generate(ModelNetObject::Piano, self.raw_points(), seed),
-            EvalFrame::MnPlant => modelnet::generate(ModelNetObject::Plant, self.raw_points(), seed),
+            EvalFrame::MnChair => {
+                modelnet::generate(ModelNetObject::Chair, self.raw_points(), seed)
+            }
+            EvalFrame::MnPiano => {
+                modelnet::generate(ModelNetObject::Piano, self.raw_points(), seed)
+            }
+            EvalFrame::MnPlant => {
+                modelnet::generate(ModelNetObject::Plant, self.raw_points(), seed)
+            }
             EvalFrame::MnCar => modelnet::generate(ModelNetObject::Car, self.raw_points(), seed),
             EvalFrame::SnMug => shapenet::generate(ShapeNetCategory::Mug, self.raw_points(), seed),
             EvalFrame::S3disRoom => {

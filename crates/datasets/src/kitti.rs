@@ -33,14 +33,26 @@ impl KittiConfig {
     /// A medium-resolution scanner (~60 k returns/frame): fast enough for
     /// tests and the executed experiments.
     pub fn standard() -> KittiConfig {
-        KittiConfig { beams: 64, azimuth_steps: 1200, max_range: 80.0, dropout: 0.08, spin_hz: 10.0 }
+        KittiConfig {
+            beams: 64,
+            azimuth_steps: 1200,
+            max_range: 80.0,
+            dropout: 0.08,
+            spin_hz: 10.0,
+        }
     }
 
     /// A dense scanner approaching the paper's ~10^6-point frames. Use for
     /// the analytic large-frame sweeps; executing full pipelines on it is
     /// slow.
     pub fn dense() -> KittiConfig {
-        KittiConfig { beams: 128, azimuth_steps: 8192, max_range: 80.0, dropout: 0.05, spin_hz: 10.0 }
+        KittiConfig {
+            beams: 128,
+            azimuth_steps: 8192,
+            max_range: 80.0,
+            dropout: 0.05,
+            spin_hz: 10.0,
+        }
     }
 }
 
@@ -80,8 +92,15 @@ impl Scene {
                 let d: f32 = rng.gen_range(6.0..14.0);
                 let h: f32 = rng.gen_range(4.0..15.0);
                 let y0 = side * rng.gen_range(9.0..14.0);
-                let (ymin, ymax) = if side < 0.0 { (y0 - d, y0) } else { (y0, y0 + d) };
-                boxes.push(Aabb::new(Point3::new(x, ymin, 0.0), Point3::new(x + w, ymax, h)));
+                let (ymin, ymax) = if side < 0.0 {
+                    (y0 - d, y0)
+                } else {
+                    (y0, y0 + d)
+                };
+                boxes.push(Aabb::new(
+                    Point3::new(x, ymin, 0.0),
+                    Point3::new(x + w, ymax, h),
+                ));
                 vels.push(Point3::ORIGIN);
                 x += w + rng.gen_range(2.0..8.0);
             }
@@ -98,10 +117,21 @@ impl Scene {
                 Point3::new(cx, lane - w / 2.0, 0.0),
                 Point3::new(cx + l, lane + w / 2.0, h),
             ));
-            let speed: f32 = if rng.gen_bool(0.5) { rng.gen_range(5.0..15.0) } else { 0.0 };
-            vels.push(Point3::new(speed * if lane > 0.0 { -1.0 } else { 1.0 }, 0.0, 0.0));
+            let speed: f32 = if rng.gen_bool(0.5) {
+                rng.gen_range(5.0..15.0)
+            } else {
+                0.0
+            };
+            vels.push(Point3::new(
+                speed * if lane > 0.0 { -1.0 } else { 1.0 },
+                0.0,
+                0.0,
+            ));
         }
-        Scene { boxes, car_velocities: vels }
+        Scene {
+            boxes,
+            car_velocities: vels,
+        }
     }
 
     fn advanced(&self, dt: f32) -> Scene {
@@ -111,7 +141,10 @@ impl Scene {
             .zip(&self.car_velocities)
             .map(|(b, v)| Aabb::new(b.min() + *v * dt, b.max() + *v * dt))
             .collect();
-        Scene { boxes, car_velocities: self.car_velocities.clone() }
+        Scene {
+            boxes,
+            car_velocities: self.car_velocities.clone(),
+        }
     }
 }
 
@@ -152,8 +185,8 @@ fn cast_frame(scene: &Scene, config: &KittiConfig, rng: &mut StdRng) -> PointClo
         let azimuth = a as f32 / config.azimuth_steps as f32 * std::f32::consts::TAU;
         let (sin_a, cos_a) = azimuth.sin_cos();
         for b in 0..config.beams {
-            let pitch = fov_top
-                + (fov_bottom - fov_top) * (b as f32 / (config.beams - 1).max(1) as f32);
+            let pitch =
+                fov_top + (fov_bottom - fov_top) * (b as f32 / (config.beams - 1).max(1) as f32);
             let (sin_p, cos_p) = pitch.sin_cos();
             let dir = Point3::new(cos_p * cos_a, cos_p * sin_a, sin_p);
             // Closest hit among ground plane and scene boxes.
@@ -214,7 +247,13 @@ impl KittiStream {
     pub fn new(config: KittiConfig, seed: u64) -> KittiStream {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x2545_F491_4F6C_DD1D) | 1);
         let scene = Scene::generate(&mut rng);
-        KittiStream { config, rng, scene, index: 0, time_s: 0.0 }
+        KittiStream {
+            config,
+            rng,
+            scene,
+            index: 0,
+            time_s: 0.0,
+        }
     }
 
     /// The nominal sensor frame interval in seconds.
@@ -228,7 +267,11 @@ impl Iterator for KittiStream {
 
     fn next(&mut self) -> Option<KittiFrame> {
         let cloud = cast_frame(&self.scene, &self.config, &mut self.rng);
-        let frame = KittiFrame { index: self.index, timestamp_s: self.time_s, cloud };
+        let frame = KittiFrame {
+            index: self.index,
+            timestamp_s: self.time_s,
+            cloud,
+        };
         // Advance the world and the clock (±3% spin jitter).
         let dt = self.frame_interval_s() * (1.0 + self.rng.gen_range(-0.03..0.03));
         self.scene = self.scene.advanced(dt as f32);
@@ -243,7 +286,13 @@ mod tests {
     use super::*;
 
     fn tiny() -> KittiConfig {
-        KittiConfig { beams: 16, azimuth_steps: 180, max_range: 80.0, dropout: 0.05, spin_hz: 10.0 }
+        KittiConfig {
+            beams: 16,
+            azimuth_steps: 180,
+            max_range: 80.0,
+            dropout: 0.05,
+            spin_hz: 10.0,
+        }
     }
 
     #[test]
@@ -255,7 +304,10 @@ mod tests {
 
     #[test]
     fn frame_sizes_vary_across_stream() {
-        let sizes: Vec<usize> = KittiStream::new(tiny(), 5).take(5).map(|f| f.cloud.len()).collect();
+        let sizes: Vec<usize> = KittiStream::new(tiny(), 5)
+            .take(5)
+            .map(|f| f.cloud.len())
+            .collect();
         let min = *sizes.iter().min().unwrap();
         let max = *sizes.iter().max().unwrap();
         assert!(max > min, "frame sizes should vary: {sizes:?}");
@@ -290,9 +342,19 @@ mod tests {
     #[test]
     fn ray_box_hits_and_misses() {
         let b = Aabb::new(Point3::new(5.0, -1.0, 0.0), Point3::new(7.0, 1.0, 2.0));
-        let hit = ray_box(Point3::new(0.0, 0.0, 1.0), Point3::new(1.0, 0.0, 0.0), &b, 100.0);
+        let hit = ray_box(
+            Point3::new(0.0, 0.0, 1.0),
+            Point3::new(1.0, 0.0, 0.0),
+            &b,
+            100.0,
+        );
         assert!((hit.unwrap() - 5.0).abs() < 1e-5);
-        let miss = ray_box(Point3::new(0.0, 5.0, 1.0), Point3::new(1.0, 0.0, 0.0), &b, 100.0);
+        let miss = ray_box(
+            Point3::new(0.0, 5.0, 1.0),
+            Point3::new(1.0, 0.0, 0.0),
+            &b,
+            100.0,
+        );
         assert!(miss.is_none());
     }
 }

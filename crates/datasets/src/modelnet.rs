@@ -11,7 +11,9 @@ use rand::{Rng, SeedableRng};
 
 use hgpcn_geometry::{Point3, PointCloud};
 
-use crate::shapes::{jitter, sample_box, sample_cylinder, sample_disk, sample_plane, sample_sphere};
+use crate::shapes::{
+    jitter, sample_box, sample_cylinder, sample_disk, sample_plane, sample_sphere,
+};
 
 /// The synthetic ModelNet40-like object classes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -77,7 +79,13 @@ pub fn generate(object: ModelNetObject, n: usize, seed: u64) -> PointCloud {
         ModelNetObject::Airplane => {
             let fuselage = (n * 4) / 10;
             let wings = (n * 4) / 10;
-            pts.extend(sample_cylinder(&mut rng, Point3::new(0.0, 0.0, -2.5), 0.4, 5.0, fuselage));
+            pts.extend(sample_cylinder(
+                &mut rng,
+                Point3::new(0.0, 0.0, -2.5),
+                0.4,
+                5.0,
+                fuselage,
+            ));
             pts.extend(sample_plane(
                 &mut rng,
                 Point3::new(-3.0, -0.1, -0.5),
@@ -105,17 +113,30 @@ pub fn generate(object: ModelNetObject, n: usize, seed: u64) -> PointCloud {
                 body,
             ));
             let legs = n - body;
-            for (i, (lx, ly)) in
-                [(-1.3, -0.5), (1.3, -0.5), (-1.3, 0.5), (1.3, 0.5)].iter().enumerate()
+            for (i, (lx, ly)) in [(-1.3, -0.5), (1.3, -0.5), (-1.3, 0.5), (1.3, 0.5)]
+                .iter()
+                .enumerate()
             {
                 let count = legs / 4 + usize::from(i < legs % 4);
-                pts.extend(sample_cylinder(&mut rng, Point3::new(*lx, *ly, 0.0), 0.05, 0.8, count));
+                pts.extend(sample_cylinder(
+                    &mut rng,
+                    Point3::new(*lx, *ly, 0.0),
+                    0.05,
+                    0.8,
+                    count,
+                ));
             }
         }
         ModelNetObject::Plant => {
             // Foliage spread over many medium spheres: near-uniform.
             let trunk = n / 10;
-            pts.extend(sample_cylinder(&mut rng, Point3::new(0.0, 0.0, 0.0), 0.15, 1.2, trunk));
+            pts.extend(sample_cylinder(
+                &mut rng,
+                Point3::new(0.0, 0.0, 0.0),
+                0.15,
+                1.2,
+                trunk,
+            ));
             let mut remaining = n - trunk;
             let clusters = 12;
             for i in 0..clusters {
@@ -148,18 +169,31 @@ pub fn generate(object: ModelNetObject, n: usize, seed: u64) -> PointCloud {
                 back,
             ));
             let legs = n - seat - back;
-            for (i, (lx, ly)) in
-                [(-0.45, -0.45), (0.45, -0.45), (-0.45, 0.45), (0.45, 0.45)].iter().enumerate()
+            for (i, (lx, ly)) in [(-0.45, -0.45), (0.45, -0.45), (-0.45, 0.45), (0.45, 0.45)]
+                .iter()
+                .enumerate()
             {
                 let count = legs / 4 + usize::from(i < legs % 4);
-                pts.extend(sample_cylinder(&mut rng, Point3::new(*lx, *ly, 0.0), 0.04, 0.9, count));
+                pts.extend(sample_cylinder(
+                    &mut rng,
+                    Point3::new(*lx, *ly, 0.0),
+                    0.04,
+                    0.9,
+                    count,
+                ));
             }
         }
         ModelNetObject::Lamp => {
             let pole = n * 2 / 10;
             let shade = n * 6 / 10;
             pts.extend(sample_cylinder(&mut rng, Point3::ORIGIN, 0.05, 1.6, pole));
-            pts.extend(sample_cylinder(&mut rng, Point3::new(0.0, 0.0, 1.6), 0.5, 0.4, shade));
+            pts.extend(sample_cylinder(
+                &mut rng,
+                Point3::new(0.0, 0.0, 1.6),
+                0.5,
+                0.4,
+                shade,
+            ));
             pts.extend(sample_disk(&mut rng, Point3::ORIGIN, 0.4, n - pole - shade));
         }
         ModelNetObject::Car => {
@@ -171,8 +205,9 @@ pub fn generate(object: ModelNetObject, n: usize, seed: u64) -> PointCloud {
                 body,
             ));
             let wheels = n - body;
-            for (i, (wx, wy)) in
-                [(-1.4, -0.9), (1.4, -0.9), (-1.4, 0.9), (1.4, 0.9)].iter().enumerate()
+            for (i, (wx, wy)) in [(-1.4, -0.9), (1.4, -0.9), (-1.4, 0.9), (1.4, 0.9)]
+                .iter()
+                .enumerate()
             {
                 let count = wheels / 4 + usize::from(i < wheels % 4);
                 let mut w = sample_disk(&mut rng, Point3::ORIGIN, 0.35, count);
@@ -191,18 +226,35 @@ pub fn generate(object: ModelNetObject, n: usize, seed: u64) -> PointCloud {
                 top,
             ));
             let legs = n - top;
-            for (i, (lx, ly)) in
-                [(-0.9, -0.5), (0.9, -0.5), (-0.9, 0.5), (0.9, 0.5)].iter().enumerate()
+            for (i, (lx, ly)) in [(-0.9, -0.5), (0.9, -0.5), (-0.9, 0.5), (0.9, 0.5)]
+                .iter()
+                .enumerate()
             {
                 let count = legs / 4 + usize::from(i < legs % 4);
-                pts.extend(sample_cylinder(&mut rng, Point3::new(*lx, *ly, 0.0), 0.05, 0.95, count));
+                pts.extend(sample_cylinder(
+                    &mut rng,
+                    Point3::new(*lx, *ly, 0.0),
+                    0.05,
+                    0.95,
+                    count,
+                ));
             }
         }
         ModelNetObject::Guitar => {
             let lower = n * 4 / 10;
             let upper = n * 3 / 10;
-            pts.extend(sample_sphere(&mut rng, Point3::new(0.0, 0.0, 0.0), 0.55, lower));
-            pts.extend(sample_sphere(&mut rng, Point3::new(0.0, 0.0, 0.7), 0.4, upper));
+            pts.extend(sample_sphere(
+                &mut rng,
+                Point3::new(0.0, 0.0, 0.0),
+                0.55,
+                lower,
+            ));
+            pts.extend(sample_sphere(
+                &mut rng,
+                Point3::new(0.0, 0.0, 0.7),
+                0.4,
+                upper,
+            ));
             pts.extend(sample_cylinder(
                 &mut rng,
                 Point3::new(0.0, 0.0, 1.0),

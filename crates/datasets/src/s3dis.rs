@@ -28,7 +28,12 @@ pub struct RoomConfig {
 
 impl Default for RoomConfig {
     fn default() -> Self {
-        RoomConfig { width: 8.0, depth: 6.0, height: 3.0, furniture: 6 }
+        RoomConfig {
+            width: 8.0,
+            depth: 6.0,
+            height: 3.0,
+            furniture: 6,
+        }
     }
 }
 
@@ -49,20 +54,49 @@ pub fn generate_room(config: RoomConfig, n: usize, seed: u64) -> PointCloud {
     // Area-weighted split between structure surfaces and furniture.
     let wall_area = 2.0 * (w * h + d * h) + 2.0 * (w * d);
     let furniture_area = config.furniture as f32 * 2.5;
-    let structure_n =
-        ((n as f32) * wall_area / (wall_area + furniture_area)).round() as usize;
+    let structure_n = ((n as f32) * wall_area / (wall_area + furniture_area)).round() as usize;
     let structure_n = structure_n.min(n);
 
     let mut cloud = PointCloud::with_feature_dim(1);
 
     // Structure: floor, ceiling, 4 walls, proportional to area.
     let surfaces: [(Point3, Point3, Point3, f32); 6] = [
-        (Point3::ORIGIN, Point3::new(w, 0.0, 0.0), Point3::new(0.0, d, 0.0), w * d), // floor
-        (Point3::new(0.0, 0.0, h), Point3::new(w, 0.0, 0.0), Point3::new(0.0, d, 0.0), w * d), // ceiling
-        (Point3::ORIGIN, Point3::new(w, 0.0, 0.0), Point3::new(0.0, 0.0, h), w * h), // y=0 wall
-        (Point3::new(0.0, d, 0.0), Point3::new(w, 0.0, 0.0), Point3::new(0.0, 0.0, h), w * h),
-        (Point3::ORIGIN, Point3::new(0.0, d, 0.0), Point3::new(0.0, 0.0, h), d * h), // x=0 wall
-        (Point3::new(w, 0.0, 0.0), Point3::new(0.0, d, 0.0), Point3::new(0.0, 0.0, h), d * h),
+        (
+            Point3::ORIGIN,
+            Point3::new(w, 0.0, 0.0),
+            Point3::new(0.0, d, 0.0),
+            w * d,
+        ), // floor
+        (
+            Point3::new(0.0, 0.0, h),
+            Point3::new(w, 0.0, 0.0),
+            Point3::new(0.0, d, 0.0),
+            w * d,
+        ), // ceiling
+        (
+            Point3::ORIGIN,
+            Point3::new(w, 0.0, 0.0),
+            Point3::new(0.0, 0.0, h),
+            w * h,
+        ), // y=0 wall
+        (
+            Point3::new(0.0, d, 0.0),
+            Point3::new(w, 0.0, 0.0),
+            Point3::new(0.0, 0.0, h),
+            w * h,
+        ),
+        (
+            Point3::ORIGIN,
+            Point3::new(0.0, d, 0.0),
+            Point3::new(0.0, 0.0, h),
+            d * h,
+        ), // x=0 wall
+        (
+            Point3::new(w, 0.0, 0.0),
+            Point3::new(0.0, d, 0.0),
+            Point3::new(0.0, 0.0, h),
+            d * h,
+        ),
     ];
     let total_area: f32 = surfaces.iter().map(|s| s.3).sum();
     let mut placed = 0usize;
@@ -131,7 +165,9 @@ mod tests {
     #[test]
     fn contains_both_classes() {
         let cloud = generate_room(RoomConfig::default(), 5_000, 2);
-        let structure = (0..cloud.len()).filter(|&i| cloud.feature(i)[0] == 0.0).count();
+        let structure = (0..cloud.len())
+            .filter(|&i| cloud.feature(i)[0] == 0.0)
+            .count();
         let furniture = cloud.len() - structure;
         assert!(structure > furniture, "walls should dominate a scan");
         assert!(furniture > 0);

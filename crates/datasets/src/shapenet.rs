@@ -62,7 +62,8 @@ impl ShapeNetCategory {
 /// Panics if `n == 0`.
 pub fn generate(category: ShapeNetCategory, n: usize, seed: u64) -> PointCloud {
     assert!(n > 0, "frame must contain at least one point");
-    let mut rng = StdRng::seed_from_u64(seed ^ (category as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+    let mut rng =
+        StdRng::seed_from_u64(seed ^ (category as u64).wrapping_mul(0xA24B_AED4_963E_E407));
     // (points, part id) segments.
     let mut segments: Vec<(Vec<Point3>, f32)> = Vec::new();
     match category {
@@ -76,7 +77,10 @@ pub fn generate(category: ShapeNetCategory, n: usize, seed: u64) -> PointCloud {
             }
             c.truncate(crown);
             segments.push((c, 0.0));
-            segments.push((sample_disk(&mut rng, Point3::new(0.35, 0.0, 0.05), 0.35, n - crown), 1.0));
+            segments.push((
+                sample_disk(&mut rng, Point3::new(0.35, 0.0, 0.05), 0.35, n - crown),
+                1.0,
+            ));
         }
         ShapeNetCategory::Mug => {
             let body = n * 8 / 10;
@@ -89,7 +93,8 @@ pub fn generate(category: ShapeNetCategory, n: usize, seed: u64) -> PointCloud {
             let mut h = Vec::with_capacity(handle);
             for i in 0..handle {
                 let t = i as f32 / handle.max(1) as f32 * std::f32::consts::PI;
-                let center = Point3::new(0.4 + 0.25 * t.sin(), 0.0, 0.2 + 0.5 * (1.0 - t.cos()) / 2.0);
+                let center =
+                    Point3::new(0.4 + 0.25 * t.sin(), 0.0, 0.2 + 0.5 * (1.0 - t.cos()) / 2.0);
                 let d: f32 = rng.gen_range(0.0..0.05);
                 let phi: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
                 h.push(center + Point3::new(d * phi.cos(), d * phi.sin(), 0.0));
@@ -99,7 +104,10 @@ pub fn generate(category: ShapeNetCategory, n: usize, seed: u64) -> PointCloud {
         ShapeNetCategory::Rocket => {
             let body = n * 6 / 10;
             let nose = n * 2 / 10;
-            segments.push((sample_cylinder(&mut rng, Point3::ORIGIN, 0.2, 1.2, body), 0.0));
+            segments.push((
+                sample_cylinder(&mut rng, Point3::ORIGIN, 0.2, 1.2, body),
+                0.0,
+            ));
             let mut tip = Vec::with_capacity(nose);
             while tip.len() < nose {
                 let mut batch = sample_sphere(&mut rng, Point3::new(0.0, 0.0, 1.2), 0.2, nose);
@@ -114,7 +122,8 @@ pub fn generate(category: ShapeNetCategory, n: usize, seed: u64) -> PointCloud {
                 let side = i % 3;
                 let theta = side as f32 * std::f32::consts::TAU / 3.0;
                 let r: f32 = rng.gen_range(0.2..0.5);
-                let z: f32 = rng.gen_range(0.0..0.3) * (0.5 - r) / 0.3 + rng.gen_range(0.0f32..0.15);
+                let z: f32 =
+                    rng.gen_range(0.0..0.3) * (0.5 - r) / 0.3 + rng.gen_range(0.0f32..0.15);
                 f.push(Point3::new(r * theta.cos(), r * theta.sin(), z.max(0.0)));
             }
             segments.push((f, 2.0));
@@ -138,7 +147,13 @@ pub fn generate(category: ShapeNetCategory, n: usize, seed: u64) -> PointCloud {
                 1.0,
             ));
             segments.push((
-                sample_cylinder(&mut rng, Point3::new(0.5, -0.15, 0.0), 0.06, 0.12, trucks - front),
+                sample_cylinder(
+                    &mut rng,
+                    Point3::new(0.5, -0.15, 0.0),
+                    0.06,
+                    0.12,
+                    trucks - front,
+                ),
                 2.0,
             ));
         }
@@ -164,8 +179,9 @@ mod tests {
             let cloud = generate(cat, 2048, 3);
             assert_eq!(cloud.len(), 2048, "{}", cat.label());
             assert_eq!(cloud.feature_dim(), 1);
-            let mut parts: Vec<i32> =
-                (0..cloud.len()).map(|i| cloud.feature(i)[0] as i32).collect();
+            let mut parts: Vec<i32> = (0..cloud.len())
+                .map(|i| cloud.feature(i)[0] as i32)
+                .collect();
             parts.sort_unstable();
             parts.dedup();
             assert_eq!(parts.len(), cat.part_count(), "{}", cat.label());
@@ -174,7 +190,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(generate(ShapeNetCategory::Mug, 512, 9), generate(ShapeNetCategory::Mug, 512, 9));
+        assert_eq!(
+            generate(ShapeNetCategory::Mug, 512, 9),
+            generate(ShapeNetCategory::Mug, 512, 9)
+        );
     }
 
     #[test]

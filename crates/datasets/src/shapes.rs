@@ -51,7 +51,14 @@ pub fn sample_plane<R: Rng>(
 /// across the six faces.
 pub fn sample_box<R: Rng>(rng: &mut R, min: Point3, max: Point3, n: usize) -> Vec<Point3> {
     let e = max - min;
-    let areas = [e.y * e.z, e.y * e.z, e.x * e.z, e.x * e.z, e.x * e.y, e.x * e.y];
+    let areas = [
+        e.y * e.z,
+        e.y * e.z,
+        e.x * e.z,
+        e.x * e.z,
+        e.x * e.y,
+        e.x * e.y,
+    ];
     let total: f32 = areas.iter().sum();
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {

@@ -98,7 +98,10 @@ pub const TABLE_I: [BenchmarkSpec; 4] = [
 impl BenchmarkSpec {
     /// Looks up the Table I row for a dataset.
     pub fn for_dataset(dataset: DatasetKind) -> BenchmarkSpec {
-        *TABLE_I.iter().find(|s| s.dataset == dataset).expect("all datasets are in TABLE_I")
+        *TABLE_I
+            .iter()
+            .find(|s| s.dataset == dataset)
+            .expect("all datasets are in TABLE_I")
     }
 }
 
@@ -108,10 +111,22 @@ mod tests {
 
     #[test]
     fn table_matches_paper_sizes() {
-        assert_eq!(BenchmarkSpec::for_dataset(DatasetKind::ModelNet40).input_size, 1024);
-        assert_eq!(BenchmarkSpec::for_dataset(DatasetKind::ShapeNet).input_size, 2048);
-        assert_eq!(BenchmarkSpec::for_dataset(DatasetKind::S3dis).input_size, 4096);
-        assert_eq!(BenchmarkSpec::for_dataset(DatasetKind::Kitti).input_size, 16384);
+        assert_eq!(
+            BenchmarkSpec::for_dataset(DatasetKind::ModelNet40).input_size,
+            1024
+        );
+        assert_eq!(
+            BenchmarkSpec::for_dataset(DatasetKind::ShapeNet).input_size,
+            2048
+        );
+        assert_eq!(
+            BenchmarkSpec::for_dataset(DatasetKind::S3dis).input_size,
+            4096
+        );
+        assert_eq!(
+            BenchmarkSpec::for_dataset(DatasetKind::Kitti).input_size,
+            16384
+        );
     }
 
     #[test]

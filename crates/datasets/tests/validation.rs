@@ -17,7 +17,11 @@ fn every_modelnet_class_produces_structured_objects() {
         // Objects are genuinely 3-D: no degenerate axis.
         let b = cloud.bounds().unwrap();
         let e = b.extent();
-        assert!(e.x > 0.1 && e.y > 0.1 && e.z > 0.1, "{} extent {e}", obj.label());
+        assert!(
+            e.x > 0.1 && e.y > 0.1 && e.z > 0.1,
+            "{} extent {e}",
+            obj.label()
+        );
         // Surface-sampled, not volumetric: the centroid region is sparse
         // relative to a uniform fill for at least the hollow shapes.
         assert!(b.diagonal() < 100.0);
@@ -71,7 +75,11 @@ fn s3dis_room_structure_dominates_and_fills_the_shell() {
 
 #[test]
 fn kitti_stream_has_ground_and_objects() {
-    let cfg = KittiConfig { beams: 24, azimuth_steps: 240, ..KittiConfig::standard() };
+    let cfg = KittiConfig {
+        beams: 24,
+        azimuth_steps: 240,
+        ..KittiConfig::standard()
+    };
     let frame = KittiStream::new(cfg, 7).next().unwrap().cloud;
     let ground = frame.iter().filter(|p| p.z.abs() < 0.1).count();
     let elevated = frame.iter().filter(|p| p.z > 0.5).count();
@@ -81,8 +89,16 @@ fn kitti_stream_has_ground_and_objects() {
 
 #[test]
 fn kitti_dense_config_scales_returns() {
-    let small = KittiConfig { beams: 16, azimuth_steps: 120, ..KittiConfig::standard() };
-    let bigger = KittiConfig { beams: 32, azimuth_steps: 240, ..KittiConfig::standard() };
+    let small = KittiConfig {
+        beams: 16,
+        azimuth_steps: 120,
+        ..KittiConfig::standard()
+    };
+    let bigger = KittiConfig {
+        beams: 32,
+        azimuth_steps: 240,
+        ..KittiConfig::standard()
+    };
     let a = hgpcn_datasets::kitti::generate_frame(small, 9).len();
     let b = hgpcn_datasets::kitti::generate_frame(bigger, 9).len();
     assert!(b > 2 * a, "returns must scale with resolution: {a} vs {b}");

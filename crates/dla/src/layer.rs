@@ -17,8 +17,14 @@ impl LayerShape {
     ///
     /// Panics if either dimension is zero.
     pub fn new(in_features: usize, out_features: usize) -> LayerShape {
-        assert!(in_features > 0 && out_features > 0, "layer dimensions must be positive");
-        LayerShape { in_features, out_features }
+        assert!(
+            in_features > 0 && out_features > 0,
+            "layer dimensions must be positive"
+        );
+        LayerShape {
+            in_features,
+            out_features,
+        }
     }
 
     /// Multiply-accumulates to apply this layer to `points` inputs.

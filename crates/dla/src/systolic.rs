@@ -43,7 +43,11 @@ impl SystolicArray {
     /// (§VII-A): a 16×16 array. Clocked at 200 MHz like the rest of the
     /// FPGA prototype.
     pub fn paper_16x16() -> SystolicArray {
-        SystolicArray { rows: 16, cols: 16, clock_mhz: 200.0 }
+        SystolicArray {
+            rows: 16,
+            cols: 16,
+            clock_mhz: 200.0,
+        }
     }
 
     /// Nanoseconds per cycle.
@@ -146,8 +150,14 @@ mod tests {
 
     #[test]
     fn latency_scales_with_clock() {
-        let fast = SystolicArray { clock_mhz: 400.0, ..SystolicArray::paper_16x16() };
-        let slow = SystolicArray { clock_mhz: 100.0, ..SystolicArray::paper_16x16() };
+        let fast = SystolicArray {
+            clock_mhz: 400.0,
+            ..SystolicArray::paper_16x16()
+        };
+        let slow = SystolicArray {
+            clock_mhz: 100.0,
+            ..SystolicArray::paper_16x16()
+        };
         let shape = LayerShape::new(64, 64);
         let run_f = fast.layer(shape, 256);
         let run_s = slow.layer(shape, 256);

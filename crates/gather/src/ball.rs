@@ -30,7 +30,10 @@ pub fn gather(
         return Err(GatherError::EmptyCloud);
     }
     if center >= cloud.len() {
-        return Err(GatherError::CenterOutOfRange { center, len: cloud.len() });
+        return Err(GatherError::CenterOutOfRange {
+            center,
+            len: cloud.len(),
+        });
     }
     let c = cloud.point(center);
     let r2 = radius * radius;
@@ -62,7 +65,11 @@ pub fn gather(
         comparisons: n - 1,
         ..OpCounts::default()
     };
-    Ok(GatherResult { neighbors, counts, stats: Default::default() })
+    Ok(GatherResult {
+        neighbors,
+        counts,
+        stats: Default::default(),
+    })
 }
 
 #[cfg(test)]
@@ -110,8 +117,14 @@ mod tests {
 
     #[test]
     fn rejects_invalid_inputs() {
-        assert!(matches!(gather(&PointCloud::new(), 0, 1.0, 1), Err(GatherError::EmptyCloud)));
+        assert!(matches!(
+            gather(&PointCloud::new(), 0, 1.0, 1),
+            Err(GatherError::EmptyCloud)
+        ));
         let cloud = line(3);
-        assert!(matches!(gather(&cloud, 9, 1.0, 1), Err(GatherError::CenterOutOfRange { .. })));
+        assert!(matches!(
+            gather(&cloud, 9, 1.0, 1),
+            Err(GatherError::CenterOutOfRange { .. })
+        ));
     }
 }

@@ -35,10 +35,17 @@ impl StageCycles {
 
     /// The largest single stage — the pipeline's steady-state bottleneck.
     pub fn bottleneck(&self) -> u64 {
-        [self.fetch, self.locate, self.expand, self.gather, self.sort, self.buffer]
-            .into_iter()
-            .max()
-            .expect("six stages")
+        [
+            self.fetch,
+            self.locate,
+            self.expand,
+            self.gather,
+            self.sort,
+            self.buffer,
+        ]
+        .into_iter()
+        .max()
+        .expect("six stages")
     }
 
     /// Fractions of the total per stage, in FP/LV/VE/GP/ST/BF order
@@ -87,7 +94,12 @@ pub struct DataStructuringUnit {
 impl DataStructuringUnit {
     /// The paper's prototype configuration at 200 MHz.
     pub fn prototype() -> DataStructuringUnit {
-        DataStructuringUnit { walkers: 8, sorter_width: 16, stream_width: 4, clock_mhz: 200.0 }
+        DataStructuringUnit {
+            walkers: 8,
+            sorter_width: 16,
+            stream_width: 4,
+            clock_mhz: 200.0,
+        }
     }
 
     /// Nanoseconds per cycle.
@@ -119,7 +131,9 @@ impl DataStructuringUnit {
             drain_cycles += c.bottleneck();
             agg = agg + c;
         }
-        let fill = results.first().map_or(0, |r| self.stage_cycles(r, k).total());
+        let fill = results
+            .first()
+            .map_or(0, |r| self.stage_cycles(r, k).total());
         let latency = Latency::from_ns((drain_cycles + fill) as f64 * self.cycle_ns());
         (agg, latency)
     }
@@ -187,8 +201,14 @@ mod tests {
 
     #[test]
     fn wider_sorter_is_faster() {
-        let narrow = DataStructuringUnit { sorter_width: 2, ..DataStructuringUnit::prototype() };
-        let wide = DataStructuringUnit { sorter_width: 64, ..DataStructuringUnit::prototype() };
+        let narrow = DataStructuringUnit {
+            sorter_width: 2,
+            ..DataStructuringUnit::prototype()
+        };
+        let wide = DataStructuringUnit {
+            sorter_width: 64,
+            ..DataStructuringUnit::prototype()
+        };
         let r = result(16, 256, 26);
         assert!(wide.stage_cycles(&r, 32).sort < narrow.stage_cycles(&r, 32).sort);
     }

@@ -28,10 +28,16 @@ impl fmt::Display for GatherError {
         match self {
             GatherError::EmptyCloud => write!(f, "cannot gather from an empty cloud"),
             GatherError::KTooLarge { k, available } => {
-                write!(f, "neighborhood size {k} exceeds the {available} available points")
+                write!(
+                    f,
+                    "neighborhood size {k} exceeds the {available} available points"
+                )
             }
             GatherError::CenterOutOfRange { center, len } => {
-                write!(f, "central point index {center} out of range for cloud of {len}")
+                write!(
+                    f,
+                    "central point index {center} out of range for cloud of {len}"
+                )
             }
         }
     }

@@ -61,7 +61,11 @@ impl KdTree {
         assert!(leaf_capacity > 0, "leaf capacity must be positive");
         let indices: Vec<usize> = (0..cloud.len()).collect();
         let root = Self::build_node(cloud, indices, leaf_capacity);
-        KdTree { root, leaf_capacity, size: cloud.len() }
+        KdTree {
+            root,
+            leaf_capacity,
+            size: cloud.len(),
+        }
     }
 
     fn build_node(cloud: &PointCloud, mut indices: Vec<usize>, cap: usize) -> Node {
@@ -69,9 +73,8 @@ impl KdTree {
             return Node::Leaf { points: indices };
         }
         // Widest axis of the bounding box.
-        let bounds =
-            hgpcn_geometry::Aabb::from_points(indices.iter().map(|&i| cloud.point(i)))
-                .expect("non-empty");
+        let bounds = hgpcn_geometry::Aabb::from_points(indices.iter().map(|&i| cloud.point(i)))
+            .expect("non-empty");
         let e = bounds.extent();
         let axis = if e.x >= e.y && e.x >= e.z {
             0
@@ -121,7 +124,12 @@ impl KdTree {
     /// # Errors
     ///
     /// Same contract as [`crate::knn::gather`].
-    pub fn knn(&self, cloud: &PointCloud, center: usize, k: usize) -> Result<GatherResult, GatherError> {
+    pub fn knn(
+        &self,
+        cloud: &PointCloud,
+        center: usize,
+        k: usize,
+    ) -> Result<GatherResult, GatherError> {
         self.query(cloud, center, k, true)
     }
 
@@ -152,17 +160,36 @@ impl KdTree {
             return Err(GatherError::EmptyCloud);
         }
         if center >= cloud.len() {
-            return Err(GatherError::CenterOutOfRange { center, len: cloud.len() });
+            return Err(GatherError::CenterOutOfRange {
+                center,
+                len: cloud.len(),
+            });
         }
         if k > cloud.len() - 1 {
-            return Err(GatherError::KTooLarge { k, available: cloud.len() - 1 });
+            return Err(GatherError::KTooLarge {
+                k,
+                available: cloud.len() - 1,
+            });
         }
         let c = cloud.point(center);
         let mut counts = OpCounts::default();
         // Max-heap of (dist, idx) keeping the k best.
         let mut best: Vec<(f32, usize)> = Vec::with_capacity(k + 1);
-        Self::search(&self.root, cloud, c, center, k, backtrack, &mut best, &mut counts);
-        best.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1)));
+        Self::search(
+            &self.root,
+            cloud,
+            c,
+            center,
+            k,
+            backtrack,
+            &mut best,
+            &mut counts,
+        );
+        best.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
         let mut neighbors: Vec<usize> = best.into_iter().map(|(_, i)| i).collect();
         if !backtrack {
             // The truncated traversal may find fewer than k; pad from a
@@ -179,7 +206,11 @@ impl KdTree {
             }
         }
         neighbors.truncate(k);
-        Ok(GatherResult { neighbors, counts, stats: Default::default() })
+        Ok(GatherResult {
+            neighbors,
+            counts,
+            stats: Default::default(),
+        })
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -212,7 +243,9 @@ impl KdTree {
                             .iter()
                             .enumerate()
                             .max_by(|a, b| {
-                                a.1 .0.partial_cmp(&b.1 .0).unwrap_or(std::cmp::Ordering::Equal)
+                                a.1 .0
+                                    .partial_cmp(&b.1 .0)
+                                    .unwrap_or(std::cmp::Ordering::Equal)
                             })
                             .expect("non-empty");
                         counts.comparisons += 1;
@@ -222,10 +255,19 @@ impl KdTree {
                     }
                 }
             }
-            Node::Split { axis, value, left, right } => {
+            Node::Split {
+                axis,
+                value,
+                left,
+                right,
+            } => {
                 let diff = c[*axis] - value;
                 counts.comparisons += 1;
-                let (near, far) = if diff < 0.0 { (left, right) } else { (right, left) };
+                let (near, far) = if diff < 0.0 {
+                    (left, right)
+                } else {
+                    (right, left)
+                };
                 Self::search(near, cloud, c, center, k, backtrack, best, counts);
                 if backtrack {
                     let worst = best
@@ -250,7 +292,11 @@ mod tests {
         (0..n)
             .map(|i| {
                 let f = i as f32;
-                Point3::new((f * 0.618).fract() * 5.0, (f * 0.414).fract() * 5.0, (f * 0.732).fract() * 5.0)
+                Point3::new(
+                    (f * 0.618).fract() * 5.0,
+                    (f * 0.414).fract() * 5.0,
+                    (f * 0.732).fract() * 5.0,
+                )
             })
             .collect()
     }
@@ -263,10 +309,16 @@ mod tests {
             let a = tree.knn(&c, center, 10).unwrap();
             let b = knn::gather(&c, center, 10).unwrap();
             let ctr = c.point(center);
-            let da: Vec<u32> =
-                a.neighbors.iter().map(|&i| c.point(i).distance_sq(ctr).to_bits()).collect();
-            let db: Vec<u32> =
-                b.neighbors.iter().map(|&i| c.point(i).distance_sq(ctr).to_bits()).collect();
+            let da: Vec<u32> = a
+                .neighbors
+                .iter()
+                .map(|&i| c.point(i).distance_sq(ctr).to_bits())
+                .collect();
+            let db: Vec<u32> = b
+                .neighbors
+                .iter()
+                .map(|&i| c.point(i).distance_sq(ctr).to_bits())
+                .collect();
             assert_eq!(da, db, "center {center}");
         }
     }
@@ -313,8 +365,14 @@ mod tests {
     fn rejects_invalid_inputs() {
         let c = cloud(10);
         let tree = KdTree::build(&c, 4);
-        assert!(matches!(tree.knn(&c, 99, 2), Err(GatherError::CenterOutOfRange { .. })));
-        assert!(matches!(tree.knn(&c, 0, 10), Err(GatherError::KTooLarge { .. })));
+        assert!(matches!(
+            tree.knn(&c, 99, 2),
+            Err(GatherError::CenterOutOfRange { .. })
+        ));
+        assert!(matches!(
+            tree.knn(&c, 0, 10),
+            Err(GatherError::KTooLarge { .. })
+        ));
         let empty = PointCloud::new();
         let t2 = KdTree::build(&empty, 4);
         assert!(t2.is_empty());

@@ -15,10 +15,16 @@ fn validate(cloud: &PointCloud, center: usize, k: usize) -> Result<(), GatherErr
         return Err(GatherError::EmptyCloud);
     }
     if center >= cloud.len() {
-        return Err(GatherError::CenterOutOfRange { center, len: cloud.len() });
+        return Err(GatherError::CenterOutOfRange {
+            center,
+            len: cloud.len(),
+        });
     }
     if k > cloud.len() - 1 {
-        return Err(GatherError::KTooLarge { k, available: cloud.len() - 1 });
+        return Err(GatherError::KTooLarge {
+            k,
+            available: cloud.len() - 1,
+        });
     }
     Ok(())
 }
@@ -39,7 +45,11 @@ pub fn gather(cloud: &PointCloud, center: usize, k: usize) -> Result<GatherResul
         .filter(|&i| i != center)
         .map(|i| (cloud.point(i).distance_sq(c), i))
         .collect();
-    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1)));
+    scored.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+    });
     let neighbors: Vec<usize> = scored.iter().take(k).map(|&(_, i)| i).collect();
 
     let n = cloud.len() as u64;
@@ -53,7 +63,11 @@ pub fn gather(cloud: &PointCloud, center: usize, k: usize) -> Result<GatherResul
         comparisons: sorter::comparator_count(cloud.len() - 1),
         ..OpCounts::default()
     };
-    Ok(GatherResult { neighbors, counts, stats: Default::default() })
+    Ok(GatherResult {
+        neighbors,
+        counts,
+        stats: Default::default(),
+    })
 }
 
 /// Brute-force KNN for a batch of central points, summing the costs.
@@ -115,7 +129,11 @@ mod tests {
         let cloud = grid();
         let c = cloud.point(12);
         let r = gather(&cloud, 12, 8).unwrap();
-        let dists: Vec<f32> = r.neighbors.iter().map(|&i| cloud.point(i).distance_sq(c)).collect();
+        let dists: Vec<f32> = r
+            .neighbors
+            .iter()
+            .map(|&i| cloud.point(i).distance_sq(c))
+            .collect();
         assert!(dists.windows(2).all(|w| w[0] <= w[1]));
     }
 
@@ -131,8 +149,14 @@ mod tests {
     #[test]
     fn rejects_invalid_inputs() {
         let cloud = grid();
-        assert!(matches!(gather(&cloud, 99, 3), Err(GatherError::CenterOutOfRange { .. })));
-        assert!(matches!(gather(&cloud, 0, 25), Err(GatherError::KTooLarge { .. })));
+        assert!(matches!(
+            gather(&cloud, 99, 3),
+            Err(GatherError::CenterOutOfRange { .. })
+        ));
+        assert!(matches!(
+            gather(&cloud, 0, 25),
+            Err(GatherError::KTooLarge { .. })
+        ));
         assert!(matches!(
             gather(&PointCloud::new(), 0, 1),
             Err(GatherError::EmptyCloud)

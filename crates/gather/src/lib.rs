@@ -27,8 +27,8 @@
 
 pub mod ball;
 pub mod dsu;
-pub mod kdtree;
 mod error;
+pub mod kdtree;
 pub mod knn;
 mod result;
 pub mod sorter;

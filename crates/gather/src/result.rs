@@ -62,7 +62,10 @@ mod tests {
 
     #[test]
     fn recall_counts_overlap() {
-        let r = GatherResult { neighbors: vec![1, 2, 3, 4], ..GatherResult::default() };
+        let r = GatherResult {
+            neighbors: vec![1, 2, 3, 4],
+            ..GatherResult::default()
+        };
         assert_eq!(r.recall_against(&[1, 2, 3, 4]), 1.0);
         assert_eq!(r.recall_against(&[1, 2, 9, 10]), 0.5);
         assert_eq!(r.recall_against(&[]), 1.0);

@@ -53,7 +53,10 @@ pub struct VegConfig {
 
 impl Default for VegConfig {
     fn default() -> Self {
-        VegConfig { gather_level: None, mode: VegMode::Paper }
+        VegConfig {
+            gather_level: None,
+            mode: VegMode::Paper,
+        }
     }
 }
 
@@ -66,7 +69,10 @@ fn validate(octree: &Octree, center: usize, k: usize) -> Result<(), GatherError>
         return Err(GatherError::CenterOutOfRange { center, len: n });
     }
     if k > n - 1 {
-        return Err(GatherError::KTooLarge { k, available: n - 1 });
+        return Err(GatherError::KTooLarge {
+            k,
+            available: n - 1,
+        });
     }
     Ok(())
 }
@@ -125,7 +131,11 @@ pub fn gather(
     let mut covered = 0usize; // points covered, excluding the center
     let mut shell = 0u32;
     loop {
-        let codes = if shell == 0 { vec![seed] } else { neighbor::shell_codes(seed, shell) };
+        let codes = if shell == 0 {
+            vec![seed]
+        } else {
+            neighbor::shell_codes(seed, shell)
+        };
         let mut ranges = Vec::new();
         for code in codes {
             stats.expand_lookups += 1;
@@ -152,7 +162,11 @@ pub fn gather(
     let voxel_edge = root_edge / (1u64 << level) as f32;
 
     let collect = |ranges: &[std::ops::Range<usize>]| -> Vec<usize> {
-        ranges.iter().flat_map(|r| r.clone()).filter(|&i| i != center).collect()
+        ranges
+            .iter()
+            .flat_map(|r| r.clone())
+            .filter(|&i| i != center)
+            .collect()
     };
 
     let neighbors = match config.mode {
@@ -178,7 +192,9 @@ pub fn gather(
                         .map(|i| (octree.points().point(i).distance_sq(center_point), i))
                         .collect();
                     scored.sort_by(|a, b| {
-                        a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
+                        a.0.partial_cmp(&b.0)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(a.1.cmp(&b.1))
                     });
                     free.extend(scored.into_iter().take(need).map(|(_, i)| i));
                     free
@@ -204,7 +220,9 @@ pub fn gather(
                     .map(|&i| (octree.points().point(i).distance_sq(center_point), i))
                     .collect();
                 scored.sort_by(|a, b| {
-                    a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
+                    a.0.partial_cmp(&b.0)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.1.cmp(&b.1))
                 });
                 let kth = scored[k - 1].0.sqrt();
                 // Any unexplored point is at Euclidean distance
@@ -233,9 +251,12 @@ pub fn gather(
     // BF: write the K gathered records to the FCU input buffer.
     counts.mem_writes += k as u64;
     counts.bytes_written += (k as u64) * 12;
-    Ok(GatherResult { neighbors, counts, stats })
+    Ok(GatherResult {
+        neighbors,
+        counts,
+        stats,
+    })
 }
-
 
 /// VEG-accelerated ball query (§VI: "the VEG method can efficiently
 /// support commonly used DS methods, e.g., KNN and BQ").
@@ -348,7 +369,11 @@ pub fn gather_ball(
     }
     counts.mem_writes += neighbors.len() as u64;
     counts.bytes_written += neighbors.len() as u64 * 12;
-    Ok(GatherResult { neighbors, counts, stats })
+    Ok(GatherResult {
+        neighbors,
+        counts,
+        stats,
+    })
 }
 
 /// VEG for a batch of central points, summing costs and statistics.
@@ -397,7 +422,10 @@ mod tests {
     fn gathers_k_unique_neighbors_excluding_center() {
         let tree = setup(500);
         for mode in [VegMode::Paper, VegMode::Exact, VegMode::SemiApprox] {
-            let cfg = VegConfig { gather_level: None, mode };
+            let cfg = VegConfig {
+                gather_level: None,
+                mode,
+            };
             let r = gather(&tree, 42, 16, &cfg).unwrap();
             assert_eq!(r.len(), 16, "{mode:?}");
             assert!(!r.neighbors.contains(&42), "{mode:?}");
@@ -409,7 +437,10 @@ mod tests {
     #[test]
     fn exact_mode_matches_brute_knn() {
         let tree = setup(400);
-        let cfg = VegConfig { gather_level: None, mode: VegMode::Exact };
+        let cfg = VegConfig {
+            gather_level: None,
+            mode: VegMode::Exact,
+        };
         for center in [0usize, 57, 123, 399] {
             let veg = gather(&tree, center, 12, &cfg).unwrap();
             let brute = knn::gather(tree.points(), center, 12).unwrap();
@@ -433,7 +464,10 @@ mod tests {
             total_recall += veg.recall_against(&brute.neighbors);
         }
         let mean = total_recall / centers.len() as f64;
-        assert!(mean >= 0.8, "mean recall {mean} too low for the paper's shell rule");
+        assert!(
+            mean >= 0.8,
+            "mean recall {mean} too low for the paper's shell rule"
+        );
     }
 
     #[test]
@@ -453,7 +487,10 @@ mod tests {
     #[test]
     fn semi_approx_skips_the_sort() {
         let tree = setup(600);
-        let cfg = VegConfig { gather_level: None, mode: VegMode::SemiApprox };
+        let cfg = VegConfig {
+            gather_level: None,
+            mode: VegMode::SemiApprox,
+        };
         let r = gather(&tree, 100, 24, &cfg).unwrap();
         assert_eq!(r.stats.candidates_sorted, 0);
         assert_eq!(r.counts.comparisons, 0);
@@ -463,7 +500,10 @@ mod tests {
     #[test]
     fn fixed_gather_level_is_respected() {
         let tree = setup(500);
-        let cfg = VegConfig { gather_level: Some(2), mode: VegMode::Paper };
+        let cfg = VegConfig {
+            gather_level: Some(2),
+            mode: VegMode::Paper,
+        };
         let r = gather(&tree, 10, 8, &cfg).unwrap();
         assert_eq!(r.stats.locate_lookups, 0, "fixed level skips the LV walk");
         assert_eq!(r.len(), 8);
@@ -477,7 +517,10 @@ mod tests {
             gather(&tree, 99, 4, &cfg),
             Err(GatherError::CenterOutOfRange { .. })
         ));
-        assert!(matches!(gather(&tree, 0, 50, &cfg), Err(GatherError::KTooLarge { .. })));
+        assert!(matches!(
+            gather(&tree, 0, 50, &cfg),
+            Err(GatherError::KTooLarge { .. })
+        ));
     }
 
     #[test]
@@ -489,7 +532,6 @@ mod tests {
         let sum: u64 = results.iter().map(|r| r.counts.table_lookups).sum();
         assert_eq!(total.table_lookups, sum);
     }
-
 
     #[test]
     fn ball_query_matches_brute_force_as_a_set() {

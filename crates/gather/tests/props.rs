@@ -7,8 +7,13 @@ use hgpcn_gather::{ball, knn, sorter};
 use hgpcn_geometry::{Point3, PointCloud};
 
 fn arb_cloud() -> impl Strategy<Value = PointCloud> {
-    prop::collection::vec((-20.0f32..20.0, -20.0f32..20.0, -20.0f32..20.0), 2..200)
-        .prop_map(|pts| pts.into_iter().map(|(x, y, z)| Point3::new(x, y, z)).collect())
+    prop::collection::vec((-20.0f32..20.0, -20.0f32..20.0, -20.0f32..20.0), 2..200).prop_map(
+        |pts| {
+            pts.into_iter()
+                .map(|(x, y, z)| Point3::new(x, y, z))
+                .collect()
+        },
+    )
 }
 
 proptest! {

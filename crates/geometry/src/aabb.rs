@@ -93,7 +93,10 @@ impl Aabb {
     /// `max`, or if either corner is non-finite.
     #[inline]
     pub fn new(min: Point3, max: Point3) -> Aabb {
-        assert!(min.is_finite() && max.is_finite(), "AABB corners must be finite");
+        assert!(
+            min.is_finite() && max.is_finite(),
+            "AABB corners must be finite"
+        );
         assert!(
             min.x <= max.x && min.y <= max.y && min.z <= max.z,
             "AABB min {min} must not exceed max {max}"
@@ -191,7 +194,10 @@ impl Aabb {
     /// Panics if `margin` is negative enough to invert the box.
     #[inline]
     pub fn inflate(&self, margin: f32) -> Aabb {
-        Aabb::new(self.min - Point3::splat(margin), self.max + Point3::splat(margin))
+        Aabb::new(
+            self.min - Point3::splat(margin),
+            self.max + Point3::splat(margin),
+        )
     }
 
     /// The cube with the same center whose edge is the box's longest edge.
@@ -228,10 +234,25 @@ impl Aabb {
     #[inline]
     pub fn octant_bounds(&self, octant: Octant) -> Aabb {
         let c = self.center();
-        let (min_x, max_x) = if octant.high_x() { (c.x, self.max.x) } else { (self.min.x, c.x) };
-        let (min_y, max_y) = if octant.high_y() { (c.y, self.max.y) } else { (self.min.y, c.y) };
-        let (min_z, max_z) = if octant.high_z() { (c.z, self.max.z) } else { (self.min.z, c.z) };
-        Aabb::new(Point3::new(min_x, min_y, min_z), Point3::new(max_x, max_y, max_z))
+        let (min_x, max_x) = if octant.high_x() {
+            (c.x, self.max.x)
+        } else {
+            (self.min.x, c.x)
+        };
+        let (min_y, max_y) = if octant.high_y() {
+            (c.y, self.max.y)
+        } else {
+            (self.min.y, c.y)
+        };
+        let (min_z, max_z) = if octant.high_z() {
+            (c.z, self.max.z)
+        } else {
+            (self.min.z, c.z)
+        };
+        Aabb::new(
+            Point3::new(min_x, min_y, min_z),
+            Point3::new(max_x, max_y, max_z),
+        )
     }
 
     /// Squared distance from `p` to the closest point of the box (0 inside).

@@ -35,13 +35,21 @@ impl PointCloud {
     /// Creates an empty cloud that will carry `feature_dim` features per point.
     #[inline]
     pub fn with_feature_dim(feature_dim: usize) -> PointCloud {
-        PointCloud { points: Vec::new(), features: Vec::new(), feature_dim }
+        PointCloud {
+            points: Vec::new(),
+            features: Vec::new(),
+            feature_dim,
+        }
     }
 
     /// Creates a cloud from bare coordinates (no features).
     #[inline]
     pub fn from_points(points: Vec<Point3>) -> PointCloud {
-        PointCloud { points, features: Vec::new(), feature_dim: 0 }
+        PointCloud {
+            points,
+            features: Vec::new(),
+            feature_dim: 0,
+        }
     }
 
     /// Creates a cloud from coordinates plus a flat feature buffer.
@@ -62,7 +70,11 @@ impl PointCloud {
                 buffer_len: features.len(),
             });
         }
-        Ok(PointCloud { points, features, feature_dim })
+        Ok(PointCloud {
+            points,
+            features,
+            feature_dim,
+        })
     }
 
     /// Number of points.
@@ -127,7 +139,10 @@ impl PointCloud {
     /// [`PointCloud::push_with_feature`] there instead.
     #[inline]
     pub fn push(&mut self, p: Point3) {
-        assert_eq!(self.feature_dim, 0, "cloud carries features; use push_with_feature");
+        assert_eq!(
+            self.feature_dim, 0,
+            "cloud carries features; use push_with_feature"
+        );
         self.points.push(p);
     }
 
@@ -138,7 +153,11 @@ impl PointCloud {
     /// Panics if `feature.len() != feature_dim()`.
     #[inline]
     pub fn push_with_feature(&mut self, p: Point3, feature: &[f32]) {
-        assert_eq!(feature.len(), self.feature_dim, "feature dimension mismatch");
+        assert_eq!(
+            feature.len(),
+            self.feature_dim,
+            "feature dimension mismatch"
+        );
         self.points.push(p);
         self.features.extend_from_slice(feature);
     }
@@ -205,9 +224,17 @@ impl PointCloud {
         let points = self
             .points
             .iter()
-            .map(|&p| ((p - min) * scale).max(Point3::ORIGIN).min(Point3::splat(1.0)))
+            .map(|&p| {
+                ((p - min) * scale)
+                    .max(Point3::ORIGIN)
+                    .min(Point3::splat(1.0))
+            })
             .collect();
-        Ok(PointCloud { points, features: self.features.clone(), feature_dim: self.feature_dim })
+        Ok(PointCloud {
+            points,
+            features: self.features.clone(),
+            feature_dim: self.feature_dim,
+        })
     }
 
     /// Validates that every coordinate is finite.
@@ -254,7 +281,10 @@ impl Extend<Point3> for PointCloud {
     ///
     /// Panics if the cloud carries features.
     fn extend<I: IntoIterator<Item = Point3>>(&mut self, iter: I) {
-        assert_eq!(self.feature_dim, 0, "cloud carries features; use push_with_feature");
+        assert_eq!(
+            self.feature_dim, 0,
+            "cloud carries features; use push_with_feature"
+        );
         self.points.extend(iter);
     }
 }
@@ -321,7 +351,10 @@ mod tests {
 
     #[test]
     fn normalized_empty_errors() {
-        assert_eq!(PointCloud::new().normalized_unit_cube().unwrap_err(), GeometryError::EmptyCloud);
+        assert_eq!(
+            PointCloud::new().normalized_unit_cube().unwrap_err(),
+            GeometryError::EmptyCloud
+        );
     }
 
     #[test]
@@ -335,7 +368,10 @@ mod tests {
     fn validate_finite_catches_nan() {
         let mut cloud = sample_cloud();
         cloud.push(Point3::new(f32::NAN, 0.0, 0.0));
-        assert_eq!(cloud.validate_finite().unwrap_err(), GeometryError::NonFinitePoint { index: 4 });
+        assert_eq!(
+            cloud.validate_finite().unwrap_err(),
+            GeometryError::NonFinitePoint { index: 4 }
+        );
     }
 
     #[test]

@@ -49,7 +49,11 @@ mod tests {
     fn display_is_nonempty() {
         let errs = [
             GeometryError::EmptyCloud,
-            GeometryError::FeatureShape { points: 2, feature_dim: 3, buffer_len: 5 },
+            GeometryError::FeatureShape {
+                points: 2,
+                feature_dim: 3,
+                buffer_len: 5,
+            },
             GeometryError::NonFinitePoint { index: 7 },
         ];
         for e in errs {

@@ -58,7 +58,10 @@ impl MortonCode {
     /// `3 * level`.
     #[inline]
     pub fn from_bits(bits: u64, level: u8) -> MortonCode {
-        assert!(level <= MAX_LEVEL, "level {level} exceeds MAX_LEVEL {MAX_LEVEL}");
+        assert!(
+            level <= MAX_LEVEL,
+            "level {level} exceeds MAX_LEVEL {MAX_LEVEL}"
+        );
         assert!(
             level == MAX_LEVEL || bits >> (3 * level) == 0,
             "bits 0x{bits:x} wider than 3*{level}"
@@ -86,13 +89,19 @@ impl MortonCode {
     #[inline]
     pub fn child(self, octant: Octant) -> MortonCode {
         assert!(self.level < MAX_LEVEL, "cannot descend below MAX_LEVEL");
-        MortonCode { bits: (self.bits << 3) | u64::from(octant.index()), level: self.level + 1 }
+        MortonCode {
+            bits: (self.bits << 3) | u64::from(octant.index()),
+            level: self.level + 1,
+        }
     }
 
     /// The parent voxel's code, or `None` for the root.
     #[inline]
     pub fn parent(self) -> Option<MortonCode> {
-        (self.level > 0).then(|| MortonCode { bits: self.bits >> 3, level: self.level - 1 })
+        (self.level > 0).then(|| MortonCode {
+            bits: self.bits >> 3,
+            level: self.level - 1,
+        })
     }
 
     /// The octant this voxel occupies inside its parent, or `None` for the
@@ -109,8 +118,15 @@ impl MortonCode {
     /// Panics if `level > self.level()`.
     #[inline]
     pub fn ancestor_at(self, level: u8) -> MortonCode {
-        assert!(level <= self.level, "ancestor level {level} below own level {}", self.level);
-        MortonCode { bits: self.bits >> (3 * (self.level - level)), level }
+        assert!(
+            level <= self.level,
+            "ancestor level {level} below own level {}",
+            self.level
+        );
+        MortonCode {
+            bits: self.bits >> (3 * (self.level - level)),
+            level,
+        }
     }
 
     /// Hamming distance between two codes **at the same level**: the popcount
@@ -122,7 +138,10 @@ impl MortonCode {
     /// Panics if the levels differ.
     #[inline]
     pub fn hamming_distance(self, other: MortonCode) -> u32 {
-        assert_eq!(self.level, other.level, "Hamming distance requires equal levels");
+        assert_eq!(
+            self.level, other.level,
+            "Hamming distance requires equal levels"
+        );
         (self.bits ^ other.bits).count_ones()
     }
 
@@ -136,7 +155,10 @@ impl MortonCode {
     ///
     /// Panics if `level > MAX_LEVEL`.
     pub fn encode(p: Point3, root: &Aabb, level: u8) -> MortonCode {
-        assert!(level <= MAX_LEVEL, "level {level} exceeds MAX_LEVEL {MAX_LEVEL}");
+        assert!(
+            level <= MAX_LEVEL,
+            "level {level} exceeds MAX_LEVEL {MAX_LEVEL}"
+        );
         let mut code = MortonCode::root();
         let mut voxel = *root;
         for _ in 0..level {
@@ -179,7 +201,10 @@ impl MortonCode {
     ///
     /// Panics if `level > MAX_LEVEL` or any coordinate is `>= 2^level`.
     pub fn from_grid_coords(x: u32, y: u32, z: u32, level: u8) -> MortonCode {
-        assert!(level <= MAX_LEVEL, "level {level} exceeds MAX_LEVEL {MAX_LEVEL}");
+        assert!(
+            level <= MAX_LEVEL,
+            "level {level} exceeds MAX_LEVEL {MAX_LEVEL}"
+        );
         let limit = 1u64 << level;
         assert!(
             u64::from(x) < limit && u64::from(y) < limit && u64::from(z) < limit,
@@ -201,7 +226,10 @@ impl MortonCode {
     ///
     /// Panics if the levels differ.
     pub fn chebyshev_distance(self, other: MortonCode) -> u32 {
-        assert_eq!(self.level, other.level, "Chebyshev distance requires equal levels");
+        assert_eq!(
+            self.level, other.level,
+            "Chebyshev distance requires equal levels"
+        );
         let (ax, ay, az) = self.grid_coords();
         let (bx, by, bz) = other.grid_coords();
         let d = |a: u32, b: u32| a.abs_diff(b);
@@ -260,7 +288,15 @@ mod tests {
         }
         assert_eq!(code.level(), 4);
         assert_eq!(code.octant_in_parent().unwrap().index(), 5);
-        let back = code.parent().unwrap().parent().unwrap().parent().unwrap().parent().unwrap();
+        let back = code
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap();
         assert_eq!(back, MortonCode::root());
         assert!(MortonCode::root().parent().is_none());
     }
@@ -327,8 +363,12 @@ mod tests {
     #[test]
     fn sfc_order_matches_octant_paths() {
         let root = MortonCode::root();
-        let a = root.child(Octant::new(0).unwrap()).child(Octant::new(7).unwrap());
-        let b = root.child(Octant::new(1).unwrap()).child(Octant::new(0).unwrap());
+        let a = root
+            .child(Octant::new(0).unwrap())
+            .child(Octant::new(7).unwrap());
+        let b = root
+            .child(Octant::new(1).unwrap())
+            .child(Octant::new(0).unwrap());
         assert!(a < b);
         // An ancestor precedes its descendants.
         let anc = root.child(Octant::new(1).unwrap());
@@ -343,7 +383,9 @@ mod tests {
         let anc = code.ancestor_at(2);
         assert_eq!(anc.level(), 2);
         assert_eq!(code.ancestor_at(6), code);
-        assert!(anc.decode_bounds(&root).contains(Point3::new(0.9, 0.2, 0.6)));
+        assert!(anc
+            .decode_bounds(&root)
+            .contains(Point3::new(0.9, 0.2, 0.6)));
     }
 
     #[test]

@@ -23,8 +23,10 @@ use crate::{Aabb, MortonCode, Point3, PointCloud};
 /// ```
 pub fn sort_order(points: &[Point3], root: &Aabb, level: u8) -> Vec<usize> {
     let mut order: Vec<usize> = (0..points.len()).collect();
-    let codes: Vec<MortonCode> =
-        points.iter().map(|&p| MortonCode::encode(p, root, level)).collect();
+    let codes: Vec<MortonCode> = points
+        .iter()
+        .map(|&p| MortonCode::encode(p, root, level))
+        .collect();
     order.sort_by_key(|&i| codes[i]);
     order
 }

@@ -71,7 +71,10 @@ impl OpCounts {
     /// Total compute operations (everything that is not a memory access).
     #[inline]
     pub fn compute_ops(&self) -> u64 {
-        self.table_lookups + self.distance_computations + self.comparisons + self.hamming_ops
+        self.table_lookups
+            + self.distance_computations
+            + self.comparisons
+            + self.hamming_ops
             + self.macs
     }
 
@@ -137,8 +140,17 @@ mod tests {
 
     #[test]
     fn add_and_sum_helpers() {
-        let a = OpCounts { mem_reads: 3, mem_writes: 2, comparisons: 5, ..OpCounts::default() };
-        let b = OpCounts { mem_reads: 1, macs: 7, ..OpCounts::default() };
+        let a = OpCounts {
+            mem_reads: 3,
+            mem_writes: 2,
+            comparisons: 5,
+            ..OpCounts::default()
+        };
+        let b = OpCounts {
+            mem_reads: 1,
+            macs: 7,
+            ..OpCounts::default()
+        };
         let c = a + b;
         assert_eq!(c.mem_reads, 4);
         assert_eq!(c.memory_accesses(), 6);
@@ -147,7 +159,11 @@ mod tests {
 
     #[test]
     fn scaled_multiplies_everything() {
-        let a = OpCounts { mem_reads: 2, distance_computations: 3, ..OpCounts::default() };
+        let a = OpCounts {
+            mem_reads: 2,
+            distance_computations: 3,
+            ..OpCounts::default()
+        };
         let s = a.scaled(10);
         assert_eq!(s.mem_reads, 20);
         assert_eq!(s.distance_computations, 30);
@@ -155,7 +171,10 @@ mod tests {
 
     #[test]
     fn display_mentions_counts() {
-        let a = OpCounts { mem_reads: 9, ..OpCounts::default() };
+        let a = OpCounts {
+            mem_reads: 9,
+            ..OpCounts::default()
+        };
         assert!(a.to_string().contains("9r"));
     }
 }

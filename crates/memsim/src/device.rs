@@ -202,12 +202,18 @@ mod tests {
             overhead_ns: 5.0,
         };
         // Memory-bound case: 100 bytes (100 ns) vs 1 distance (10 ns).
-        let mem_bound =
-            OpCounts { bytes_read: 100, distance_computations: 1, ..OpCounts::default() };
+        let mem_bound = OpCounts {
+            bytes_read: 100,
+            distance_computations: 1,
+            ..OpCounts::default()
+        };
         assert_eq!(dev.latency(&mem_bound).ns(), 105.0);
         // Compute-bound case.
-        let compute_bound =
-            OpCounts { bytes_read: 10, distance_computations: 5, ..OpCounts::default() };
+        let compute_bound = OpCounts {
+            bytes_read: 10,
+            distance_computations: 5,
+            ..OpCounts::default()
+        };
         assert_eq!(dev.latency(&compute_bound).ns(), 55.0);
     }
 
@@ -215,7 +221,10 @@ mod tests {
     fn lanes_divide_compute() {
         let mut dev = DeviceProfile::hgpcn_downsampling_unit();
         dev.overhead_ns = 0.0;
-        let counts = OpCounts { table_lookups: 800, ..OpCounts::default() };
+        let counts = OpCounts {
+            table_lookups: 800,
+            ..OpCounts::default()
+        };
         let eight = dev.latency(&counts);
         dev.parallel_lanes = 1.0;
         let one = dev.latency(&counts);
@@ -238,7 +247,10 @@ mod tests {
 
     #[test]
     fn gpu_macs_are_cheaper_than_cpu() {
-        let counts = OpCounts { macs: 1_000_000_000, ..OpCounts::default() };
+        let counts = OpCounts {
+            macs: 1_000_000_000,
+            ..OpCounts::default()
+        };
         let cpu = DeviceProfile::xeon_w2255().latency(&counts);
         let gpu = DeviceProfile::rtx_4060ti().latency(&counts);
         assert!(gpu < cpu);

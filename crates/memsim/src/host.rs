@@ -33,12 +33,18 @@ impl HostMemory {
     /// Loads the coordinates of `cloud` into host memory (uncounted — the
     /// sensor DMA writes the frame before either phase starts).
     pub fn from_cloud(cloud: &PointCloud) -> HostMemory {
-        HostMemory { points: cloud.points().to_vec(), counts: OpCounts::default() }
+        HostMemory {
+            points: cloud.points().to_vec(),
+            counts: OpCounts::default(),
+        }
     }
 
     /// Loads raw coordinates into host memory (uncounted).
     pub fn from_points(points: Vec<Point3>) -> HostMemory {
-        HostMemory { points, counts: OpCounts::default() }
+        HostMemory {
+            points,
+            counts: OpCounts::default(),
+        }
     }
 
     /// Number of resident points.

@@ -176,11 +176,16 @@ mod tests {
 
     #[test]
     fn arithmetic_and_sum() {
-        let total: Latency = [Latency::from_ms(1.0), Latency::from_ms(2.0)].into_iter().sum();
+        let total: Latency = [Latency::from_ms(1.0), Latency::from_ms(2.0)]
+            .into_iter()
+            .sum();
         assert_eq!(total, Latency::from_ms(3.0));
         assert_eq!(total * 2.0, Latency::from_ms(6.0));
         assert_eq!(total / 3.0, Latency::from_ms(1.0));
-        assert_eq!(Latency::from_ms(1.0).max(Latency::from_ms(2.0)), Latency::from_ms(2.0));
+        assert_eq!(
+            Latency::from_ms(1.0).max(Latency::from_ms(2.0)),
+            Latency::from_ms(2.0)
+        );
     }
 
     #[test]

@@ -71,7 +71,10 @@ impl OctreeConfig {
 
 impl Default for OctreeConfig {
     fn default() -> Self {
-        OctreeConfig { max_depth: 10, leaf_capacity: 8 }
+        OctreeConfig {
+            max_depth: 10,
+            leaf_capacity: 8,
+        }
     }
 }
 
@@ -89,7 +92,10 @@ mod tests {
 
     #[test]
     fn leaf_capacity_zero_clamped_to_one() {
-        assert_eq!(OctreeConfig::new().leaf_capacity(0).leaf_capacity_value(), 1);
+        assert_eq!(
+            OctreeConfig::new().leaf_capacity(0).leaf_capacity_value(),
+            1
+        );
     }
 
     #[test]

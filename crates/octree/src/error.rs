@@ -25,7 +25,10 @@ impl fmt::Display for OctreeError {
         match self {
             OctreeError::EmptyCloud => write!(f, "cannot build an octree over an empty cloud"),
             OctreeError::DepthTooLarge { requested, max } => {
-                write!(f, "octree depth {requested} exceeds supported maximum {max}")
+                write!(
+                    f,
+                    "octree depth {requested} exceeds supported maximum {max}"
+                )
             }
             OctreeError::InvalidGeometry(e) => write!(f, "invalid input geometry: {e}"),
         }

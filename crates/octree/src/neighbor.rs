@@ -57,7 +57,9 @@ pub fn shell_codes(center: MortonCode, shell: u32) -> Vec<MortonCode> {
                 if z < 0 || z >= side {
                     continue;
                 }
-                out.push(MortonCode::from_grid_coords(x as u32, y as u32, z as u32, level));
+                out.push(MortonCode::from_grid_coords(
+                    x as u32, y as u32, z as u32, level,
+                ));
             }
         }
     }
@@ -73,7 +75,9 @@ pub fn touching_neighbors(center: MortonCode) -> Vec<MortonCode> {
 /// Enumerates all voxels with Chebyshev distance at most `max_shell`
 /// (the union of shells `0..=max_shell`), clipped to the grid.
 pub fn ball_codes(center: MortonCode, max_shell: u32) -> Vec<MortonCode> {
-    (0..=max_shell).flat_map(|s| shell_codes(center, s)).collect()
+    (0..=max_shell)
+        .flat_map(|s| shell_codes(center, s))
+        .collect()
 }
 
 /// The largest shell index that can contain any voxel at `center`'s level

@@ -92,7 +92,12 @@ mod tests {
     use super::*;
 
     fn leaf(code: MortonCode, start: u32, end: u32) -> Node {
-        Node { code, range: start..end, children: [None; 8], is_leaf: true }
+        Node {
+            code,
+            range: start..end,
+            children: [None; 8],
+            is_leaf: true,
+        }
     }
 
     #[test]

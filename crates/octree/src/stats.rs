@@ -38,7 +38,11 @@ mod tests {
 
     #[test]
     fn memory_accesses_sums_reads_and_writes() {
-        let s = BuildStats { point_reads: 10, point_writes: 7, ..BuildStats::default() };
+        let s = BuildStats {
+            point_reads: 10,
+            point_writes: 7,
+            ..BuildStats::default()
+        };
         assert_eq!(s.memory_accesses(), 17);
     }
 }

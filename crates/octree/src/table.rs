@@ -46,7 +46,9 @@ impl TableEntry {
 
     /// Octants of the children present, in SFC order.
     pub fn child_octants(&self) -> impl Iterator<Item = Octant> + '_ {
-        Octant::ALL.into_iter().filter(|o| self.child_mask & (1 << o.index()) != 0)
+        Octant::ALL
+            .into_iter()
+            .filter(|o| self.child_mask & (1 << o.index()) != 0)
     }
 }
 
@@ -124,7 +126,11 @@ impl OctreeTable {
             });
             codes.push(node.code());
         }
-        OctreeTable { entries, codes, max_depth: tree.config().max_depth_value() }
+        OctreeTable {
+            entries,
+            codes,
+            max_depth: tree.config().max_depth_value(),
+        }
     }
 
     /// Index of the root entry (always 0).
@@ -185,7 +191,10 @@ impl OctreeTable {
         let mut index = self.root();
         let mut lookups = 1; // reading the root row
         for level in 1..=code.level() {
-            let octant = code.ancestor_at(level).octant_in_parent().expect("level >= 1");
+            let octant = code
+                .ancestor_at(level)
+                .octant_in_parent()
+                .expect("level >= 1");
             match self.entry(index).child(octant) {
                 Some(next) => {
                     index = next;

@@ -54,7 +54,10 @@ impl Octree {
             return Err(OctreeError::EmptyCloud);
         }
         if !config.is_supported() {
-            return Err(OctreeError::DepthTooLarge { requested: config.max_depth, max: MAX_LEVEL });
+            return Err(OctreeError::DepthTooLarge {
+                requested: config.max_depth,
+                max: MAX_LEVEL,
+            });
         }
         cloud.validate_finite()?;
 
@@ -64,7 +67,10 @@ impl Octree {
         let margin = (bounds.diagonal() * 1e-6).max(f32::MIN_POSITIVE);
         let root_bounds = bounds.inflate(margin).cubified();
 
-        let mut stats = BuildStats { points: cloud.len(), ..BuildStats::default() };
+        let mut stats = BuildStats {
+            points: cloud.len(),
+            ..BuildStats::default()
+        };
 
         // Single pass: one m-code per point (the per-point octant walk).
         let raw_codes: Vec<MortonCode> = cloud
@@ -101,7 +107,16 @@ impl Octree {
         stats.nodes_created = nodes.len();
         stats.achieved_depth = max_level;
 
-        Ok(Octree { root_bounds, nodes, root, points, permutation, codes, config, stats })
+        Ok(Octree {
+            root_bounds,
+            nodes,
+            root,
+            points,
+            permutation,
+            codes,
+            config,
+            stats,
+        })
     }
 
     fn build_node(
@@ -116,7 +131,12 @@ impl Octree {
         let count = (range.end - range.start) as usize;
         let is_leaf = code.level() >= config.max_depth || count <= config.leaf_capacity;
         let id = NodeId(nodes.len() as u32);
-        nodes.push(Node { code, range: range.clone(), children: [None; 8], is_leaf });
+        nodes.push(Node {
+            code,
+            range: range.clone(),
+            children: [None; 8],
+            is_leaf,
+        });
         if is_leaf {
             return id;
         }
@@ -126,17 +146,10 @@ impl Octree {
             let child_code = code.child(octant);
             // Points of this child are the prefix-matching run beginning at
             // `start`; binary search for its end within the parent range.
-            let end = range.start
-                + partition_end(codes, range.clone(), child_code) as u32;
+            let end = range.start + partition_end(codes, range.clone(), child_code) as u32;
             if end > start {
-                let child_id = Self::build_node(
-                    codes,
-                    child_code,
-                    start..end,
-                    config,
-                    nodes,
-                    max_level,
-                );
+                let child_id =
+                    Self::build_node(codes, child_code, start..end, config, nodes, max_level);
                 children[octant.index() as usize] = Some(child_id);
             }
             start = end;
@@ -253,7 +266,10 @@ impl Octree {
     pub fn node_at(&self, code: MortonCode) -> Option<NodeId> {
         let mut id = self.root;
         for level in 1..=code.level() {
-            let step = code.ancestor_at(level).octant_in_parent().expect("level >= 1");
+            let step = code
+                .ancestor_at(level)
+                .octant_in_parent()
+                .expect("level >= 1");
             let node = self.node(id);
             if node.is_leaf() {
                 return None;
@@ -374,7 +390,8 @@ mod tests {
     #[test]
     fn nodes_partition_points() {
         let cloud = grid_cloud(4);
-        let tree = Octree::build(&cloud, OctreeConfig::new().max_depth(5).leaf_capacity(1)).unwrap();
+        let tree =
+            Octree::build(&cloud, OctreeConfig::new().max_depth(5).leaf_capacity(1)).unwrap();
         // Root covers everything.
         assert_eq!(tree.node(tree.root()).point_count(), cloud.len());
         // Children of every internal node partition its range exactly.
@@ -382,8 +399,7 @@ mod tests {
             if node.is_leaf() {
                 continue;
             }
-            let total: usize =
-                node.children().map(|c| tree.node(c).point_count()).sum();
+            let total: usize = node.children().map(|c| tree.node(c).point_count()).sum();
             assert_eq!(total, node.point_count());
             // Child ranges are consecutive and ordered.
             let mut cursor = node.point_range().start;
@@ -399,7 +415,8 @@ mod tests {
     #[test]
     fn leaf_for_contains_the_point() {
         let cloud = grid_cloud(5);
-        let tree = Octree::build(&cloud, OctreeConfig::new().max_depth(6).leaf_capacity(2)).unwrap();
+        let tree =
+            Octree::build(&cloud, OctreeConfig::new().max_depth(6).leaf_capacity(2)).unwrap();
         for i in 0..cloud.len() {
             let p = cloud.point(i);
             let leaf = tree.leaf_for(p).expect("point inside root");
@@ -413,7 +430,8 @@ mod tests {
     #[test]
     fn voxel_range_matches_nodes() {
         let cloud = grid_cloud(4);
-        let tree = Octree::build(&cloud, OctreeConfig::new().max_depth(4).leaf_capacity(1)).unwrap();
+        let tree =
+            Octree::build(&cloud, OctreeConfig::new().max_depth(4).leaf_capacity(1)).unwrap();
         for node in tree.nodes() {
             assert_eq!(tree.voxel_range(node.code()), node.point_range());
         }
@@ -422,7 +440,8 @@ mod tests {
     #[test]
     fn node_at_finds_every_node() {
         let cloud = grid_cloud(3);
-        let tree = Octree::build(&cloud, OctreeConfig::new().max_depth(4).leaf_capacity(1)).unwrap();
+        let tree =
+            Octree::build(&cloud, OctreeConfig::new().max_depth(4).leaf_capacity(1)).unwrap();
         for (i, node) in tree.nodes().iter().enumerate() {
             assert_eq!(tree.node_at(node.code()), Some(NodeId(i as u32)));
         }
@@ -454,7 +473,8 @@ mod tests {
     #[test]
     fn leaf_capacity_limits_leaf_sizes() {
         let cloud = grid_cloud(4);
-        let tree = Octree::build(&cloud, OctreeConfig::new().max_depth(8).leaf_capacity(3)).unwrap();
+        let tree =
+            Octree::build(&cloud, OctreeConfig::new().max_depth(8).leaf_capacity(3)).unwrap();
         for node in tree.nodes() {
             if node.is_leaf() && node.level() < 8 {
                 assert!(node.point_count() <= 3);
@@ -465,7 +485,8 @@ mod tests {
     #[test]
     fn depth_cap_respected() {
         let cloud = grid_cloud(6);
-        let tree = Octree::build(&cloud, OctreeConfig::new().max_depth(2).leaf_capacity(1)).unwrap();
+        let tree =
+            Octree::build(&cloud, OctreeConfig::new().max_depth(2).leaf_capacity(1)).unwrap();
         assert!(tree.depth() <= 2);
         assert!(tree.nodes().iter().all(|n| n.level() <= 2));
     }
@@ -473,7 +494,8 @@ mod tests {
     #[test]
     fn points_in_aabb_matches_brute_filter() {
         let cloud = grid_cloud(5);
-        let tree = Octree::build(&cloud, OctreeConfig::new().max_depth(5).leaf_capacity(2)).unwrap();
+        let tree =
+            Octree::build(&cloud, OctreeConfig::new().max_depth(5).leaf_capacity(2)).unwrap();
         let query = Aabb::new(Point3::new(0.5, 0.5, 0.5), Point3::new(3.2, 2.7, 4.0));
         let got = tree.points_in_aabb(&query);
         let expect: Vec<usize> = (0..tree.points().len())
@@ -494,7 +516,8 @@ mod tests {
         for _ in 0..10 {
             cloud.push(Point3::splat(0.5));
         }
-        let tree = Octree::build(&cloud, OctreeConfig::new().max_depth(4).leaf_capacity(1)).unwrap();
+        let tree =
+            Octree::build(&cloud, OctreeConfig::new().max_depth(4).leaf_capacity(1)).unwrap();
         // All duplicates collapse into one deep leaf of 10 points.
         let leaf = tree.leaf_for(Point3::splat(0.5)).unwrap();
         assert_eq!(tree.node(leaf).point_count(), 10);

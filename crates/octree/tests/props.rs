@@ -7,8 +7,13 @@ use hgpcn_geometry::{MortonCode, Point3, PointCloud};
 use hgpcn_octree::{neighbor, Octree, OctreeConfig, OctreeTable};
 
 fn arb_cloud() -> impl Strategy<Value = PointCloud> {
-    prop::collection::vec((-50.0f32..50.0, -50.0f32..50.0, -50.0f32..50.0), 1..250)
-        .prop_map(|pts| pts.into_iter().map(|(x, y, z)| Point3::new(x, y, z)).collect())
+    prop::collection::vec((-50.0f32..50.0, -50.0f32..50.0, -50.0f32..50.0), 1..250).prop_map(
+        |pts| {
+            pts.into_iter()
+                .map(|(x, y, z)| Point3::new(x, y, z))
+                .collect()
+        },
+    )
 }
 
 proptest! {

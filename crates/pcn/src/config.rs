@@ -93,13 +93,19 @@ impl PointNetConfig {
             task: TaskKind::Classification { classes: 40 },
             input_size: 1024,
             stages: vec![
-                Stage::SetAbstraction { npoint: 512, k: 32, mlp: MlpSpec::new(3, &[64, 64, 128]) },
+                Stage::SetAbstraction {
+                    npoint: 512,
+                    k: 32,
+                    mlp: MlpSpec::new(3, &[64, 64, 128]),
+                },
                 Stage::SetAbstraction {
                     npoint: 128,
                     k: 64,
                     mlp: MlpSpec::new(3 + 128, &[128, 128, 256]),
                 },
-                Stage::GlobalAbstraction { mlp: MlpSpec::new(3 + 256, &[256, 512, 1024]) },
+                Stage::GlobalAbstraction {
+                    mlp: MlpSpec::new(3 + 256, &[256, 512, 1024]),
+                },
             ],
             fp_mlps: Vec::new(),
             head: MlpSpec::new(1024, &[512, 256, 40]),
@@ -113,13 +119,19 @@ impl PointNetConfig {
             task: TaskKind::Segmentation { classes: 50 },
             input_size: 2048,
             stages: vec![
-                Stage::SetAbstraction { npoint: 512, k: 32, mlp: MlpSpec::new(3, &[64, 64, 128]) },
+                Stage::SetAbstraction {
+                    npoint: 512,
+                    k: 32,
+                    mlp: MlpSpec::new(3, &[64, 64, 128]),
+                },
                 Stage::SetAbstraction {
                     npoint: 128,
                     k: 64,
                     mlp: MlpSpec::new(3 + 128, &[128, 128, 256]),
                 },
-                Stage::GlobalAbstraction { mlp: MlpSpec::new(3 + 256, &[256, 512, 1024]) },
+                Stage::GlobalAbstraction {
+                    mlp: MlpSpec::new(3 + 256, &[256, 512, 1024]),
+                },
             ],
             fp_mlps: vec![
                 MlpSpec::new(1024 + 256, &[256, 256]),
@@ -138,14 +150,21 @@ impl PointNetConfig {
     ///
     /// Panics if `input_size < 512` (the coarsest stage would vanish).
     pub fn semantic_segmentation(input_size: usize) -> PointNetConfig {
-        assert!(input_size >= 512, "semantic segmentation needs >= 512 input points");
+        assert!(
+            input_size >= 512,
+            "semantic segmentation needs >= 512 input points"
+        );
         let np = |div: usize| (input_size / div).max(1);
         PointNetConfig {
             name: "Pointnet++(s)".to_owned(),
             task: TaskKind::Segmentation { classes: 13 },
             input_size,
             stages: vec![
-                Stage::SetAbstraction { npoint: np(4), k: 32, mlp: MlpSpec::new(3, &[32, 32, 64]) },
+                Stage::SetAbstraction {
+                    npoint: np(4),
+                    k: 32,
+                    mlp: MlpSpec::new(3, &[32, 32, 64]),
+                },
                 Stage::SetAbstraction {
                     npoint: np(16),
                     k: 32,
@@ -198,7 +217,11 @@ impl PointNetConfig {
                 }
                 Stage::GlobalAbstraction { mlp } => {
                     let n = *level_sizes.last().expect("at least the input level");
-                    out.push(StageWorkload { name: format!("SA{}*", i + 1), points: n, mlp: mlp.clone() });
+                    out.push(StageWorkload {
+                        name: format!("SA{}*", i + 1),
+                        points: n,
+                        mlp: mlp.clone(),
+                    });
                     level_sizes.push(1);
                 }
             }
@@ -206,13 +229,21 @@ impl PointNetConfig {
         for (j, mlp) in self.fp_mlps.iter().enumerate() {
             // FP j upsamples to the (coarsest - j - 1)-th level's size.
             let target = level_sizes[level_sizes.len() - 2 - j];
-            out.push(StageWorkload { name: format!("FP{}", j + 1), points: target, mlp: mlp.clone() });
+            out.push(StageWorkload {
+                name: format!("FP{}", j + 1),
+                points: target,
+                mlp: mlp.clone(),
+            });
         }
         let head_points = match self.task {
             TaskKind::Classification { .. } => 1,
             TaskKind::Segmentation { .. } => self.input_size,
         };
-        out.push(StageWorkload { name: "head".to_owned(), points: head_points, mlp: self.head.clone() });
+        out.push(StageWorkload {
+            name: "head".to_owned(),
+            points: head_points,
+            mlp: self.head.clone(),
+        });
         out
     }
 
@@ -239,7 +270,10 @@ mod tests {
         let cfg = PointNetConfig::part_segmentation();
         let w = cfg.workload();
         let names: Vec<&str> = w.iter().map(|s| s.name.as_str()).collect();
-        assert_eq!(names, vec!["SA1", "SA2", "SA3*", "FP1", "FP2", "FP3", "head"]);
+        assert_eq!(
+            names,
+            vec!["SA1", "SA2", "SA3*", "FP1", "FP2", "FP3", "head"]
+        );
         // SA1 runs 512 groups x 32 neighbors.
         assert_eq!(w[0].points, 512 * 32);
         // FP3 upsamples back to the full input.

@@ -29,10 +29,16 @@ impl fmt::Display for PcnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PcnError::InputTooSmall { points, needed } => {
-                write!(f, "input of {points} points is below the {needed} the network needs")
+                write!(
+                    f,
+                    "input of {points} points is below the {needed} the network needs"
+                )
             }
             PcnError::FeatureWidth { got, expected } => {
-                write!(f, "input feature width {got} does not match the expected {expected}")
+                write!(
+                    f,
+                    "input feature width {got} does not match the expected {expected}"
+                )
             }
             PcnError::Gather(e) => write!(f, "neighbor gathering failed: {e}"),
         }
@@ -63,6 +69,10 @@ mod tests {
         let e = PcnError::Gather(GatherError::EmptyCloud);
         assert!(!e.to_string().is_empty());
         assert!(Error::source(&e).is_some());
-        assert!(Error::source(&PcnError::InputTooSmall { points: 1, needed: 2 }).is_none());
+        assert!(Error::source(&PcnError::InputTooSmall {
+            points: 1,
+            needed: 2
+        })
+        .is_none());
     }
 }

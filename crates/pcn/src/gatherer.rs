@@ -79,6 +79,9 @@ mod tests {
     fn propagates_gather_errors() {
         let cloud: PointCloud = (0..3).map(|i| Point3::splat(i as f32)).collect();
         let mut g = BruteKnnGatherer::new();
-        assert!(matches!(g.gather(&cloud, &[0], 5), Err(PcnError::Gather(_))));
+        assert!(matches!(
+            g.gather(&cloud, &[0], 5),
+            Err(PcnError::Gather(_))
+        ));
     }
 }

@@ -101,8 +101,9 @@ fn init_mlp(rng: &mut StdRng, spec: &MlpSpec) -> Vec<LayerWeights> {
         .iter()
         .map(|l| {
             let bound = (6.0 / (l.in_features + l.out_features) as f32).sqrt();
-            let data: Vec<f32> =
-                (0..l.in_features * l.out_features).map(|_| rng.gen_range(-bound..bound)).collect();
+            let data: Vec<f32> = (0..l.in_features * l.out_features)
+                .map(|_| rng.gen_range(-bound..bound))
+                .collect();
             let w = Matrix::from_vec(l.in_features, l.out_features, data);
             let b = vec![0.0; l.out_features];
             (w, b)
@@ -114,10 +115,23 @@ impl PointNet {
     /// Materializes a network for `config` with weights seeded from `seed`.
     pub fn new(config: PointNetConfig, seed: u64) -> PointNet {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
-        let stage_weights = config.stages.iter().map(|s| init_mlp(&mut rng, s.mlp())).collect();
-        let fp_weights = config.fp_mlps.iter().map(|m| init_mlp(&mut rng, m)).collect();
+        let stage_weights = config
+            .stages
+            .iter()
+            .map(|s| init_mlp(&mut rng, s.mlp()))
+            .collect();
+        let fp_weights = config
+            .fp_mlps
+            .iter()
+            .map(|m| init_mlp(&mut rng, m))
+            .collect();
         let head_weights = init_mlp(&mut rng, &config.head);
-        PointNet { config, stage_weights, fp_weights, head_weights }
+        PointNet {
+            config,
+            stage_weights,
+            fp_weights,
+            head_weights,
+        }
     }
 
     /// The network's configuration.
@@ -146,8 +160,9 @@ impl PointNet {
         match policy {
             CenterPolicy::FirstN => (0..npoint).collect(),
             CenterPolicy::Random { seed } => {
-                let mut rng =
-                    StdRng::seed_from_u64(seed ^ (stage as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ (stage as u64).wrapping_mul(0xA24B_AED4_963E_E407),
+                );
                 let mut idx: Vec<usize> = (0..n).collect();
                 for i in 0..npoint {
                     let j = rng.gen_range(i..n);
@@ -181,13 +196,19 @@ impl PointNet {
         let mut level_feats: Vec<Option<Matrix>> = vec![None];
 
         for (si, stage) in self.config.stages.iter().enumerate() {
-            let cur_pts = level_points.last().expect("at least the input level").clone();
+            let cur_pts = level_points
+                .last()
+                .expect("at least the input level")
+                .clone();
             let cur_feats = level_feats.last().expect("levels aligned").clone();
             let n = cur_pts.len();
             match stage {
                 Stage::SetAbstraction { npoint, k, .. } => {
                     if *npoint > n {
-                        return Err(PcnError::InputTooSmall { points: n, needed: *npoint });
+                        return Err(PcnError::InputTooSmall {
+                            points: n,
+                            needed: *npoint,
+                        });
                     }
                     let centers = Self::select_centers(policy, n, *npoint, si);
                     let cur_cloud = PointCloud::from_points(cur_pts.clone());
@@ -211,16 +232,15 @@ impl PointNet {
                                 row[3..].copy_from_slice(f.row(ni));
                             }
                         }
-                        let out =
-                            Self::apply_mlp(&self.stage_weights[si], rows, &mut macs, true);
+                        let out = Self::apply_mlp(&self.stage_weights[si], rows, &mut macs, true);
                         pooled.row_mut(gi).copy_from_slice(out.max_pool().row(0));
                     }
                     level_points.push(centers.iter().map(|&c| cur_pts[c]).collect());
                     level_feats.push(Some(pooled));
                 }
                 Stage::GlobalAbstraction { .. } => {
-                    let centroid = cur_pts.iter().fold(Point3::ORIGIN, |a, &p| a + p)
-                        / n.max(1) as f32;
+                    let centroid =
+                        cur_pts.iter().fold(Point3::ORIGIN, |a, &p| a + p) / n.max(1) as f32;
                     let feat_dim = cur_feats.as_ref().map_or(0, Matrix::cols);
                     let mut rows = Matrix::zeros(n, 3 + feat_dim);
                     for (r, &p) in cur_pts.iter().enumerate() {
@@ -242,7 +262,11 @@ impl PointNet {
 
         let logits = match self.config.task {
             TaskKind::Classification { .. } => {
-                let global = level_feats.last().expect("global level").clone().expect("features");
+                let global = level_feats
+                    .last()
+                    .expect("global level")
+                    .clone()
+                    .expect("features");
                 Self::apply_mlp(&self.head_weights, global, &mut macs, false)
             }
             TaskKind::Segmentation { .. } => {
@@ -269,7 +293,11 @@ impl PointNet {
         };
 
         let gather_counts = gatherer.counts() + interp_counts;
-        Ok(InferenceOutput { logits, gather_counts, macs })
+        Ok(InferenceOutput {
+            logits,
+            gather_counts,
+            macs,
+        })
     }
 }
 
@@ -323,7 +351,11 @@ mod tests {
         (0..n)
             .map(|i| {
                 let f = i as f32;
-                Point3::new((f * 0.618).fract() * 2.0, (f * 0.414).fract() * 2.0, (f * 0.732).fract() * 2.0)
+                Point3::new(
+                    (f * 0.618).fract() * 2.0,
+                    (f * 0.414).fract() * 2.0,
+                    (f * 0.732).fract() * 2.0,
+                )
             })
             .collect()
     }
@@ -332,7 +364,9 @@ mod tests {
     fn classification_produces_40_logits() {
         let net = PointNet::new(PointNetConfig::classification(), 1);
         let mut g = BruteKnnGatherer::new();
-        let out = net.infer(&cloud(1024), &mut g, CenterPolicy::FirstN).unwrap();
+        let out = net
+            .infer(&cloud(1024), &mut g, CenterPolicy::FirstN)
+            .unwrap();
         assert_eq!(out.logits.rows(), 1);
         assert_eq!(out.logits.cols(), 40);
         assert!(out.macs > 0);
@@ -345,7 +379,9 @@ mod tests {
     fn segmentation_labels_every_point() {
         let net = PointNet::new(PointNetConfig::semantic_segmentation(512), 2);
         let mut g = BruteKnnGatherer::new();
-        let out = net.infer(&cloud(512), &mut g, CenterPolicy::FirstN).unwrap();
+        let out = net
+            .infer(&cloud(512), &mut g, CenterPolicy::FirstN)
+            .unwrap();
         assert_eq!(out.logits.rows(), 512);
         assert_eq!(out.logits.cols(), 13);
     }
@@ -356,8 +392,12 @@ mod tests {
         let c = cloud(1024);
         let mut g1 = BruteKnnGatherer::new();
         let mut g2 = BruteKnnGatherer::new();
-        let a = net.infer(&c, &mut g1, CenterPolicy::Random { seed: 3 }).unwrap();
-        let b = net.infer(&c, &mut g2, CenterPolicy::Random { seed: 3 }).unwrap();
+        let a = net
+            .infer(&c, &mut g1, CenterPolicy::Random { seed: 3 })
+            .unwrap();
+        let b = net
+            .infer(&c, &mut g2, CenterPolicy::Random { seed: 3 })
+            .unwrap();
         assert_eq!(a.logits, b.logits);
     }
 
@@ -379,7 +419,9 @@ mod tests {
     fn probabilities_are_a_distribution() {
         let net = PointNet::new(PointNetConfig::classification(), 3);
         let mut g = BruteKnnGatherer::new();
-        let out = net.infer(&cloud(1024), &mut g, CenterPolicy::FirstN).unwrap();
+        let out = net
+            .infer(&cloud(1024), &mut g, CenterPolicy::FirstN)
+            .unwrap();
         let p = out.probabilities(0);
         assert_eq!(p.len(), 40);
         assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
@@ -411,7 +453,9 @@ mod tests {
         let cfg = PointNetConfig::classification();
         let net = PointNet::new(cfg.clone(), 1);
         let mut g = BruteKnnGatherer::new();
-        let out = net.infer(&cloud(1024), &mut g, CenterPolicy::FirstN).unwrap();
+        let out = net
+            .infer(&cloud(1024), &mut g, CenterPolicy::FirstN)
+            .unwrap();
         assert_eq!(out.macs, cfg.total_macs());
     }
 

@@ -12,7 +12,11 @@ pub struct Matrix {
 impl Matrix {
     /// A zero-filled matrix.
     pub fn zeros(rows: usize, cols: usize) -> Matrix {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Builds a matrix from row-major data.

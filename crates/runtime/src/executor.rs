@@ -1,0 +1,495 @@
+//! The stage-pipelined executor: real threads driving the two HgPCN
+//! engines over bounded queues.
+//!
+//! Thread topology (all threads are scoped; the run owns everything):
+//!
+//! ```text
+//! admission ──► [ingress queue] ──► preproc pool ──► [stage queue] ──► inference pool ──► records
+//!  (scheduler)     bounded            P workers         bounded           I workers
+//! ```
+//!
+//! Pre-processing of frame *t+1* overlaps inference of frame *t* in
+//! real threads — the execution the analytical
+//! [`realtime`](hgpcn_system::realtime) model only predicts. Latency
+//! accounting runs on a **virtual clock**: each worker advances its own
+//! virtual time by the modeled latency of the work it actually executed,
+//! keeping throughput comparable to the paper's modeled numbers while
+//! wall-clock duration is reported separately. Per-frame modeled
+//! results are fully deterministic (seeds depend only on stream and
+//! frame index); the *aggregate* virtual timeline is bit-reproducible
+//! with one worker per stage, while wider pools inherit the OS's
+//! frame-to-worker assignment and may shift virtual queueing times
+//! slightly between runs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::Instant;
+
+use hgpcn_geometry::PointCloud;
+use hgpcn_pcn::PointNet;
+use hgpcn_system::{E2ePipeline, E2eReport, PhaseReport, SystemError};
+
+use crate::config::{ArrivalModel, BackpressurePolicy, RuntimeConfig};
+use crate::metrics::{FrameRecord, LatencySummary, QueueStats, RuntimeReport, StreamReport};
+use crate::queue::BoundedQueue;
+use crate::scheduler::Scheduler;
+use crate::stream::{StreamSpec, TimedFrame};
+use crate::{frame_seed, RuntimeError};
+
+/// A frame admitted to the pre-processing stage.
+#[derive(Debug)]
+struct PreprocJob {
+    frame: TimedFrame,
+    virtual_arrival_s: f64,
+}
+
+/// A pre-processed frame awaiting inference.
+#[derive(Debug)]
+struct StageJob {
+    stream_id: usize,
+    frame_index: usize,
+    sensor_ts_s: f64,
+    virtual_arrival_s: f64,
+    virtual_preproc_done_s: f64,
+    preproc_ticket: u64,
+    sampled: PointCloud,
+    pre_phase: PhaseReport,
+}
+
+/// What the admission thread reports back when it finishes.
+struct AdmissionOutcome {
+    offered: Vec<usize>,
+    dropped: Vec<usize>,
+    stream_info: Vec<(String, f64)>,
+}
+
+/// Closes both queues if the holding thread unwinds, so a panic in any
+/// pipeline thread (e.g. a user-supplied `FrameSource` panicking inside
+/// the admission loop) releases workers blocked on queue condvars
+/// instead of deadlocking `Runtime::run`; the panic then propagates
+/// through the scope joins.
+struct PanicGuard<'a, A, B> {
+    ingress: &'a BoundedQueue<A>,
+    stage: &'a BoundedQueue<B>,
+}
+
+impl<A, B> Drop for PanicGuard<'_, A, B> {
+    fn drop(&mut self) {
+        if thread::panicking() {
+            self.ingress.close_and_clear();
+            self.stage.close_and_clear();
+        }
+    }
+}
+
+/// The concurrent multi-stream serving runtime.
+#[derive(Debug)]
+pub struct Runtime {
+    config: RuntimeConfig,
+}
+
+impl Runtime {
+    /// Creates a runtime after validating `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] for empty pools or queues.
+    pub fn new(config: RuntimeConfig) -> Result<Runtime, RuntimeError> {
+        config.validate()?;
+        Ok(Runtime { config })
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Serves `streams` through the prototype [`E2ePipeline`] with `net`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first frame failure, or config/stream mistakes.
+    pub fn run(
+        &self,
+        streams: Vec<StreamSpec>,
+        net: &PointNet,
+    ) -> Result<RuntimeReport, RuntimeError> {
+        self.run_with_pipeline(&E2ePipeline::prototype(), streams, net)
+    }
+
+    /// Serves `streams` through a caller-supplied pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::NoStreams`] for an empty stream list and
+    /// [`RuntimeError::Frame`] for the first engine failure.
+    ///
+    /// # Panics
+    ///
+    /// A panic inside a user-supplied [`FrameSource`] (or engine code)
+    /// unwinds the whole pipeline and propagates out of this call; it
+    /// never deadlocks the worker pools.
+    pub fn run_with_pipeline(
+        &self,
+        pipeline: &E2ePipeline,
+        streams: Vec<StreamSpec>,
+        net: &PointNet,
+    ) -> Result<RuntimeReport, RuntimeError> {
+        if streams.is_empty() {
+            return Err(RuntimeError::NoStreams);
+        }
+        let stream_count = streams.len();
+        let config = &self.config;
+
+        let ingress: BoundedQueue<PreprocJob> = BoundedQueue::new(config.queue_capacity);
+        let stage: BoundedQueue<StageJob> = BoundedQueue::new(config.queue_capacity);
+        let records: Mutex<Vec<FrameRecord>> = Mutex::new(Vec::new());
+        let first_error: Mutex<Option<RuntimeError>> = Mutex::new(None);
+        let preproc_live = AtomicUsize::new(config.preproc_workers);
+        let started = Instant::now();
+
+        let fail = |err: RuntimeError| {
+            let mut slot = first_error.lock().expect("error slot poisoned");
+            if slot.is_none() {
+                *slot = Some(err);
+            }
+            // Unwind the whole pipeline, discarding backlogged work —
+            // its results would be thrown away with the run anyway.
+            ingress.close_and_clear();
+            stage.close_and_clear();
+        };
+
+        let admission_outcome: Option<AdmissionOutcome>;
+        {
+            let mut scheduler = Scheduler::new(streams, config.admission);
+            admission_outcome = thread::scope(|s| {
+                // --- Admission: scheduler → ingress queue. ---
+                let admission = s.spawn(|| {
+                    let _guard = PanicGuard {
+                        ingress: &ingress,
+                        stage: &stage,
+                    };
+                    let mut offered = vec![0usize; stream_count];
+                    let mut dropped = vec![0usize; stream_count];
+                    while let Some(frame) = scheduler.next_frame() {
+                        offered[frame.stream_id] += 1;
+                        let virtual_arrival_s = match config.arrival {
+                            ArrivalModel::Sensor => frame.sensor_ts_s,
+                            ArrivalModel::Backlogged => 0.0,
+                        };
+                        let job = PreprocJob {
+                            frame,
+                            virtual_arrival_s,
+                        };
+                        match config.backpressure {
+                            BackpressurePolicy::Block => {
+                                if ingress.push_blocking(job).is_err() {
+                                    break; // shutdown under way
+                                }
+                            }
+                            BackpressurePolicy::DropOldest => match ingress.push_drop_oldest(job) {
+                                Ok(Some(evicted)) => {
+                                    dropped[evicted.frame.stream_id] += 1;
+                                }
+                                Ok(None) => {}
+                                Err(_) => break,
+                            },
+                        }
+                    }
+                    ingress.close();
+                    AdmissionOutcome {
+                        offered,
+                        dropped,
+                        stream_info: scheduler.into_stream_info(),
+                    }
+                });
+
+                // --- Pre-processing pool: ingress → stage queue. ---
+                let preproc_handles: Vec<_> = (0..config.preproc_workers)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let _guard = PanicGuard {
+                                ingress: &ingress,
+                                stage: &stage,
+                            };
+                            let mut vclock = 0.0f64;
+                            while let Some((job, ticket)) = ingress.pop() {
+                                let PreprocJob {
+                                    frame,
+                                    virtual_arrival_s,
+                                } = job;
+                                let seed =
+                                    frame_seed(config.seed, frame.stream_id, frame.frame_index);
+                                match pipeline
+                                    .preproc
+                                    .run(&frame.cloud, config.target_points, seed)
+                                {
+                                    Ok(out) => {
+                                        let latency = out.total_latency();
+                                        let counts = out.total_counts();
+                                        let start = vclock.max(virtual_arrival_s);
+                                        let done = start + latency.secs();
+                                        vclock = done;
+                                        let stage_job = StageJob {
+                                            stream_id: frame.stream_id,
+                                            frame_index: frame.frame_index,
+                                            sensor_ts_s: frame.sensor_ts_s,
+                                            virtual_arrival_s,
+                                            virtual_preproc_done_s: done,
+                                            preproc_ticket: ticket,
+                                            sampled: out.sampled,
+                                            pre_phase: PhaseReport { latency, counts },
+                                        };
+                                        if stage.push_blocking(stage_job).is_err() {
+                                            break; // shutdown under way
+                                        }
+                                    }
+                                    Err(err) => {
+                                        fail(frame_error(&frame, err));
+                                        break;
+                                    }
+                                }
+                            }
+                            if preproc_live.fetch_sub(1, Ordering::AcqRel) == 1 {
+                                stage.close();
+                            }
+                        })
+                    })
+                    .collect();
+
+                // --- Inference pool: stage queue → records. ---
+                let inference_handles: Vec<_> = (0..config.inference_workers)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let _guard = PanicGuard {
+                                ingress: &ingress,
+                                stage: &stage,
+                            };
+                            let mut vclock = 0.0f64;
+                            while let Some((job, ticket)) = stage.pop() {
+                                let seed = frame_seed(config.seed, job.stream_id, job.frame_index);
+                                match pipeline.inference.run(&job.sampled, net, seed) {
+                                    Ok(inf) => {
+                                        let latency = inf.total_latency();
+                                        let start = vclock.max(job.virtual_preproc_done_s);
+                                        let done = start + latency.secs();
+                                        vclock = done;
+                                        let record = FrameRecord {
+                                            stream_id: job.stream_id,
+                                            frame_index: job.frame_index,
+                                            sensor_ts_s: job.sensor_ts_s,
+                                            virtual_arrival_s: job.virtual_arrival_s,
+                                            virtual_preproc_done_s: job.virtual_preproc_done_s,
+                                            virtual_done_s: done,
+                                            modeled: E2eReport {
+                                                preprocess: job.pre_phase,
+                                                inference: PhaseReport {
+                                                    latency,
+                                                    counts: inf.total_counts(),
+                                                },
+                                            },
+                                            preproc_ticket: job.preproc_ticket,
+                                            inference_ticket: ticket,
+                                            wall_done: started.elapsed(),
+                                        };
+                                        records.lock().expect("record sink poisoned").push(record);
+                                    }
+                                    Err(err) => {
+                                        fail(RuntimeError::Frame {
+                                            stream_id: job.stream_id,
+                                            frame_index: job.frame_index,
+                                            source: err,
+                                        });
+                                        break;
+                                    }
+                                }
+                            }
+                        })
+                    })
+                    .collect();
+
+                let outcome = admission.join().expect("admission thread panicked");
+                for h in preproc_handles {
+                    h.join().expect("preprocessing worker panicked");
+                }
+                for h in inference_handles {
+                    h.join().expect("inference worker panicked");
+                }
+                Some(outcome)
+            });
+        }
+
+        if let Some(err) = first_error.into_inner().expect("error slot poisoned") {
+            return Err(err);
+        }
+        let outcome = admission_outcome.expect("admission outcome missing");
+        let mut records = records.into_inner().expect("record sink poisoned");
+        records.sort_by_key(|r| (r.stream_id, r.frame_index));
+
+        Ok(assemble_report(
+            config,
+            &outcome,
+            records,
+            QueueStats {
+                high_water: ingress.high_water(),
+                dropped: ingress.dropped(),
+            },
+            QueueStats {
+                high_water: stage.high_water(),
+                dropped: stage.dropped(),
+            },
+            started.elapsed(),
+        ))
+    }
+}
+
+fn frame_error(frame: &TimedFrame, source: SystemError) -> RuntimeError {
+    RuntimeError::Frame {
+        stream_id: frame.stream_id,
+        frame_index: frame.frame_index,
+        source,
+    }
+}
+
+fn assemble_report(
+    config: &RuntimeConfig,
+    outcome: &AdmissionOutcome,
+    records: Vec<FrameRecord>,
+    ingress_queue: QueueStats,
+    stage_queue: QueueStats,
+    wall_elapsed: std::time::Duration,
+) -> RuntimeReport {
+    use hgpcn_memsim::Latency;
+
+    let stream_count = outcome.stream_info.len();
+    let mut streams = Vec::with_capacity(stream_count);
+    for id in 0..stream_count {
+        let mine: Vec<&FrameRecord> = records.iter().filter(|r| r.stream_id == id).collect();
+        let service: Vec<Latency> = mine.iter().map(|r| r.modeled.total()).collect();
+        let sojourn: Vec<Latency> = mine
+            .iter()
+            .map(|r| Latency::from_secs((r.virtual_done_s - r.virtual_arrival_s).max(0.0)))
+            .collect();
+        let achieved_fps = match mine.first() {
+            Some(first) => {
+                let span = mine
+                    .iter()
+                    .map(|r| r.virtual_done_s)
+                    .fold(f64::NEG_INFINITY, f64::max)
+                    - first.virtual_arrival_s;
+                if span > 1e-12 {
+                    mine.len() as f64 / span
+                } else {
+                    0.0
+                }
+            }
+            None => 0.0,
+        };
+        let (name, sensor_fps) = outcome.stream_info[id].clone();
+        streams.push(StreamReport {
+            stream_id: id,
+            name,
+            offered: outcome.offered[id],
+            completed: mine.len(),
+            dropped: outcome.dropped[id],
+            sensor_fps,
+            achieved_fps,
+            service: LatencySummary::from_samples(&service),
+            sojourn: LatencySummary::from_samples(&sojourn),
+        });
+    }
+
+    let earliest_arrival = records
+        .iter()
+        .map(|r| r.virtual_arrival_s)
+        .fold(f64::INFINITY, f64::min);
+    let latest_done = records
+        .iter()
+        .map(|r| r.virtual_done_s)
+        .fold(0.0f64, f64::max);
+    let virtual_makespan_s = if records.is_empty() {
+        0.0
+    } else {
+        (latest_done - earliest_arrival).max(0.0)
+    };
+    let modeled_pipelined_fps = if virtual_makespan_s > 1e-12 {
+        records.len() as f64 / virtual_makespan_s
+    } else {
+        0.0
+    };
+
+    RuntimeReport {
+        streams,
+        total_frames: records.len(),
+        total_dropped: outcome.dropped.iter().sum(),
+        preproc_workers: config.preproc_workers,
+        inference_workers: config.inference_workers,
+        ingress_queue,
+        stage_queue,
+        virtual_makespan_s,
+        modeled_pipelined_fps,
+        wall_elapsed,
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use hgpcn_geometry::PointCloud;
+    use hgpcn_pcn::{PointNet, PointNetConfig};
+
+    use super::*;
+
+    struct PanickingSource;
+
+    impl crate::FrameSource for PanickingSource {
+        fn next_frame(&mut self) -> Option<(f64, PointCloud)> {
+            panic!("source exploded");
+        }
+
+        fn nominal_fps(&self) -> f64 {
+            10.0
+        }
+    }
+
+    #[test]
+    fn panicking_source_propagates_instead_of_deadlocking() {
+        let runtime = Runtime::new(RuntimeConfig::default()).unwrap();
+        let net = PointNet::new(PointNetConfig::semantic_segmentation(512), 1);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            runtime.run(vec![StreamSpec::new("bad", PanickingSource)], &net)
+        }));
+        assert!(
+            outcome.is_err(),
+            "the source's panic must surface, not hang the pools"
+        );
+    }
+
+    #[test]
+    fn engine_failure_aborts_with_frame_error() {
+        // target_points(8) passes preprocessing but is far below the
+        // net's coarsest stage, so inference fails on the first frame;
+        // the run must surface that frame's error, not hang or succeed.
+        let runtime = Runtime::new(RuntimeConfig::default().target_points(8)).unwrap();
+        let net = PointNet::new(PointNetConfig::semantic_segmentation(512), 1);
+        let streams = vec![StreamSpec::new(
+            "tiny",
+            crate::SyntheticSource::new(1200, 10.0, 4, 5),
+        )];
+        match runtime.run(streams, &net) {
+            Err(RuntimeError::Frame { stream_id: 0, .. }) => {}
+            other => panic!("expected a frame error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_stream_list_is_an_error() {
+        let runtime = Runtime::new(RuntimeConfig::default()).unwrap();
+        let net = PointNet::new(PointNetConfig::semantic_segmentation(512), 1);
+        assert_eq!(
+            runtime.run(vec![], &net).unwrap_err(),
+            crate::RuntimeError::NoStreams
+        );
+    }
+}

@@ -1,0 +1,322 @@
+//! Per-stream and aggregate serving metrics.
+//!
+//! All latencies here are **modeled** latencies from the workspace's
+//! deterministic cost models, accumulated on a virtual clock by the real
+//! worker threads; wall-clock numbers are reported separately. The
+//! aggregate [`RuntimeReport`] cross-validates the runtime's achieved
+//! virtual throughput against the analytical
+//! [`RealtimeReport::pipelined_fps`](hgpcn_system::realtime::RealtimeReport).
+
+use std::fmt;
+use std::time::Duration;
+
+use hgpcn_memsim::Latency;
+use hgpcn_system::realtime::RealtimeReport;
+use hgpcn_system::E2eReport;
+
+/// One frame's complete journey, recorded by the worker that finished it.
+#[derive(Clone, Debug)]
+pub struct FrameRecord {
+    /// Owning stream.
+    pub stream_id: usize,
+    /// Per-stream sequence number.
+    pub frame_index: usize,
+    /// Sensor timestamp of the frame.
+    pub sensor_ts_s: f64,
+    /// Virtual arrival time (sensor timestamp, or 0 when backlogged).
+    pub virtual_arrival_s: f64,
+    /// Virtual time the pre-processing stage finished the frame.
+    pub virtual_preproc_done_s: f64,
+    /// Virtual time the inference stage finished the frame.
+    pub virtual_done_s: f64,
+    /// Modeled per-phase latencies and op counts.
+    pub modeled: E2eReport,
+    /// Ingress-queue dequeue ticket (proves FIFO admission order).
+    pub preproc_ticket: u64,
+    /// Stage-queue dequeue ticket.
+    pub inference_ticket: u64,
+    /// Wall-clock instant (relative to run start) the frame completed.
+    pub wall_done: Duration,
+}
+
+/// Percentile summary of a latency population.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50: Latency,
+    /// 95th percentile.
+    pub p95: Latency,
+    /// 99th percentile.
+    pub p99: Latency,
+    /// Worst observation.
+    pub max: Latency,
+    /// Arithmetic mean.
+    pub mean: Latency,
+}
+
+impl LatencySummary {
+    /// Summarizes `samples` (need not be sorted). Returns zeros for an
+    /// empty population.
+    pub fn from_samples(samples: &[Latency]) -> LatencySummary {
+        if samples.is_empty() {
+            let z = Latency::ZERO;
+            return LatencySummary {
+                p50: z,
+                p95: z,
+                p99: z,
+                max: z,
+                mean: z,
+            };
+        }
+        let mut ns: Vec<f64> = samples.iter().map(|l| l.ns()).collect();
+        ns.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let pick = |q: f64| -> Latency {
+            let idx = ((ns.len() - 1) as f64 * q).round() as usize;
+            Latency::from_ns(ns[idx])
+        };
+        LatencySummary {
+            p50: pick(0.50),
+            p95: pick(0.95),
+            p99: pick(0.99),
+            max: Latency::from_ns(*ns.last().expect("nonempty")),
+            mean: Latency::from_ns(ns.iter().sum::<f64>() / ns.len() as f64),
+        }
+    }
+}
+
+impl fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "p50 {} | p95 {} | p99 {} | max {} | mean {}",
+            self.p50, self.p95, self.p99, self.max, self.mean
+        )
+    }
+}
+
+/// Serving metrics for one stream.
+#[derive(Clone, Debug)]
+pub struct StreamReport {
+    /// Stream index in the submitted list.
+    pub stream_id: usize,
+    /// Stream name from its [`StreamSpec`](crate::StreamSpec).
+    pub name: String,
+    /// Frames the source produced.
+    pub offered: usize,
+    /// Frames completing inference.
+    pub completed: usize,
+    /// Frames evicted by `DropOldest` backpressure.
+    pub dropped: usize,
+    /// The sensor's nominal generation rate.
+    pub sensor_fps: f64,
+    /// Completed frames per virtual second, over this stream's span of
+    /// virtual time (arrival of first frame to completion of last).
+    pub achieved_fps: f64,
+    /// Modeled service time per frame (preprocess + inference).
+    pub service: LatencySummary,
+    /// Modeled sojourn per frame (virtual completion − virtual arrival;
+    /// includes pipeline queueing).
+    pub sojourn: LatencySummary,
+}
+
+impl StreamReport {
+    /// Fraction of offered frames that completed.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.offered == 0 {
+            return 1.0;
+        }
+        self.completed as f64 / self.offered as f64
+    }
+}
+
+/// Occupancy statistics of one inter-stage queue.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Deepest observed occupancy.
+    pub high_water: usize,
+    /// Frames evicted (drop-oldest only; zero under `Block`).
+    pub dropped: u64,
+}
+
+/// Aggregate outcome of one [`Runtime::run`](crate::Runtime::run).
+#[derive(Clone, Debug)]
+pub struct RuntimeReport {
+    /// Per-stream metrics, in stream-id order.
+    pub streams: Vec<StreamReport>,
+    /// Frames completing inference across all streams.
+    pub total_frames: usize,
+    /// Frames dropped across all streams.
+    pub total_dropped: usize,
+    /// Pre-processing worker-pool size used.
+    pub preproc_workers: usize,
+    /// Inference worker-pool size used.
+    pub inference_workers: usize,
+    /// Ingress (admission → preprocess) queue stats.
+    pub ingress_queue: QueueStats,
+    /// Stage (preprocess → inference) queue stats.
+    pub stage_queue: QueueStats,
+    /// Virtual time from the earliest arrival to the last completion.
+    pub virtual_makespan_s: f64,
+    /// Achieved throughput on the virtual clock:
+    /// `total_frames / virtual_makespan_s`.
+    pub modeled_pipelined_fps: f64,
+    /// Wall-clock duration of the run (host execution speed — unrelated
+    /// to the modeled hardware's throughput).
+    pub wall_elapsed: Duration,
+    /// Every completed frame's journey, sorted by `(stream, frame)`.
+    pub records: Vec<FrameRecord>,
+}
+
+impl RuntimeReport {
+    /// Host-side throughput (frames per wall-clock second).
+    pub fn wall_fps(&self) -> f64 {
+        self.total_frames as f64 / self.wall_elapsed.as_secs_f64().max(1e-12)
+    }
+
+    /// Cross-validates this run against the analytical model.
+    ///
+    /// See [`CrossValidation`] for the tolerance rationale.
+    pub fn validate_against(&self, analytical: &RealtimeReport) -> CrossValidation {
+        CrossValidation {
+            measured_fps: self.modeled_pipelined_fps,
+            analytical_fps: analytical.pipelined_fps,
+            tolerance: DEFAULT_VALIDATION_TOLERANCE,
+        }
+    }
+}
+
+/// Default relative tolerance for [`RuntimeReport::validate_against`].
+///
+/// The analytical `pipelined_fps` is `1 / max_t max(pre_t, inf_t)` — a
+/// worst-frame bound — while the runtime measures `n / makespan`, which
+/// reflects *mean* stage occupancy plus one pipeline fill. For a stream
+/// of similar-sized frames the two agree closely; the mean-vs-max gap
+/// and the `1/n` fill overhead bound the disagreement well inside ±25%
+/// for the frame counts the experiments use (n ≥ 16). A measured value
+/// below `1 − tolerance` indicates the executor lost overlap (stalled
+/// queues); above `1 + tolerance`, that the analytical bound is loose
+/// for the workload (high frame-to-frame variance).
+pub const DEFAULT_VALIDATION_TOLERANCE: f64 = 0.25;
+
+/// Comparison of measured (virtual-clock) vs analytical throughput.
+#[derive(Clone, Copy, Debug)]
+pub struct CrossValidation {
+    /// The runtime's achieved virtual throughput.
+    pub measured_fps: f64,
+    /// The analytical two-stage bound.
+    pub analytical_fps: f64,
+    /// Relative tolerance for agreement.
+    pub tolerance: f64,
+}
+
+impl CrossValidation {
+    /// `measured / analytical`.
+    pub fn ratio(&self) -> f64 {
+        self.measured_fps / self.analytical_fps.max(1e-12)
+    }
+
+    /// Whether the two agree within the tolerance.
+    pub fn agrees(&self) -> bool {
+        (self.ratio() - 1.0).abs() <= self.tolerance
+    }
+}
+
+impl fmt::Display for CrossValidation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "measured {:.2} FPS vs analytical {:.2} FPS (ratio {:.3}, tolerance ±{:.0}%: {})",
+            self.measured_fps,
+            self.analytical_fps,
+            self.ratio(),
+            self.tolerance * 100.0,
+            if self.agrees() { "agree" } else { "DISAGREE" },
+        )
+    }
+}
+
+impl fmt::Display for RuntimeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "RuntimeReport: {} frames ({} dropped) | {}+{} workers | virtual makespan {:.3} s | {:.2} modeled FPS | wall {:.2?} ({:.1} frames/s host)",
+            self.total_frames,
+            self.total_dropped,
+            self.preproc_workers,
+            self.inference_workers,
+            self.virtual_makespan_s,
+            self.modeled_pipelined_fps,
+            self.wall_elapsed,
+            self.wall_fps(),
+        )?;
+        writeln!(
+            f,
+            "  queues: ingress high-water {} (dropped {}), stage high-water {} (dropped {})",
+            self.ingress_queue.high_water,
+            self.ingress_queue.dropped,
+            self.stage_queue.high_water,
+            self.stage_queue.dropped,
+        )?;
+        for s in &self.streams {
+            writeln!(
+                f,
+                "  [{}] {}: {}/{} frames (dropped {}), sensor {:.1} FPS, achieved {:.2} FPS",
+                s.stream_id,
+                s.name,
+                s.completed,
+                s.offered,
+                s.dropped,
+                s.sensor_fps,
+                s.achieved_fps,
+            )?;
+            writeln!(f, "      service: {}", s.service)?;
+            writeln!(f, "      sojourn: {}", s.sojourn)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: f64) -> Latency {
+        Latency::from_ms(v)
+    }
+
+    #[test]
+    fn summary_percentiles_ordered() {
+        let samples: Vec<Latency> = (1..=100).map(|i| ms(i as f64)).collect();
+        let s = LatencySummary::from_samples(&samples);
+        // Nearest-rank on 100 samples: idx = round(99 * q).
+        assert_eq!(s.p50, ms(51.0));
+        assert_eq!(s.p95, ms(95.0));
+        assert_eq!(s.p99, ms(99.0));
+        assert_eq!(s.max, ms(100.0));
+        assert!((s.mean.ms() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_empty_is_zero() {
+        let s = LatencySummary::from_samples(&[]);
+        assert_eq!(s.max, Latency::ZERO);
+        assert_eq!(s.mean, Latency::ZERO);
+    }
+
+    #[test]
+    fn cross_validation_tolerance() {
+        let v = CrossValidation {
+            measured_fps: 110.0,
+            analytical_fps: 100.0,
+            tolerance: 0.25,
+        };
+        assert!(v.agrees());
+        assert!((v.ratio() - 1.1).abs() < 1e-12);
+        let bad = CrossValidation {
+            measured_fps: 50.0,
+            analytical_fps: 100.0,
+            tolerance: 0.25,
+        };
+        assert!(!bad.agrees());
+    }
+}

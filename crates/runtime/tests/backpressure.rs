@@ -1,0 +1,139 @@
+//! Backpressure and drop-policy properties.
+//!
+//! The queue-level property test models `push_drop_oldest` against a
+//! reference `VecDeque` over arbitrary interleavings of pushes and
+//! pops; the runtime-level test checks end-to-end frame conservation
+//! under the lossy policy: every offered frame is either completed or
+//! accounted as dropped, and survivors keep their relative order.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+
+use hgpcn_pcn::{PointNet, PointNetConfig};
+use hgpcn_runtime::{
+    ArrivalModel, BackpressurePolicy, BoundedQueue, Runtime, RuntimeConfig, StreamSpec,
+    SyntheticSource,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Drop-oldest mirrors a reference ring buffer under any
+    /// push/pop interleaving, and conserves items:
+    /// delivered + dropped + still-queued == offered.
+    #[test]
+    fn drop_oldest_matches_reference_model(
+        capacity in 1usize..6,
+        ops in prop::collection::vec(prop::bool::ANY, 1..60),
+    ) {
+        let queue = BoundedQueue::new(capacity);
+        let mut reference: VecDeque<usize> = VecDeque::new();
+        let mut next_item = 0usize;
+        let mut delivered = 0usize;
+        for &is_push in &ops {
+            if is_push {
+                let evicted = queue.push_drop_oldest(next_item).unwrap();
+                if reference.len() >= capacity {
+                    let expect = reference.pop_front();
+                    prop_assert_eq!(evicted, expect, "wrong eviction victim");
+                } else {
+                    prop_assert!(evicted.is_none(), "evicted below capacity");
+                }
+                reference.push_back(next_item);
+                next_item += 1;
+            } else if let Some(expect) = reference.pop_front() {
+                let (got, _) = queue.pop().expect("reference says queue is nonempty");
+                prop_assert_eq!(got, expect, "FIFO violated");
+                delivered += 1;
+            }
+            prop_assert_eq!(queue.depth(), reference.len());
+        }
+        // Conservation.
+        prop_assert_eq!(
+            delivered + queue.dropped() as usize + queue.depth(),
+            next_item,
+            "items leaked or duplicated"
+        );
+        // Survivors drain in order.
+        queue.close();
+        while let Some(expect) = reference.pop_front() {
+            prop_assert_eq!(queue.pop().map(|(v, _)| v), Some(expect));
+        }
+        prop_assert!(queue.pop().is_none());
+    }
+
+    /// Block policy never drops: the queue refuses nothing and keeps
+    /// strict FIFO.
+    #[test]
+    fn block_policy_is_lossless(capacity in 1usize..5, n in 1usize..40) {
+        let queue = BoundedQueue::new(capacity);
+        let mut delivered = Vec::new();
+        // Keep the queue below capacity by interleaving push and pop.
+        for i in 0..n {
+            queue.push_blocking(i).unwrap();
+            if queue.depth() == capacity {
+                delivered.push(queue.pop().unwrap().0);
+            }
+        }
+        queue.close();
+        while let Some((v, _)) = queue.pop() {
+            delivered.push(v);
+        }
+        prop_assert_eq!(delivered, (0..n).collect::<Vec<_>>());
+        prop_assert_eq!(queue.dropped(), 0);
+    }
+}
+
+#[test]
+fn runtime_conserves_frames_under_drop_oldest() {
+    const FRAMES: usize = 8;
+    let runtime = Runtime::new(
+        RuntimeConfig::default()
+            .preproc_workers(1)
+            .inference_workers(1)
+            .queue_capacity(1) // tiny: maximal eviction pressure
+            .backpressure(BackpressurePolicy::DropOldest)
+            .arrival(ArrivalModel::Sensor)
+            .target_points(512),
+    )
+    .unwrap();
+    let net = PointNet::new(PointNetConfig::semantic_segmentation(512), 1);
+    let streams = vec![
+        StreamSpec::new("a", SyntheticSource::new(1300, 20.0, FRAMES, 1)),
+        StreamSpec::new("b", SyntheticSource::new(1700, 10.0, FRAMES, 2)),
+    ];
+    let report = runtime.run(streams, &net).unwrap();
+
+    for s in &report.streams {
+        assert_eq!(s.offered, FRAMES);
+        assert_eq!(
+            s.completed + s.dropped,
+            s.offered,
+            "stream {}: frames leaked (completed {} + dropped {} != offered {})",
+            s.name,
+            s.completed,
+            s.dropped,
+            s.offered
+        );
+        assert!(s.delivery_ratio() <= 1.0);
+    }
+    let dropped: usize = report.streams.iter().map(|s| s.dropped).sum();
+    assert_eq!(report.total_dropped, dropped);
+    assert_eq!(report.total_frames + dropped, 2 * FRAMES);
+    assert_eq!(report.ingress_queue.dropped as usize, dropped);
+
+    // Survivors of each stream keep ascending frame indices (drop-oldest
+    // never reorders).
+    for id in 0..2 {
+        let mine: Vec<_> = report
+            .records
+            .iter()
+            .filter(|r| r.stream_id == id)
+            .collect();
+        for pair in mine.windows(2) {
+            assert!(pair[1].frame_index > pair[0].frame_index);
+            assert!(pair[1].preproc_ticket > pair[0].preproc_ticket);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! §VII-E cross-validation: the executor's *measured* pipelined
+//! throughput (virtual clock, real threads) must agree with the
+//! analytical two-stage model in `hgpcn_system::realtime` for the
+//! single-stream case, within the documented tolerance.
+
+use hgpcn_pcn::{PointNet, PointNetConfig};
+use hgpcn_runtime::{
+    ArrivalModel, FrameSource, Runtime, RuntimeConfig, StreamSpec, SyntheticSource,
+};
+use hgpcn_system::{realtime, E2ePipeline};
+
+#[test]
+fn measured_pipelined_fps_matches_analytical_model() {
+    const FRAMES: usize = 16;
+    const TARGET: usize = 512;
+    let source = SyntheticSource::new(1600, 10.0, FRAMES, 11);
+    let net = PointNet::new(PointNetConfig::semantic_segmentation(TARGET), 1);
+    let pipeline = E2ePipeline::prototype();
+
+    // Measured: a backlogged single stream through 1+1 workers, so the
+    // achieved virtual throughput is pipeline capacity.
+    let runtime = Runtime::new(
+        RuntimeConfig::default()
+            .preproc_workers(1)
+            .inference_workers(1)
+            .arrival(ArrivalModel::Backlogged)
+            .target_points(TARGET),
+    )
+    .unwrap();
+    let report = runtime
+        .run_with_pipeline(
+            &pipeline,
+            vec![StreamSpec::new("solo", source.clone())],
+            &net,
+        )
+        .unwrap();
+    assert_eq!(report.total_frames, FRAMES);
+
+    // Analytical: the same frames through the closed-form model.
+    let mut replay = source.clone();
+    let frames: Vec<(f64, _)> = std::iter::from_fn(|| replay.next_frame()).collect();
+    let analytical = realtime::run_stream(&pipeline, &net, &frames, TARGET, 0x5EED).unwrap();
+
+    let validation = report.validate_against(&analytical);
+    assert!(
+        validation.agrees(),
+        "runtime and analytical model disagree: {validation}"
+    );
+    // The measured number can only exceed the analytical worst-frame
+    // bound via mean-vs-max slack, never fall below it by more than the
+    // pipeline-fill overhead (1 frame in FRAMES).
+    assert!(
+        validation.ratio() > 0.9,
+        "measured throughput fell below the analytical bound: {validation}"
+    );
+}

@@ -1,0 +1,79 @@
+//! Per-stream frame ordering under a many-worker pool: whatever the
+//! thread interleaving, each stream's frames are admitted FIFO (their
+//! ingress dequeue tickets increase with frame index) and every offered
+//! frame completes exactly once under the lossless `Block` policy.
+
+use hgpcn_pcn::{PointNet, PointNetConfig};
+use hgpcn_runtime::{
+    AdmissionPolicy, ArrivalModel, BackpressurePolicy, Runtime, RuntimeConfig, StreamSpec,
+    SyntheticSource,
+};
+
+const TARGET: usize = 512;
+
+#[test]
+fn per_stream_order_preserved_under_many_workers() {
+    let streams: Vec<StreamSpec> = (0..3)
+        .map(|i| {
+            StreamSpec::new(
+                format!("cam-{i}"),
+                SyntheticSource::new(1200 + 200 * i as usize, 10.0, 6, i as u64),
+            )
+        })
+        .collect();
+    let runtime = Runtime::new(
+        RuntimeConfig::default()
+            .preproc_workers(4)
+            .inference_workers(4)
+            .queue_capacity(4)
+            .admission(AdmissionPolicy::RoundRobin)
+            .backpressure(BackpressurePolicy::Block)
+            .arrival(ArrivalModel::Backlogged)
+            .target_points(TARGET),
+    )
+    .unwrap();
+    let net = PointNet::new(PointNetConfig::semantic_segmentation(TARGET), 1);
+    let report = runtime.run(streams, &net).unwrap();
+
+    // Lossless: every offered frame completed exactly once.
+    assert_eq!(report.total_frames, 18);
+    assert_eq!(report.total_dropped, 0);
+    for s in &report.streams {
+        assert_eq!(s.completed, 6, "stream {} lost frames", s.name);
+        assert_eq!(s.offered, 6);
+        assert_eq!(s.delivery_ratio(), 1.0);
+    }
+
+    // Records are unique per (stream, frame) and FIFO per stream: the
+    // ingress ticket — assigned at dequeue, by any of the 4 preproc
+    // workers — must increase with the frame index within a stream.
+    for id in 0..3 {
+        let mine: Vec<_> = report
+            .records
+            .iter()
+            .filter(|r| r.stream_id == id)
+            .collect();
+        assert_eq!(mine.len(), 6);
+        for pair in mine.windows(2) {
+            assert_eq!(
+                pair[1].frame_index,
+                pair[0].frame_index + 1,
+                "missing/dup frame"
+            );
+            assert!(
+                pair[1].preproc_ticket > pair[0].preproc_ticket,
+                "stream {id}: frame {} dequeued before frame {}",
+                pair[1].frame_index,
+                pair[0].frame_index
+            );
+        }
+        // Per-frame modeled results are scheduling-independent even
+        // under 4+4 workers: each frame's seed depends only on
+        // (stream, index), so modeled latencies must be positive and
+        // identical across reruns — the determinism suite pins the
+        // exact values; here we only require they were produced.
+        for r in &mine {
+            assert!(r.modeled.total().ns() > 0.0);
+        }
+    }
+}

@@ -28,9 +28,15 @@ impl fmt::Display for SamplingError {
         match self {
             SamplingError::EmptyCloud => write!(f, "cannot sample from an empty frame"),
             SamplingError::TargetExceedsInput { target, available } => {
-                write!(f, "sample target {target} exceeds the {available} points available")
+                write!(
+                    f,
+                    "sample target {target} exceeds the {available} points available"
+                )
             }
-            SamplingError::OctreeMismatch { octree_points, memory_points } => write!(
+            SamplingError::OctreeMismatch {
+                octree_points,
+                memory_points,
+            } => write!(
                 f,
                 "octree indexes {octree_points} points but host memory holds {memory_points}"
             ),
@@ -48,8 +54,14 @@ mod tests {
     fn display_nonempty() {
         for e in [
             SamplingError::EmptyCloud,
-            SamplingError::TargetExceedsInput { target: 5, available: 3 },
-            SamplingError::OctreeMismatch { octree_points: 1, memory_points: 2 },
+            SamplingError::TargetExceedsInput {
+                target: 5,
+                available: 3,
+            },
+            SamplingError::OctreeMismatch {
+                octree_points: 1,
+                memory_points: 2,
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }

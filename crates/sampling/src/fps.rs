@@ -32,7 +32,10 @@ pub fn sample(mem: &mut HostMemory, k: usize, seed: u64) -> Result<SampleResult,
         return Err(SamplingError::EmptyCloud);
     }
     if k > n {
-        return Err(SamplingError::TargetExceedsInput { target: k, available: n });
+        return Err(SamplingError::TargetExceedsInput {
+            target: k,
+            available: n,
+        });
     }
     // The result reports only this run's accesses.
     let _ = mem.reset_counts();
@@ -144,7 +147,10 @@ mod tests {
     #[test]
     fn rejects_bad_inputs() {
         let mut empty = HostMemory::from_points(vec![]);
-        assert_eq!(sample(&mut empty, 1, 0).unwrap_err(), SamplingError::EmptyCloud);
+        assert_eq!(
+            sample(&mut empty, 1, 0).unwrap_err(),
+            SamplingError::EmptyCloud
+        );
         let mut mem = HostMemory::from_cloud(&line_cloud(4));
         assert!(matches!(
             sample(&mut mem, 5, 0).unwrap_err(),
@@ -193,7 +199,11 @@ mod tests {
                 .filter(|i| !picked.contains(i))
                 .map(min_dist)
                 .fold(0.0f32, f32::max);
-            assert_eq!(min_dist(r.indices[pick]), best, "pick {pick} not farthest-first");
+            assert_eq!(
+                min_dist(r.indices[pick]),
+                best,
+                "pick {pick} not farthest-first"
+            );
         }
     }
 

@@ -28,7 +28,11 @@ impl DownsamplingUnit {
     /// The paper's prototype configuration: 8 Sampling Modules with a
     /// 256-lane scoring array at 200 MHz.
     pub fn prototype() -> DownsamplingUnit {
-        DownsamplingUnit { modules: 8, scoring_lanes: 256, clock_mhz: 200.0 }
+        DownsamplingUnit {
+            modules: 8,
+            scoring_lanes: 256,
+            clock_mhz: 200.0,
+        }
     }
 
     /// The device profile of this configuration, derived from the base
@@ -97,7 +101,8 @@ mod tests {
         let cloud: PointCloud = (0..n)
             .map(|i| Point3::new((i % 17) as f32, (i % 13) as f32, (i % 11) as f32))
             .collect();
-        let tree = Octree::build(&cloud, OctreeConfig::new().max_depth(6).leaf_capacity(2)).unwrap();
+        let tree =
+            Octree::build(&cloud, OctreeConfig::new().max_depth(6).leaf_capacity(2)).unwrap();
         OctreeTable::from_octree(&tree)
     }
 
@@ -109,17 +114,35 @@ mod tests {
             comparisons: 40_000,
             ..OpCounts::default()
         };
-        let one =
-            DownsamplingUnit { modules: 1, scoring_lanes: 32, clock_mhz: 200.0 }.latency(&counts);
+        let one = DownsamplingUnit {
+            modules: 1,
+            scoring_lanes: 32,
+            clock_mhz: 200.0,
+        }
+        .latency(&counts);
         let eight = DownsamplingUnit::prototype().latency(&counts);
         assert!(eight < one);
     }
 
     #[test]
     fn higher_clock_is_faster() {
-        let counts = OpCounts { table_lookups: 10_000, hamming_ops: 80_000, ..OpCounts::default() };
-        let slow = DownsamplingUnit { modules: 8, scoring_lanes: 256, clock_mhz: 100.0 }.latency(&counts);
-        let fast = DownsamplingUnit { modules: 8, scoring_lanes: 256, clock_mhz: 400.0 }.latency(&counts);
+        let counts = OpCounts {
+            table_lookups: 10_000,
+            hamming_ops: 80_000,
+            ..OpCounts::default()
+        };
+        let slow = DownsamplingUnit {
+            modules: 8,
+            scoring_lanes: 256,
+            clock_mhz: 100.0,
+        }
+        .latency(&counts);
+        let fast = DownsamplingUnit {
+            modules: 8,
+            scoring_lanes: 256,
+            clock_mhz: 400.0,
+        }
+        .latency(&counts);
         assert!(fast < slow);
     }
 

@@ -39,8 +39,8 @@ pub mod ois;
 pub mod quality;
 pub mod random;
 pub mod reinforce;
-pub mod voxelgrid;
 mod result;
+pub mod voxelgrid;
 
 pub use error::SamplingError;
 pub use result::SampleResult;

@@ -57,7 +57,9 @@ struct OisState<'a> {
 
 impl<'a> OisState<'a> {
     fn new(table: &'a OctreeTable) -> OisState<'a> {
-        let remaining = (0..table.len() as u32).map(|i| table.entry(i).point_count).collect();
+        let remaining = (0..table.len() as u32)
+            .map(|i| table.entry(i).point_count)
+            .collect();
         OisState {
             table,
             remaining,
@@ -103,7 +105,10 @@ impl<'a> OisState<'a> {
         let mut path = vec![self.table.root()];
         self.counts.table_lookups += 1;
         for level in 1..=code.level() {
-            let octant = code.ancestor_at(level).octant_in_parent().expect("level >= 1");
+            let octant = code
+                .ancestor_at(level)
+                .octant_in_parent()
+                .expect("level >= 1");
             let idx = *path.last().expect("non-empty");
             match self.table.entry(idx).child(octant) {
                 Some(next) => {
@@ -197,13 +202,14 @@ impl Scoreboard {
         let mut cut: Vec<u32> = vec![table.root()];
         counts.table_lookups += 1;
         loop {
-            let expandable: usize =
-                cut.iter().map(|&i| table.entry(i).child_mask.count_ones() as usize).sum();
+            let expandable: usize = cut
+                .iter()
+                .map(|&i| table.entry(i).child_mask.count_ones() as usize)
+                .sum();
             if expandable == 0 {
                 break;
             }
-            let next_size =
-                cut.iter().filter(|&&i| table.entry(i).is_leaf()).count() + expandable;
+            let next_size = cut.iter().filter(|&&i| table.entry(i).is_leaf()).count() + expandable;
             if next_size > SCOREBOARD_INITIAL {
                 break;
             }
@@ -224,7 +230,13 @@ impl Scoreboard {
         let codes = cut.iter().map(|&i| table.code(i)).collect();
         let min_hamming = vec![u32::MAX; cut.len()];
         let limit = (4 * k.max(1)).clamp(SCOREBOARD_INITIAL, SCOREBOARD_LIMIT);
-        Scoreboard { entries: cut, codes, min_hamming, limit, max_depth: table.max_depth() }
+        Scoreboard {
+            entries: cut,
+            codes,
+            min_hamming,
+            limit,
+            max_depth: table.max_depth(),
+        }
     }
 
     /// Refines the slot a pick landed in: replace the voxel by its
@@ -293,7 +305,12 @@ impl Scoreboard {
     /// min-distance, ties broken toward the *least-sampled* voxel (fewest
     /// picks taken). Breaking ties toward dense voxels would collapse the
     /// sampler into density-proportional (random-sampling-like) behaviour.
-    fn select(&self, table: &OctreeTable, remaining: &[u32], counts: &mut OpCounts) -> Option<usize> {
+    fn select(
+        &self,
+        table: &OctreeTable,
+        remaining: &[u32],
+        counts: &mut OpCounts,
+    ) -> Option<usize> {
         let mut best: Option<(u32, u32, usize)> = None; // (min_dist, picked, slot)
         for (i, &entry) in self.entries.iter().enumerate() {
             // Scoreboard scans are module-evaluated in hardware and
@@ -321,13 +338,19 @@ impl Scoreboard {
 fn validate(octree: &Octree, mem: &HostMemory, k: usize) -> Result<(), SamplingError> {
     let n = octree.points().len();
     if mem.len() != n {
-        return Err(SamplingError::OctreeMismatch { octree_points: n, memory_points: mem.len() });
+        return Err(SamplingError::OctreeMismatch {
+            octree_points: n,
+            memory_points: mem.len(),
+        });
     }
     if n == 0 {
         return Err(SamplingError::EmptyCloud);
     }
     if k > n {
-        return Err(SamplingError::TargetExceedsInput { target: k, available: n });
+        return Err(SamplingError::TargetExceedsInput {
+            target: k,
+            available: n,
+        });
     }
     Ok(())
 }
@@ -387,7 +410,10 @@ fn sample_inner(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut indices = Vec::with_capacity(k);
     if k == 0 {
-        return Ok(SampleResult { indices, counts: OpCounts::default() });
+        return Ok(SampleResult {
+            indices,
+            counts: OpCounts::default(),
+        });
     }
 
     let depth = table.max_depth();
@@ -444,7 +470,8 @@ fn sample_inner(
         // if the leaf sits after the previously picked voxel on the curve.
         let leaf = *path.last().expect("non-empty");
         let leaf_code = table.code(leaf);
-        let take_high = leaf_code >= last_code.ancestor_at(leaf_code.level().min(last_code.level()));
+        let take_high =
+            leaf_code >= last_code.ancestor_at(leaf_code.level().min(last_code.level()));
         state.counts.comparisons += 1;
         let addr = state.take(&path, take_high);
         let _ = mem.read_point(addr);
@@ -511,9 +538,8 @@ mod tests {
         let r = sample(&octree, &table, &mut mem, k, 1).unwrap();
         // Each pick walks to a leaf and decrements the same path: at most
         // ~2·(depth+1) lookups, plus the scoreboard construction.
-        let bound = (k as u64 + 1) * (2 * u64::from(octree.depth()) + 2)
-            + SCOREBOARD_LIMIT as u64
-            + 2;
+        let bound =
+            (k as u64 + 1) * (2 * u64::from(octree.depth()) + 2) + SCOREBOARD_LIMIT as u64 + 2;
         assert!(
             r.counts.table_lookups <= bound,
             "lookups {} exceed bound {bound}",
@@ -561,7 +587,11 @@ mod tests {
         let cloud: PointCloud = (0..800)
             .map(|i| {
                 let f = i as f32;
-                Point3::new((f * 0.618).fract(), (f * 0.414).fract(), (f * 0.732).fract())
+                Point3::new(
+                    (f * 0.618).fract(),
+                    (f * 0.414).fract(),
+                    (f * 0.732).fract(),
+                )
             })
             .collect();
         let octree =

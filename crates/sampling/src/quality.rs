@@ -15,7 +15,10 @@ use hgpcn_geometry::{Point3, PointCloud};
 ///
 /// Panics if `sample_indices` is empty or contains an out-of-range index.
 pub fn coverage_radius(cloud: &PointCloud, sample_indices: &[usize]) -> f32 {
-    assert!(!sample_indices.is_empty(), "coverage radius needs at least one sample");
+    assert!(
+        !sample_indices.is_empty(),
+        "coverage radius needs at least one sample"
+    );
     let samples: Vec<Point3> = sample_indices.iter().map(|&i| cloud.point(i)).collect();
     cloud
         .iter()

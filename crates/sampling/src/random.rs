@@ -28,7 +28,10 @@ pub fn sample(mem: &mut HostMemory, k: usize, seed: u64) -> Result<SampleResult,
         return Err(SamplingError::EmptyCloud);
     }
     if k > n {
-        return Err(SamplingError::TargetExceedsInput { target: k, available: n });
+        return Err(SamplingError::TargetExceedsInput {
+            target: k,
+            available: n,
+        });
     }
     let _ = mem.reset_counts();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -48,7 +51,10 @@ pub fn sample(mem: &mut HostMemory, k: usize, seed: u64) -> Result<SampleResult,
     for &i in &indices {
         let _ = mem.read_point(i);
     }
-    Ok(SampleResult { indices, counts: mem.counts() })
+    Ok(SampleResult {
+        indices,
+        counts: mem.counts(),
+    })
 }
 
 #[cfg(test)]
@@ -89,7 +95,10 @@ mod tests {
     #[test]
     fn rejects_bad_inputs() {
         let mut empty = HostMemory::from_points(vec![]);
-        assert_eq!(sample(&mut empty, 1, 0).unwrap_err(), SamplingError::EmptyCloud);
+        assert_eq!(
+            sample(&mut empty, 1, 0).unwrap_err(),
+            SamplingError::EmptyCloud
+        );
         let mut mem = HostMemory::from_cloud(&cloud(5));
         assert!(sample(&mut mem, 6, 0).is_err());
     }

@@ -49,10 +49,16 @@ mod tests {
 
     #[test]
     fn validity_checks() {
-        let r = SampleResult { indices: vec![0, 2, 1], counts: OpCounts::default() };
+        let r = SampleResult {
+            indices: vec![0, 2, 1],
+            counts: OpCounts::default(),
+        };
         assert!(r.is_valid_sample_of(3));
         assert!(!r.is_valid_sample_of(2)); // 2 out of range
-        let dup = SampleResult { indices: vec![1, 1], counts: OpCounts::default() };
+        let dup = SampleResult {
+            indices: vec![1, 1],
+            counts: OpCounts::default(),
+        };
         assert!(!dup.is_valid_sample_of(3));
         assert_eq!(r.len(), 3);
         assert!(!r.is_empty());

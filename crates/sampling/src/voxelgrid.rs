@@ -32,7 +32,10 @@ pub fn sample(
 ) -> Result<SampleResult, SamplingError> {
     let n = octree.points().len();
     if mem.len() != n {
-        return Err(SamplingError::OctreeMismatch { octree_points: n, memory_points: mem.len() });
+        return Err(SamplingError::OctreeMismatch {
+            octree_points: n,
+            memory_points: mem.len(),
+        });
     }
     if n == 0 {
         return Err(SamplingError::EmptyCloud);
@@ -100,10 +103,15 @@ mod tests {
         let cloud: PointCloud = (0..n)
             .map(|i| {
                 let f = i as f32;
-                Point3::new((f * 0.618).fract(), (f * 0.414).fract(), (f * 0.732).fract())
+                Point3::new(
+                    (f * 0.618).fract(),
+                    (f * 0.414).fract(),
+                    (f * 0.732).fract(),
+                )
             })
             .collect();
-        let tree = Octree::build(&cloud, OctreeConfig::new().max_depth(8).leaf_capacity(2)).unwrap();
+        let tree =
+            Octree::build(&cloud, OctreeConfig::new().max_depth(8).leaf_capacity(2)).unwrap();
         let mem = HostMemory::from_cloud(tree.points());
         (tree, mem)
     }
@@ -117,8 +125,11 @@ mod tests {
         assert!(r.is_valid_sample_of(500));
         // Every pair of kept points lies in distinct voxels.
         let codes = tree.point_codes();
-        let voxels: std::collections::HashSet<_> =
-            r.indices.iter().map(|&i| codes[i].ancestor_at(level)).collect();
+        let voxels: std::collections::HashSet<_> = r
+            .indices
+            .iter()
+            .map(|&i| codes[i].ancestor_at(level))
+            .collect();
         assert_eq!(voxels.len(), r.len());
     }
 

@@ -8,8 +8,13 @@ use hgpcn_octree::{Octree, OctreeConfig, OctreeTable};
 use hgpcn_sampling::{fps, ois, random, reinforce, voxelgrid};
 
 fn arb_cloud() -> impl Strategy<Value = PointCloud> {
-    prop::collection::vec((-30.0f32..30.0, -30.0f32..30.0, -30.0f32..30.0), 2..200)
-        .prop_map(|pts| pts.into_iter().map(|(x, y, z)| Point3::new(x, y, z)).collect())
+    prop::collection::vec((-30.0f32..30.0, -30.0f32..30.0, -30.0f32..30.0), 2..200).prop_map(
+        |pts| {
+            pts.into_iter()
+                .map(|(x, y, z)| Point3::new(x, y, z))
+                .collect()
+        },
+    )
 }
 
 proptest! {

@@ -109,7 +109,10 @@ pub fn semi_veg_tradeoff(
         ("paper", VegMode::Paper),
         ("semi-approx", VegMode::SemiApprox),
     ] {
-        let cfg = VegConfig { gather_level: None, mode };
+        let cfg = VegConfig {
+            gather_level: None,
+            mode,
+        };
         let (results, _) = veg::gather_all(&octree, &sfc_centers, k, &cfg)?;
         let (_, latency) = dsu.run(&results, k);
         let mean_recall = results
@@ -118,8 +121,16 @@ pub fn semi_veg_tradeoff(
             .map(|(r, reference)| r.recall_against(reference))
             .sum::<f64>()
             / results.len().max(1) as f64;
-        let candidates_sorted = results.iter().map(|r| r.stats.candidates_sorted as u64).sum();
-        rows.push(SemiVegRow { mode: label, dsu_latency: latency, mean_recall, candidates_sorted });
+        let candidates_sorted = results
+            .iter()
+            .map(|r| r.stats.candidates_sorted as u64)
+            .sum();
+        rows.push(SemiVegRow {
+            mode: label,
+            dsu_latency: latency,
+            mean_recall,
+            candidates_sorted,
+        });
     }
     Ok(rows)
 }
@@ -133,7 +144,11 @@ mod tests {
         (0..n)
             .map(|i| {
                 let f = i as f32;
-                Point3::new((f * 0.618).fract(), (f * 0.414).fract(), (f * 0.732).fract())
+                Point3::new(
+                    (f * 0.618).fract(),
+                    (f * 0.414).fract(),
+                    (f * 0.732).fract(),
+                )
             })
             .collect()
     }
@@ -145,7 +160,10 @@ mod tests {
         assert_eq!(rows.len(), 2);
         let exact = &rows[0];
         let approx = &rows[1];
-        assert!(approx.hw_latency <= exact.hw_latency, "approx must not be slower");
+        assert!(
+            approx.hw_latency <= exact.hw_latency,
+            "approx must not be slower"
+        );
         // Quality can only degrade (allow a small tolerance for ties).
         assert!(approx.coverage >= exact.coverage * 0.95);
     }

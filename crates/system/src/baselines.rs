@@ -65,7 +65,10 @@ pub fn fps_on(
 ) -> Result<PhaseReport, SystemError> {
     let mut mem = HostMemory::from_cloud(frame);
     let r = fps::sample(&mut mem, k, seed)?;
-    Ok(PhaseReport { latency: device.latency(&r.counts), counts: r.counts })
+    Ok(PhaseReport {
+        latency: device.latency(&r.counts),
+        counts: r.counts,
+    })
 }
 
 /// FPS cost from the closed-form operation counts (for frames too large to
@@ -73,7 +76,10 @@ pub fn fps_on(
 /// executed sampler).
 pub fn fps_on_analytic(device: &DeviceProfile, n: usize, k: usize) -> PhaseReport {
     let counts = fps::analytic_counts(n, k);
-    PhaseReport { latency: device.latency(&counts), counts }
+    PhaseReport {
+        latency: device.latency(&counts),
+        counts,
+    }
 }
 
 /// Executes random sampling and prices it on `device`.
@@ -89,7 +95,10 @@ pub fn random_on(
 ) -> Result<PhaseReport, SystemError> {
     let mut mem = HostMemory::from_cloud(frame);
     let r = random::sample(&mut mem, k, seed)?;
-    Ok(PhaseReport { latency: device.latency(&r.counts), counts: r.counts })
+    Ok(PhaseReport {
+        latency: device.latency(&r.counts),
+        counts: r.counts,
+    })
 }
 
 /// Executes RS+reinforce and prices it on `device` (the paper runs it on
@@ -106,7 +115,10 @@ pub fn reinforce_on(
 ) -> Result<PhaseReport, SystemError> {
     let mut mem = HostMemory::from_cloud(frame);
     let r = reinforce::sample(&mut mem, k, seed)?;
-    Ok(PhaseReport { latency: device.latency(&r.counts), counts: r.counts })
+    Ok(PhaseReport {
+        latency: device.latency(&r.counts),
+        counts: r.counts,
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -151,7 +163,11 @@ pub fn ds_plan(config: &PointNetConfig) -> Vec<DsStage> {
         match stage {
             Stage::SetAbstraction { npoint, .. } => {
                 let n = *sizes.last().expect("input level exists");
-                plan.push(DsStage { pool: n, centers: *npoint, kind: DsKind::Knn });
+                plan.push(DsStage {
+                    pool: n,
+                    centers: *npoint,
+                    kind: DsKind::Knn,
+                });
                 sizes.push(*npoint);
             }
             Stage::GlobalAbstraction { .. } => sizes.push(1),
@@ -160,7 +176,11 @@ pub fn ds_plan(config: &PointNetConfig) -> Vec<DsStage> {
     for j in 0..config.fp_mlps.len() {
         let coarse = sizes[sizes.len() - 1 - j];
         let fine = sizes[sizes.len() - 2 - j];
-        plan.push(DsStage { pool: coarse, centers: fine, kind: DsKind::ThreeNn });
+        plan.push(DsStage {
+            pool: coarse,
+            centers: fine,
+            kind: DsKind::ThreeNn,
+        });
     }
     plan
 }
@@ -221,11 +241,19 @@ fn ds_counts(config: &PointNetConfig) -> OpCounts {
 /// the network's MACs at edge-GPU efficiency, serial (distinct kernels).
 pub fn jetson_inference(config: &PointNetConfig) -> PhaseReport {
     let ds = JETSON_EDGE_FACTOR
-        * gpu_ds_ns(config, GPU_KNN_NS_PER_CANDIDATE, GPU_KNN_NS_PER_CENTER, GPU_3NN_NS_PER_CANDIDATE);
+        * gpu_ds_ns(
+            config,
+            GPU_KNN_NS_PER_CANDIDATE,
+            GPU_KNN_NS_PER_CENTER,
+            GPU_3NN_NS_PER_CANDIDATE,
+        );
     let fc = config.total_macs() as f64 * JETSON_NS_PER_MAC;
     let mut counts = ds_counts(config);
     counts.macs = config.total_macs();
-    PhaseReport { latency: Latency::from_ns(ds + fc), counts }
+    PhaseReport {
+        latency: Latency::from_ns(ds + fc),
+        counts,
+    }
 }
 
 /// Inference on a desktop 4060 Ti (used in the Fig. 3 end-to-end
@@ -240,7 +268,10 @@ pub fn desktop_gpu_inference(config: &PointNetConfig) -> PhaseReport {
     let fc = config.total_macs() as f64 * DESKTOP_GPU_NS_PER_MAC;
     let mut counts = ds_counts(config);
     counts.macs = config.total_macs();
-    PhaseReport { latency: Latency::from_ns(ds + fc), counts }
+    PhaseReport {
+        latency: Latency::from_ns(ds + fc),
+        counts,
+    }
 }
 
 /// Inference on a PointACC-like accelerator: the Mapping Unit ranks the
@@ -275,8 +306,12 @@ pub fn pointacc_inference(config: &PointNetConfig, array: &SystolicArray) -> Pha
 /// **delayed aggregation** (per-point MLPs over each level instead of per
 /// (center, neighbor) pair, then a cheap aggregation pass).
 pub fn mesorasi_inference(config: &PointNetConfig, array: &SystolicArray) -> PhaseReport {
-    let ds =
-        gpu_ds_ns(config, GPU_KNN_NS_PER_CANDIDATE, GPU_KNN_NS_PER_CENTER, GPU_3NN_NS_PER_CANDIDATE);
+    let ds = gpu_ds_ns(
+        config,
+        GPU_KNN_NS_PER_CANDIDATE,
+        GPU_KNN_NS_PER_CENTER,
+        GPU_3NN_NS_PER_CANDIDATE,
+    );
     // Delayed-aggregation FC: SA stages run their MLP once per point of
     // the level, not once per gathered neighbor.
     let mut fc = LayerRun::default();
@@ -334,7 +369,9 @@ mod tests {
     use hgpcn_geometry::Point3;
 
     fn frame(n: usize) -> PointCloud {
-        (0..n).map(|i| Point3::splat((i as f32 * 0.618).fract())).collect()
+        (0..n)
+            .map(|i| Point3::splat((i as f32 * 0.618).fract()))
+            .collect()
     }
 
     #[test]
@@ -366,11 +403,39 @@ mod tests {
         let plan = ds_plan(&cfg);
         // 2 SA stages + 3 FP stages.
         assert_eq!(plan.len(), 5);
-        assert_eq!(plan[0], DsStage { pool: 2048, centers: 512, kind: DsKind::Knn });
-        assert_eq!(plan[1], DsStage { pool: 512, centers: 128, kind: DsKind::Knn });
+        assert_eq!(
+            plan[0],
+            DsStage {
+                pool: 2048,
+                centers: 512,
+                kind: DsKind::Knn
+            }
+        );
+        assert_eq!(
+            plan[1],
+            DsStage {
+                pool: 512,
+                centers: 128,
+                kind: DsKind::Knn
+            }
+        );
         // FP1 upsamples global(1) -> 128: pool 1, centers 128.
-        assert_eq!(plan[2], DsStage { pool: 1, centers: 128, kind: DsKind::ThreeNn });
-        assert_eq!(plan[4], DsStage { pool: 512, centers: 2048, kind: DsKind::ThreeNn });
+        assert_eq!(
+            plan[2],
+            DsStage {
+                pool: 1,
+                centers: 128,
+                kind: DsKind::ThreeNn
+            }
+        );
+        assert_eq!(
+            plan[4],
+            DsStage {
+                pool: 512,
+                centers: 2048,
+                kind: DsKind::ThreeNn
+            }
+        );
     }
 
     #[test]
@@ -387,8 +452,16 @@ mod tests {
             let pa = pointacc_inference(&cfg, &array);
             let me = mesorasi_inference(&cfg, &array);
             let je = jetson_inference(&cfg);
-            assert!(pa.latency < me.latency, "{}: PointACC must beat Mesorasi", cfg.name);
-            assert!(me.latency < je.latency, "{}: Mesorasi must beat Jetson", cfg.name);
+            assert!(
+                pa.latency < me.latency,
+                "{}: PointACC must beat Mesorasi",
+                cfg.name
+            );
+            assert!(
+                me.latency < je.latency,
+                "{}: Mesorasi must beat Jetson",
+                cfg.name
+            );
         }
     }
 

@@ -137,7 +137,11 @@ mod tests {
         (0..n)
             .map(|i| {
                 let f = i as f32;
-                Point3::new((f * 0.618).fract(), (f * 0.414).fract(), (f * 0.732).fract())
+                Point3::new(
+                    (f * 0.618).fract(),
+                    (f * 0.414).fract(),
+                    (f * 0.732).fract(),
+                )
             })
             .collect()
     }
@@ -168,6 +172,9 @@ mod tests {
     fn propagates_small_input_error() {
         let engine = InferenceEngine::prototype();
         let net = PointNet::new(PointNetConfig::classification(), 1);
-        assert!(matches!(engine.run(&input(64), &net, 5), Err(SystemError::Pcn(_))));
+        assert!(matches!(
+            engine.run(&input(64), &net, 5),
+            Err(SystemError::Pcn(_))
+        ));
     }
 }

@@ -74,8 +74,14 @@ impl E2ePipeline {
         let pre = self.preproc.run(frame, target, seed)?;
         let inf = self.inference.run(&pre.sampled, net, seed)?;
         Ok(E2eReport {
-            preprocess: PhaseReport { latency: pre.total_latency(), counts: pre.total_counts() },
-            inference: PhaseReport { latency: inf.total_latency(), counts: inf.total_counts() },
+            preprocess: PhaseReport {
+                latency: pre.total_latency(),
+                counts: pre.total_counts(),
+            },
+            inference: PhaseReport {
+                latency: inf.total_latency(),
+                counts: inf.total_counts(),
+            },
         })
     }
 }
@@ -91,7 +97,11 @@ mod tests {
         let frame: PointCloud = (0..4000)
             .map(|i| {
                 let f = i as f32;
-                Point3::new((f * 0.618).fract(), (f * 0.414).fract(), (f * 0.732).fract())
+                Point3::new(
+                    (f * 0.618).fract(),
+                    (f * 0.414).fract(),
+                    (f * 0.732).fract(),
+                )
             })
             .collect();
         let pipeline = E2ePipeline::prototype();

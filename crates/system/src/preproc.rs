@@ -102,7 +102,12 @@ impl PreprocessingEngine {
     /// # Errors
     ///
     /// Propagates octree and sampling failures.
-    pub fn run(&self, frame: &PointCloud, target: usize, seed: u64) -> Result<PreprocessOutput, SystemError> {
+    pub fn run(
+        &self,
+        frame: &PointCloud,
+        target: usize,
+        seed: u64,
+    ) -> Result<PreprocessOutput, SystemError> {
         self.run_inner(frame, target, seed, None)
     }
 
@@ -138,7 +143,10 @@ impl PreprocessingEngine {
         let table = OctreeTable::from_octree(&octree);
         let transfer_latency = match sample_device {
             Some(_) => Latency::ZERO,
-            None => self.unit.device_profile().transfer(table.size_bits() as u64 / 8),
+            None => self
+                .unit
+                .device_profile()
+                .transfer(table.size_bits() as u64 / 8),
         };
 
         // Down-sampling via OIS.
@@ -173,7 +181,11 @@ mod tests {
         (0..n)
             .map(|i| {
                 let f = i as f32;
-                Point3::new((f * 0.618).fract() * 8.0, (f * 0.414).fract() * 8.0, (f * 0.732).fract() * 8.0)
+                Point3::new(
+                    (f * 0.618).fract() * 8.0,
+                    (f * 0.414).fract() * 8.0,
+                    (f * 0.732).fract() * 8.0,
+                )
             })
             .collect()
     }

@@ -56,7 +56,10 @@ pub fn run_stream(
     target: usize,
     seed: u64,
 ) -> Result<RealtimeReport, SystemError> {
-    assert!(frames.len() >= 2, "need at least two frames to measure the sensor rate");
+    assert!(
+        frames.len() >= 2,
+        "need at least two frames to measure the sensor rate"
+    );
     let mut total = Latency::ZERO;
     let mut worst = Latency::ZERO;
     let mut worst_phase = Latency::ZERO;
@@ -80,7 +83,6 @@ pub fn run_stream(
         sensor_fps,
     })
 }
-
 
 /// Outcome of a bounded-queue streaming simulation.
 #[derive(Clone, Debug, PartialEq)]
@@ -118,7 +120,11 @@ impl QueueReport {
 ///
 /// Panics if `arrivals` and `service` lengths differ or are empty.
 pub fn simulate_queue(arrivals: &[f64], service: &[Latency], capacity: usize) -> QueueReport {
-    assert_eq!(arrivals.len(), service.len(), "one service time per arrival");
+    assert_eq!(
+        arrivals.len(),
+        service.len(),
+        "one service time per arrival"
+    );
     assert!(!arrivals.is_empty(), "need at least one frame");
     let mut sojourns: Vec<f64> = Vec::new();
     let mut dropped = 0usize;
@@ -164,7 +170,11 @@ mod tests {
         (0..n)
             .map(|i| {
                 let f = (i as u64 ^ seed) as f32;
-                Point3::new((f * 0.618).fract(), (f * 0.414).fract(), (f * 0.732).fract())
+                Point3::new(
+                    (f * 0.618).fract(),
+                    (f * 0.414).fract(),
+                    (f * 0.732).fract(),
+                )
             })
             .collect()
     }
@@ -173,8 +183,9 @@ mod tests {
     fn stream_reports_rates() {
         let pipeline = E2ePipeline::prototype();
         let net = PointNet::new(PointNetConfig::classification(), 1);
-        let frames: Vec<(f64, PointCloud)> =
-            (0..3).map(|i| (i as f64 * 0.1, frame(3000, i as u64))).collect();
+        let frames: Vec<(f64, PointCloud)> = (0..3)
+            .map(|i| (i as f64 * 0.1, frame(3000, i as u64)))
+            .collect();
         let report = run_stream(&pipeline, &net, &frames, 1024, 5).unwrap();
         assert_eq!(report.frames, 3);
         assert!((report.sensor_fps - 10.0).abs() < 1e-9);
@@ -182,7 +193,6 @@ mod tests {
         assert!(report.mean_latency.ns() > 0.0);
         assert!(report.max_latency >= report.mean_latency);
     }
-
 
     #[test]
     fn queue_keeps_up_when_service_is_fast() {
@@ -207,8 +217,9 @@ mod tests {
     #[test]
     fn queue_percentiles_ordered() {
         let arrivals: Vec<f64> = (0..30).map(|i| i as f64 * 0.1).collect();
-        let service: Vec<Latency> =
-            (0..30).map(|i| Latency::from_ms(40.0 + (i % 7) as f64 * 30.0)).collect();
+        let service: Vec<Latency> = (0..30)
+            .map(|i| Latency::from_ms(40.0 + (i % 7) as f64 * 30.0))
+            .collect();
         let report = simulate_queue(&arrivals, &service, 4);
         assert!(report.p50_sojourn <= report.p95_sojourn);
         assert!(report.p95_sojourn <= report.max_sojourn);

@@ -53,8 +53,14 @@ mod tests {
 
     fn report(pre_ms: f64, inf_ms: f64) -> E2eReport {
         E2eReport {
-            preprocess: PhaseReport { latency: Latency::from_ms(pre_ms), counts: OpCounts::default() },
-            inference: PhaseReport { latency: Latency::from_ms(inf_ms), counts: OpCounts::default() },
+            preprocess: PhaseReport {
+                latency: Latency::from_ms(pre_ms),
+                counts: OpCounts::default(),
+            },
+            inference: PhaseReport {
+                latency: Latency::from_ms(inf_ms),
+                counts: OpCounts::default(),
+            },
         }
     }
 

@@ -93,7 +93,11 @@ mod tests {
         (0..n)
             .map(|i| {
                 let f = i as f32;
-                Point3::new((f * 0.618).fract(), (f * 0.414).fract(), (f * 0.732).fract())
+                Point3::new(
+                    (f * 0.618).fract(),
+                    (f * 0.414).fract(),
+                    (f * 0.732).fract(),
+                )
             })
             .collect()
     }
@@ -108,7 +112,10 @@ mod tests {
             assert_eq!(set.len(), 8);
             assert!(set.iter().all(|&x| x < 300));
             let center = [5usize, 100][i];
-            assert!(!set.contains(&center), "center must not be its own neighbor");
+            assert!(
+                !set.contains(&center),
+                "center must not be its own neighbor"
+            );
         }
         assert_eq!(g.results().len(), 2);
         assert!(g.counts().table_lookups > 0);

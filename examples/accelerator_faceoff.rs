@@ -52,7 +52,10 @@ fn main() {
     for r in &rows {
         println!(
             "  {:<12} {:>12} candidates traditionally vs {:>9} under VEG ({:>6.1}x less)",
-            r.task, r.traditional_sorted, r.veg_sorted, r.veg_workload_reduction()
+            r.task,
+            r.traditional_sorted,
+            r.veg_sorted,
+            r.veg_workload_reduction()
         );
     }
 

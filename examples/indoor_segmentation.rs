@@ -19,7 +19,12 @@ use hgpcn::system::{baselines, VegGatherer};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seed = 11;
     let room = s3dis::generate_room(RoomConfig::default(), 60_000, seed);
-    println!("room scan: {} points ({}m x {}m office)", room.len(), 8.0, 6.0);
+    println!(
+        "room scan: {} points ({}m x {}m office)",
+        room.len(),
+        8.0,
+        6.0
+    );
 
     // --- Phase 1: pre-processing -------------------------------------
     let engine = PreprocessingEngine::prototype();
@@ -28,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\npre-processing to 4096 points:");
     println!("  common FPS (CPU)  : {}", fps.latency);
     println!("  OIS on HgPCN      : {}", pre.total_latency());
-    println!("  speedup           : {:.0}x", pre.total_latency().speedup_over(fps.latency));
+    println!(
+        "  speedup           : {:.0}x",
+        pre.total_latency().speedup_over(fps.latency)
+    );
 
     // --- Phase 2: inference ------------------------------------------
     let net = PointNet::new(PointNetConfig::semantic_segmentation(4096), seed);
@@ -37,9 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\ninference (semantic segmentation, 13 classes):");
     println!("  data structuring  : {}", report.ds_latency);
     println!("  feature compute   : {}", report.fc_latency);
-    println!("  VEG sorted only {} of {} traditional candidates",
+    println!(
+        "  VEG sorted only {} of {} traditional candidates",
         report.candidates_sorted,
-        baselines::knn_candidates(net.config()));
+        baselines::knn_candidates(net.config())
+    );
 
     // Label histogram over the room's down-sampled points.
     let mut histogram = [0usize; 13];
@@ -50,13 +60,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Equivalence check --------------------------------------------
     // Exact-mode VEG and brute-force KNN must produce identical logits.
-    let mut veg = VegGatherer::new(VegConfig { gather_level: None, mode: VegMode::Exact });
+    let mut veg = VegGatherer::new(VegConfig {
+        gather_level: None,
+        mode: VegMode::Exact,
+    });
     let mut brute = BruteKnnGatherer::new();
     let policy = CenterPolicy::Random { seed };
     let a = net.infer(&pre.sampled, &mut veg, policy)?;
     let b = net.infer(&pre.sampled, &mut brute, policy)?;
-    let identical = (0..a.logits.rows())
-        .all(|r| a.logits.row(r) == b.logits.row(r));
+    let identical = (0..a.logits.rows()).all(|r| a.logits.row(r) == b.logits.row(r));
     println!("\nexact VEG logits == brute-force KNN logits: {identical}");
     assert!(identical, "exact VEG must be a drop-in replacement for KNN");
     Ok(())

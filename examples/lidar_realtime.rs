@@ -14,14 +14,22 @@ use hgpcn::prelude::*;
 use hgpcn::system::realtime;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let frames: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let frames: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
     let seed = 7;
 
     println!("simulating a {}-frame drive at 10 Hz...", frames);
     let stream: Vec<(f64, PointCloud)> = KittiStream::new(KittiConfig::standard(), seed)
         .take(frames.max(2))
         .map(|f| {
-            println!("  frame {:>2} @ {:>6.2}s: {} returns", f.index, f.timestamp_s, f.cloud.len());
+            println!(
+                "  frame {:>2} @ {:>6.2}s: {} returns",
+                f.index,
+                f.timestamp_s,
+                f.cloud.len()
+            );
             (f.timestamp_s, f.cloud)
         })
         .collect();
@@ -38,7 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("sensor rate      : {:.1} FPS", report.sensor_fps);
     println!(
         "real-time        : {}",
-        if report.meets_realtime() { "MET - the service keeps up with the sensor" } else { "MISSED" }
+        if report.meets_realtime() {
+            "MET - the service keeps up with the sensor"
+        } else {
+            "MISSED"
+        }
     );
     Ok(())
 }

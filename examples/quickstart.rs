@@ -22,8 +22,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Pre-processing Engine: octree build (CPU) + OIS (FPGA model).
     let preproc = PreprocessingEngine::prototype();
     let pre = preproc.run(&frame, 1024, seed)?;
-    println!("octree               : depth {}, {} nodes", pre.octree.depth(), pre.octree.node_count());
-    println!("octree-table         : {} bits on-chip", pre.table.size_bits());
+    println!(
+        "octree               : depth {}, {} nodes",
+        pre.octree.depth(),
+        pre.octree.node_count()
+    );
+    println!(
+        "octree-table         : {} bits on-chip",
+        pre.table.size_bits()
+    );
     println!("down-sampled         : {} points", pre.sampled.len());
     println!("build latency (CPU)  : {}", pre.build_latency);
     println!("table MMIO transfer  : {}", pre.transfer_latency);
@@ -43,6 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("predicted class      : {}", inf.output.predicted_class(0));
 
     let total = pre.total_latency() + inf.total_latency();
-    println!("end-to-end           : {} ({:.1} frames/s serial)", total, total.fps());
+    println!(
+        "end-to-end           : {} ({:.1} frames/s serial)",
+        total,
+        total.fps()
+    );
     Ok(())
 }

@@ -16,6 +16,9 @@
 //! * [`pcn`] — a real PointNet++ forward pass with pluggable gathering;
 //! * [`system`] — both HgPCN engines, the baseline platforms, the E2E
 //!   pipeline and the real-time experiment;
+//! * [`runtime`] — the concurrent multi-stream serving runtime: stage-
+//!   pipelined worker pools, multi-tenant admission, backpressure and
+//!   per-stream latency metrics over real threads;
 //! * [`bench`] — regenerators for every table and figure of the paper.
 //!
 //! # Quick start
@@ -50,6 +53,7 @@ pub use hgpcn_geometry as geometry;
 pub use hgpcn_memsim as memsim;
 pub use hgpcn_octree as octree;
 pub use hgpcn_pcn as pcn;
+pub use hgpcn_runtime as runtime;
 pub use hgpcn_sampling as sampling;
 pub use hgpcn_system as system;
 
@@ -59,5 +63,9 @@ pub mod prelude {
     pub use hgpcn_memsim::{DeviceProfile, HostMemory, Latency, OnChipMemory, OpCounts};
     pub use hgpcn_octree::{Octree, OctreeConfig, OctreeTable};
     pub use hgpcn_pcn::{CenterPolicy, PointNet, PointNetConfig};
+    pub use hgpcn_runtime::{
+        AdmissionPolicy, ArrivalModel, BackpressurePolicy, KittiSource, Runtime, RuntimeConfig,
+        RuntimeReport, StreamSpec, SyntheticSource,
+    };
     pub use hgpcn_system::{E2ePipeline, InferenceEngine, PreprocessingEngine};
 }

@@ -25,13 +25,20 @@ fn exact_veg_reproduces_brute_knn_logits() {
     let net = PointNet::new(PointNetConfig::classification(), SEED);
     let policy = CenterPolicy::Random { seed: SEED };
 
-    let mut veg = VegGatherer::new(VegConfig { gather_level: None, mode: VegMode::Exact });
+    let mut veg = VegGatherer::new(VegConfig {
+        gather_level: None,
+        mode: VegMode::Exact,
+    });
     let mut brute = BruteKnnGatherer::new();
     let a = net.infer(&cloud, &mut veg, policy).unwrap();
     let b = net.infer(&cloud, &mut brute, policy).unwrap();
 
     for r in 0..a.logits.rows() {
-        assert_eq!(a.logits.row(r), b.logits.row(r), "logits diverge at row {r}");
+        assert_eq!(
+            a.logits.row(r),
+            b.logits.row(r),
+            "logits diverge at row {r}"
+        );
     }
     assert_eq!(a.predicted_class(0), b.predicted_class(0));
 }
@@ -114,8 +121,10 @@ fn sampled_cloud_is_subset_of_frame() {
     assert_eq!(out.sampled.len(), 512);
     // Every sampled point exists in the raw frame.
     use std::collections::HashSet;
-    let raw: HashSet<[u32; 3]> =
-        frame.iter().map(|p| [p.x.to_bits(), p.y.to_bits(), p.z.to_bits()]).collect();
+    let raw: HashSet<[u32; 3]> = frame
+        .iter()
+        .map(|p| [p.x.to_bits(), p.y.to_bits(), p.z.to_bits()])
+        .collect();
     for p in out.sampled.iter() {
         assert!(raw.contains(&[p.x.to_bits(), p.y.to_bits(), p.z.to_bits()]));
     }

@@ -3,15 +3,22 @@
 
 use proptest::prelude::*;
 
-use hgpcn::gather::veg::{self, VegConfig, VegMode};
 use hgpcn::gather::knn;
+use hgpcn::gather::veg::{self, VegConfig, VegMode};
 use hgpcn::memsim::HostMemory;
 use hgpcn::prelude::*;
 use hgpcn::sampling::{fps, ois};
 
 fn arb_cloud(max_points: usize) -> impl Strategy<Value = PointCloud> {
-    prop::collection::vec((-100.0f32..100.0, -100.0f32..100.0, -100.0f32..100.0), 2..max_points)
-        .prop_map(|pts| pts.into_iter().map(|(x, y, z)| Point3::new(x, y, z)).collect())
+    prop::collection::vec(
+        (-100.0f32..100.0, -100.0f32..100.0, -100.0f32..100.0),
+        2..max_points,
+    )
+    .prop_map(|pts| {
+        pts.into_iter()
+            .map(|(x, y, z)| Point3::new(x, y, z))
+            .collect()
+    })
 }
 
 proptest! {

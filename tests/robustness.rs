@@ -28,9 +28,11 @@ fn collinear_frame() {
     // Collinear data degenerates the octree to a line of voxels; sampling
     // must still spread across it.
     let xs: Vec<f32> = out.sampled.iter().map(|p| p.x).collect();
-    let (min, max) = xs.iter().fold((f32::INFINITY, f32::NEG_INFINITY), |(a, b), &x| {
-        (a.min(x), b.max(x))
-    });
+    let (min, max) = xs
+        .iter()
+        .fold((f32::INFINITY, f32::NEG_INFINITY), |(a, b), &x| {
+            (a.min(x), b.max(x))
+        });
     assert!(max - min > 500.0, "sample must span the line: {min}..{max}");
 }
 
@@ -54,8 +56,9 @@ fn tiny_frames() {
 
 #[test]
 fn huge_coordinates() {
-    let frame: PointCloud =
-        (0..300).map(|i| Point3::splat(1e7 + i as f32 * 1e3)).collect();
+    let frame: PointCloud = (0..300)
+        .map(|i| Point3::splat(1e7 + i as f32 * 1e3))
+        .collect();
     let out = engine().run(&frame, 32, 5).unwrap();
     assert_eq!(out.sampled.len(), 32);
 }
@@ -72,7 +75,10 @@ fn nan_frame_is_a_typed_error_not_a_panic() {
 
 #[test]
 fn empty_frame_is_a_typed_error() {
-    assert!(matches!(engine().run(&PointCloud::new(), 1, 0), Err(SystemError::Octree(_))));
+    assert!(matches!(
+        engine().run(&PointCloud::new(), 1, 0),
+        Err(SystemError::Octree(_))
+    ));
 }
 
 #[test]

@@ -25,10 +25,16 @@ fn fig9_memory_saving_shape() {
         let fps_accesses = fps::analytic_counts(frame.len(), k).memory_accesses();
         let out = engine.run_on_cpu(&frame, k, SEED).unwrap();
         let saving = fps_accesses as f64 / out.total_counts().memory_accesses() as f64;
-        assert!(saving > 1_000.0, "k={k}: saving {saving} below 3 orders of magnitude");
+        assert!(
+            saving > 1_000.0,
+            "k={k}: saving {saving} below 3 orders of magnitude"
+        );
         savings.push(saving);
     }
-    assert!(savings[1] > savings[0], "saving must grow with K: {savings:?}");
+    assert!(
+        savings[1] > savings[0],
+        "saving must grow with K: {savings:?}"
+    );
 }
 
 /// Fig. 10 shape: OIS-on-CPU beats FPS-on-CPU by ≥ 2 orders of magnitude.
@@ -52,7 +58,11 @@ fn fig11_build_overhead_and_nonuniformity() {
     let plant = modelnet::generate(ModelNetObject::Plant, 60_000, SEED);
     let out_piano = engine.run_on_cpu(&piano, 1024, SEED).unwrap();
     let out_plant = engine.run_on_cpu(&plant, 1024, SEED).unwrap();
-    assert!(out_piano.build_fraction() > 0.15, "{}", out_piano.build_fraction());
+    assert!(
+        out_piano.build_fraction() > 0.15,
+        "{}",
+        out_piano.build_fraction()
+    );
     assert!(out_piano.build_fraction() < 0.95);
     assert!(
         out_piano.octree.depth() >= out_plant.octree.depth(),
@@ -72,7 +82,9 @@ fn fig12_baseline_ordering() {
     let sw = engine.run_on_cpu(&frame, 1024, SEED).unwrap();
     let hw = engine.run(&frame, 1024, SEED).unwrap();
     let fps = cpu.latency(&fps::analytic_counts(frame.len(), 1024));
-    let rs = baselines::random_on(&cpu, &frame, 1024, SEED).unwrap().latency;
+    let rs = baselines::random_on(&cpu, &frame, 1024, SEED)
+        .unwrap()
+        .latency;
     assert!(rs < hw.total_latency());
     assert!(hw.total_latency() < sw.total_latency());
     assert!(sw.total_latency() < fps);
@@ -101,8 +113,16 @@ fn fig14_15_16_inference_shapes() {
     assert_eq!(rows.len(), 4);
     for r in &rows {
         assert!(r.speedup_vs_pointacc() > 1.0, "{}: vs PointACC", r.task);
-        assert!(r.speedup_vs_mesorasi() > r.speedup_vs_pointacc(), "{}", r.task);
-        assert!(r.speedup_vs_jetson() > r.speedup_vs_mesorasi(), "{}", r.task);
+        assert!(
+            r.speedup_vs_mesorasi() > r.speedup_vs_pointacc(),
+            "{}",
+            r.task
+        );
+        assert!(
+            r.speedup_vs_jetson() > r.speedup_vs_mesorasi(),
+            "{}",
+            r.task
+        );
         assert!(r.veg_workload_reduction() > 5.0, "{}", r.task);
         // Fig. 16: the final-shell sort is the biggest DSU stage.
         let st = r.stage_fractions[4];
@@ -127,8 +147,17 @@ fn fig14_15_16_inference_shapes() {
 #[test]
 fn e2e_realtime_shape() {
     let report = figures::e2e_realtime(2, SEED).unwrap();
-    assert!(report.sensor_fps > 8.0 && report.sensor_fps < 12.0, "{}", report.sensor_fps);
-    assert!(report.meets_realtime(), "pipelined {} vs sensor {}", report.pipelined_fps, report.sensor_fps);
+    assert!(
+        report.sensor_fps > 8.0 && report.sensor_fps < 12.0,
+        "{}",
+        report.sensor_fps
+    );
+    assert!(
+        report.meets_realtime(),
+        "pipelined {} vs sensor {}",
+        report.pipelined_fps,
+        report.sensor_fps
+    );
 }
 
 /// Fig. 3 shape: pre-processing dominates end-to-end latency on every
@@ -138,7 +167,12 @@ fn fig3_ai_tax_shape() {
     let rows = figures::fig3(SEED);
     for r in rows {
         if r.dataset != "ShapeNet" {
-            assert!(r.preprocess_fraction > 0.8, "{}: {}", r.dataset, r.preprocess_fraction);
+            assert!(
+                r.preprocess_fraction > 0.8,
+                "{}: {}",
+                r.dataset,
+                r.preprocess_fraction
+            );
         }
     }
 }
