@@ -1,12 +1,17 @@
 //! Scaling of the concurrent serving runtime: wall-clock cost of one
 //! `Runtime::run` as the worker pools widen and the fleet grows.
 //!
-//! Two sweeps:
+//! Three sweeps:
 //! * `runtime_workers`: a fixed 4-stream fleet over 1/2/4 workers per
 //!   stage — measures how much host-side overlap the stage-pipelined
 //!   executor extracts;
 //! * `runtime_streams`: a fixed 2+2 worker pool over 1/2/4/8 streams —
-//!   measures multi-tenant admission and queue overhead as load grows.
+//!   measures multi-tenant admission and queue overhead as load grows;
+//! * `runtime_batching`: a fixed 8-stream fleet and 2+2 workers over
+//!   `max_batch` 1/2/4/8 — measures the SoA micro-batching speedup at
+//!   constant worker count (per-frame results are bit-identical across
+//!   the sweep; only host throughput moves). The `perf_smoke` binary
+//!   records the B=8-vs-serial ratio into `BENCH_runtime.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
@@ -67,5 +72,36 @@ fn bench_stream_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_worker_scaling, bench_stream_scaling);
+fn bench_batching(c: &mut Criterion) {
+    let net = net();
+    let mut group = c.benchmark_group("runtime_batching");
+    group.sample_size(3);
+    const STREAMS: usize = 8;
+    const FRAMES: usize = 4;
+    group.throughput(Throughput::Elements((STREAMS * FRAMES) as u64));
+    for &batch in &[1usize, 2, 4, 8] {
+        let runtime = Runtime::new(config(2).max_batch(batch)).expect("valid config");
+        group.bench_with_input(BenchmarkId::new("max_batch", batch), &batch, |b, _| {
+            b.iter(|| {
+                let fleet: Vec<StreamSpec> = (0..STREAMS)
+                    .map(|i| {
+                        StreamSpec::new(
+                            format!("s{i}"),
+                            SyntheticSource::new(1400 + 120 * i, 10.0, FRAMES, i as u64),
+                        )
+                    })
+                    .collect();
+                runtime.run(fleet, &net).expect("run succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_worker_scaling,
+    bench_stream_scaling,
+    bench_batching
+);
 criterion_main!(benches);

@@ -203,7 +203,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec`](fn@self::vec).
     #[derive(Clone, Debug)]
     pub struct VecStrategy<S> {
         element: S,

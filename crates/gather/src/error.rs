@@ -21,6 +21,12 @@ pub enum GatherError {
         /// Cloud size.
         len: usize,
     },
+    /// A neighbor index could not be built over the cloud (e.g. the
+    /// octree rejected non-finite coordinates).
+    IndexBuild {
+        /// The underlying build failure.
+        reason: String,
+    },
 }
 
 impl fmt::Display for GatherError {
@@ -38,6 +44,9 @@ impl fmt::Display for GatherError {
                     f,
                     "central point index {center} out of range for cloud of {len}"
                 )
+            }
+            GatherError::IndexBuild { reason } => {
+                write!(f, "neighbor index build failed: {reason}")
             }
         }
     }

@@ -85,9 +85,7 @@ impl KdTree {
         };
         let mid = indices.len() / 2;
         indices.select_nth_unstable_by(mid, |&a, &b| {
-            cloud.point(a)[axis]
-                .partial_cmp(&cloud.point(b)[axis])
-                .unwrap_or(std::cmp::Ordering::Equal)
+            cloud.point(a)[axis].total_cmp(&cloud.point(b)[axis])
         });
         let value = cloud.point(indices[mid])[axis];
         let right_idx = indices.split_off(mid);
@@ -185,11 +183,7 @@ impl KdTree {
             &mut best,
             &mut counts,
         );
-        best.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.1.cmp(&b.1))
-        });
+        best.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         let mut neighbors: Vec<usize> = best.into_iter().map(|(_, i)| i).collect();
         if !backtrack {
             // The truncated traversal may find fewer than k; pad from a
@@ -239,17 +233,18 @@ impl KdTree {
                         best.push((d, i));
                         counts.comparisons += 1;
                     } else {
+                        // Track the k smallest (distance, index) pairs
+                        // under the same total order brute-force KNN
+                        // sorts by, so the result — including NaN
+                        // distances and equal-distance ties — is the
+                        // identical neighbor set.
                         let (wi, &worst) = best
                             .iter()
                             .enumerate()
-                            .max_by(|a, b| {
-                                a.1 .0
-                                    .partial_cmp(&b.1 .0)
-                                    .unwrap_or(std::cmp::Ordering::Equal)
-                            })
+                            .max_by(|a, b| a.1 .0.total_cmp(&b.1 .0).then(a.1 .1.cmp(&b.1 .1)))
                             .expect("non-empty");
                         counts.comparisons += 1;
-                        if d < worst.0 {
+                        if d.total_cmp(&worst.0).then(i.cmp(&worst.1)).is_lt() {
                             best[wi] = (d, i);
                         }
                     }
@@ -270,11 +265,19 @@ impl KdTree {
                 };
                 Self::search(near, cloud, c, center, k, backtrack, best, counts);
                 if backtrack {
+                    // Worst kept distance under `total_cmp` (a NaN in the
+                    // set ranks above every finite distance, so the far
+                    // branch is still explored and can displace it). The
+                    // prune must be non-strict: a far-side point at
+                    // exactly the worst distance can still win its
+                    // index tie-break, and a NaN plane distance (NaN
+                    // query center) prunes nothing.
                     let worst = best
                         .iter()
                         .map(|&(d, _)| d)
-                        .fold(f32::NEG_INFINITY, f32::max);
-                    if best.len() < k || diff * diff < worst {
+                        .max_by(|a, b| a.total_cmp(b))
+                        .unwrap_or(f32::NEG_INFINITY);
+                    if best.len() < k || (diff * diff).total_cmp(&worst).is_le() {
                         Self::search(far, cloud, c, center, k, backtrack, best, counts);
                     }
                 }
@@ -377,6 +380,71 @@ mod tests {
         let t2 = KdTree::build(&empty, 4);
         assert!(t2.is_empty());
         assert!(matches!(t2.knn(&empty, 0, 1), Err(GatherError::EmptyCloud)));
+    }
+
+    #[test]
+    fn nan_coordinates_do_not_poison_build_or_query() {
+        // Regression for the NaN-swallowing comparator: the median split
+        // and the k-best ranking now use `total_cmp`, so a NaN point gets
+        // a definite position instead of corrupting the partition.
+        let mut c = cloud(100);
+        c.push(Point3::new(f32::NAN, 1.0, 1.0));
+        let nan_idx = c.len() - 1;
+        let tree = KdTree::build(&c, 8);
+        let r = tree.knn(&c, 50, 8).unwrap();
+        assert_eq!(r.neighbors.len(), 8);
+        assert!(
+            !r.neighbors.contains(&nan_idx),
+            "NaN distance must rank after every finite candidate"
+        );
+        // Same neighbors as the brute-force reference on the same cloud.
+        let brute = knn::gather(&c, 50, 8).unwrap();
+        let ctr = c.point(50);
+        let da: Vec<u32> = r
+            .neighbors
+            .iter()
+            .map(|&i| c.point(i).distance_sq(ctr).to_bits())
+            .collect();
+        let db: Vec<u32> = brute
+            .neighbors
+            .iter()
+            .map(|&i| c.point(i).distance_sq(ctr).to_bits())
+            .collect();
+        assert_eq!(da, db);
+    }
+
+    #[test]
+    fn nan_center_matches_brute_force_exactly() {
+        // Querying *from* a NaN point makes every candidate distance NaN;
+        // the traversal's keep/replace decisions must then fall back to
+        // index order, exactly like the brute-force sort does.
+        let mut c = cloud(100);
+        c.push(Point3::new(f32::NAN, 1.0, 1.0));
+        let nan_idx = c.len() - 1;
+        let tree = KdTree::build(&c, 8);
+        let a = tree.knn(&c, nan_idx, 8).unwrap();
+        let b = knn::gather(&c, nan_idx, 8).unwrap();
+        assert_eq!(
+            a.neighbors, b.neighbors,
+            "NaN-center query must return brute force's neighbor set"
+        );
+    }
+
+    #[test]
+    fn tied_distances_break_by_index_like_brute_force() {
+        // A cloud full of duplicate points produces maximal distance
+        // ties; the kept set must still be brute force's (smallest
+        // indices win).
+        let mut c = PointCloud::new();
+        for i in 0..40 {
+            c.push(Point3::splat((i % 4) as f32));
+        }
+        let tree = KdTree::build(&c, 4);
+        for center in [0usize, 17, 39] {
+            let a = tree.knn(&c, center, 6).unwrap();
+            let b = knn::gather(&c, center, 6).unwrap();
+            assert_eq!(a.neighbors, b.neighbors, "center {center}");
+        }
     }
 
     #[test]

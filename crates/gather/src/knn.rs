@@ -45,11 +45,10 @@ pub fn gather(cloud: &PointCloud, center: usize, k: usize) -> Result<GatherResul
         .filter(|&i| i != center)
         .map(|i| (cloud.point(i).distance_sq(c), i))
         .collect();
-    scored.sort_by(|a, b| {
-        a.0.partial_cmp(&b.0)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.1.cmp(&b.1))
-    });
+    // `total_cmp` gives NaN distances a definite (last) rank instead of
+    // silently treating them as equal to everything, which made results
+    // depend on the sort's visit order for NaN-coordinate clouds.
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     let neighbors: Vec<usize> = scored.iter().take(k).map(|&(_, i)| i).collect();
 
     let n = cloud.len() as u64;
@@ -161,6 +160,37 @@ mod tests {
             gather(&PointCloud::new(), 0, 1),
             Err(GatherError::EmptyCloud)
         ));
+    }
+
+    #[test]
+    fn nan_coordinates_rank_last_and_stay_deterministic() {
+        // Regression: `partial_cmp(..).unwrap_or(Equal)` treated NaN
+        // distances as equal to everything, so the neighbor set of a
+        // NaN-polluted cloud depended on the sort's internal visit order.
+        // `total_cmp` ranks NaN after every finite distance.
+        let mut cloud = grid();
+        cloud.push(Point3::new(f32::NAN, 2.0, 0.0));
+        cloud.push(Point3::new(2.0, f32::NAN, f32::NAN));
+        let nan_a = cloud.len() - 2;
+        let nan_b = cloud.len() - 1;
+
+        // 24 finite non-center points exist, so a k=10 query must never
+        // pick a NaN point.
+        let r = gather(&cloud, 12, 10).unwrap();
+        assert!(!r.neighbors.contains(&nan_a));
+        assert!(!r.neighbors.contains(&nan_b));
+
+        // The finite prefix matches the NaN-free cloud's answer.
+        let clean = gather(&grid(), 12, 10).unwrap();
+        assert_eq!(r.neighbors, clean.neighbors);
+
+        // Asking for every point still terminates and puts NaNs last.
+        let all = gather(&cloud, 12, cloud.len() - 1).unwrap();
+        let tail: Vec<usize> = all.neighbors[all.neighbors.len() - 2..].to_vec();
+        assert!(tail.contains(&nan_a) && tail.contains(&nan_b));
+
+        // Determinism across repeated runs.
+        assert_eq!(gather(&cloud, 12, 10).unwrap().neighbors, r.neighbors);
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //! * [`sorter`] — bitonic-sorter cost helpers shared with the PointACC
 //!   mapping-unit model;
 //! * [`kdtree`] — the exact/approximate k-d tree gatherer behind the
-//!   tree-based accelerator class the paper surveys (§II-B).
+//!   tree-based accelerator class the paper surveys (§II-B);
+//! * [`index`] — per-cloud [`NeighborIndex`] structures (brute, k-d tree,
+//!   VEG/octree) built **once** per cloud and shared by every center
+//!   query, amortizing the build the way §VII-B amortizes the octree.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +31,7 @@
 pub mod ball;
 pub mod dsu;
 mod error;
+pub mod index;
 pub mod kdtree;
 pub mod knn;
 mod result;
@@ -35,4 +39,5 @@ pub mod sorter;
 pub mod veg;
 
 pub use error::GatherError;
+pub use index::{BruteIndex, IndexKind, KdTreeIndex, NeighborIndex, VegIndex};
 pub use result::{GatherResult, VegStats};

@@ -191,11 +191,7 @@ pub fn gather(
                         .into_iter()
                         .map(|i| (octree.points().point(i).distance_sq(center_point), i))
                         .collect();
-                    scored.sort_by(|a, b| {
-                        a.0.partial_cmp(&b.0)
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                            .then(a.1.cmp(&b.1))
-                    });
+                    scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
                     free.extend(scored.into_iter().take(need).map(|(_, i)| i));
                     free
                 }
@@ -219,11 +215,7 @@ pub fn gather(
                     .iter()
                     .map(|&i| (octree.points().point(i).distance_sq(center_point), i))
                     .collect();
-                scored.sort_by(|a, b| {
-                    a.0.partial_cmp(&b.0)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.1.cmp(&b.1))
-                });
+                scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
                 let kth = scored[k - 1].0.sqrt();
                 // Any unexplored point is at Euclidean distance
                 // >= shell * voxel_edge from the center.

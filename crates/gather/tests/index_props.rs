@@ -1,0 +1,144 @@
+//! Equivalence of the once-per-cloud [`NeighborIndex`] implementations to
+//! the existing per-call gather functions, on random clouds.
+
+use proptest::prelude::*;
+
+use hgpcn_gather::index::{self, IndexKind};
+use hgpcn_gather::veg::{self, VegConfig, VegMode};
+use hgpcn_gather::{knn, BruteIndex, KdTreeIndex, NeighborIndex, VegIndex};
+use hgpcn_geometry::{Point3, PointCloud};
+use hgpcn_octree::{Octree, OctreeConfig};
+
+/// A well-spread, duplicate-free cloud: golden-ratio strides plus a
+/// salt-derived offset. (A modular-arithmetic generator used here
+/// before produced heavily duplicated points, whose degenerate octrees
+/// made VEG shell enumeration explode and neighbor ties ambiguous.)
+fn cloud(n: usize, salt: u64) -> PointCloud {
+    let off = (salt % 977) as f32 * 0.00093;
+    (0..n)
+        .map(|i| {
+            let f = i as f32;
+            Point3::new(
+                (f * 0.618_034 + off).fract() * 4.0,
+                (f * 0.414_214 + off * 2.0).fract() * 4.0,
+                (f * 0.732_051 + off * 3.0).fract() * 4.0,
+            )
+        })
+        .collect()
+}
+
+fn sorted(mut v: Vec<usize>) -> Vec<usize> {
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// BruteIndex answers exactly like the per-call brute KNN.
+    #[test]
+    fn brute_index_equals_per_call_knn(
+        n in 50usize..400,
+        salt in 0u64..5000,
+        k in 1usize..24,
+        center_salt in 0usize..97,
+    ) {
+        let c = cloud(n, salt);
+        let index = BruteIndex::build(&c);
+        let center = center_salt % n;
+        let a = index.query(center, k).unwrap();
+        let b = knn::gather(&c, center, k).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// KdTreeIndex finds the same neighbor set (same distances, exact
+    /// search) as brute-force KNN.
+    #[test]
+    fn kdtree_index_matches_brute_distances(
+        n in 50usize..400,
+        salt in 0u64..5000,
+        k in 1usize..24,
+        center_salt in 0usize..97,
+    ) {
+        let c = cloud(n, salt);
+        let index = KdTreeIndex::build(&c, 8);
+        let center = center_salt % n;
+        let a = index.query(center, k).unwrap();
+        let b = knn::gather(&c, center, k).unwrap();
+        let p = c.point(center);
+        let da: Vec<u32> = a.neighbors.iter().map(|&i| c.point(i).distance_sq(p).to_bits()).collect();
+        let db: Vec<u32> = b.neighbors.iter().map(|&i| c.point(i).distance_sq(p).to_bits()).collect();
+        prop_assert_eq!(da, db);
+    }
+
+    /// VegIndex in Exact mode returns the same neighbor *set* as brute
+    /// KNN (VEG's exactness guarantee), through the amortized index.
+    #[test]
+    fn veg_index_exact_mode_equals_brute_set(
+        n in 60usize..400,
+        salt in 0u64..5000,
+        k in 1usize..20,
+        center_salt in 0usize..97,
+    ) {
+        let c = cloud(n, salt);
+        let cfg = VegConfig { gather_level: None, mode: VegMode::Exact };
+        let index = VegIndex::build(&c, cfg, OctreeConfig::default()).unwrap();
+        let center = center_salt % n;
+        let a = index.query(center, k).unwrap();
+        let b = knn::gather(&c, center, k).unwrap();
+        prop_assert_eq!(sorted(a.neighbors), sorted(b.neighbors));
+    }
+
+    /// VegIndex in the paper's mode answers identically to the per-call
+    /// `veg::gather` over a per-call octree — the index only amortizes
+    /// the build, never changes the result.
+    #[test]
+    fn veg_index_equals_per_call_veg(
+        n in 60usize..400,
+        salt in 0u64..5000,
+        k in 1usize..20,
+        center_salt in 0usize..97,
+    ) {
+        let c = cloud(n, salt);
+        let cfg = VegConfig::default();
+        let index = VegIndex::build(&c, cfg, OctreeConfig::default()).unwrap();
+        let octree = Octree::build(&c, OctreeConfig::default()).unwrap();
+        let perm = octree.permutation();
+        let mut inverse = vec![0usize; perm.len()];
+        for (sfc, &raw) in perm.iter().enumerate() {
+            inverse[raw] = sfc;
+        }
+        let center = center_salt % n;
+        let a = index.query(center, k).unwrap();
+        let direct = veg::gather(&octree, inverse[center], k, &cfg).unwrap();
+        let mapped: Vec<usize> = direct.neighbors.iter().map(|&s| perm[s]).collect();
+        prop_assert_eq!(a.neighbors, mapped);
+        prop_assert_eq!(a.counts, direct.counts);
+    }
+
+    /// `query_all` from one build equals independent per-call gathers for
+    /// every kind the factory can produce.
+    #[test]
+    fn one_build_answers_like_many_calls(
+        n in 80usize..300,
+        salt in 0u64..5000,
+        k in 1usize..12,
+    ) {
+        let c = cloud(n, salt);
+        let centers: Vec<usize> = (0..10).map(|i| (i * 37) % n).collect();
+        for kind in [
+            IndexKind::Brute,
+            IndexKind::KdTree { leaf_capacity: 8 },
+            IndexKind::default(),
+        ] {
+            let index = index::build(&c, kind).unwrap();
+            let (all, _) = index.query_all(&centers, k).unwrap();
+            for (r, &ctr) in all.iter().zip(&centers) {
+                let single = index.query(ctr, k).unwrap();
+                prop_assert_eq!(&r.neighbors, &single.neighbors, "{}", index.method());
+                prop_assert_eq!(r.len(), k);
+                prop_assert!(!r.neighbors.contains(&ctr));
+            }
+        }
+    }
+}

@@ -21,14 +21,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod config;
 mod error;
 mod gatherer;
 mod network;
 mod tensor;
 
+pub use batch::Batch;
 pub use config::{PointNetConfig, Stage, StageWorkload, TaskKind};
 pub use error::PcnError;
-pub use gatherer::{BruteKnnGatherer, Gatherer};
+pub use gatherer::{BruteKnnGatherer, Gatherer, IndexedGatherer};
 pub use network::{CenterPolicy, InferenceOutput, PointNet};
 pub use tensor::Matrix;

@@ -5,7 +5,7 @@ use hgpcn_dla::MlpSpec;
 use hgpcn_geometry::{Point3, PointCloud};
 use hgpcn_memsim::OpCounts;
 
-use crate::{Gatherer, Matrix, PcnError, PointNetConfig, Stage, TaskKind};
+use crate::{Batch, Gatherer, Matrix, PcnError, PointNetConfig, Stage, TaskKind};
 
 /// How set-abstraction centers are chosen.
 ///
@@ -298,6 +298,290 @@ impl PointNet {
             gather_counts,
             macs,
         })
+    }
+
+    /// Runs one inference over **each** cloud of a micro-batch, pushing all
+    /// clouds through every MLP layer with a single weight traversal.
+    ///
+    /// Per stage, the gathered groups of *all* clouds are stacked into one
+    /// SoA [`Batch`] and the stage MLP runs once over the stacked rows via
+    /// the row-blocked fused kernel ([`Matrix::linear_fused`]); max-pools
+    /// and feature propagation stay segment-local. Every per-row and
+    /// per-segment operation is order-preserving, so each cloud's
+    /// [`InferenceOutput`] — logits, gather counts and executed MACs — is
+    /// **bit-identical** to a serial [`PointNet::infer`] call with the
+    /// same gatherer and policy.
+    ///
+    /// `gatherers[i]` and `policies[i]` serve `clouds[i]`; per-cloud
+    /// gatherers keep cost attribution and seeding independent, which is
+    /// what lets a serving runtime batch frames without perturbing
+    /// deterministic per-frame results.
+    ///
+    /// ```no_run
+    /// use hgpcn_geometry::PointCloud;
+    /// use hgpcn_pcn::{BruteKnnGatherer, CenterPolicy, Gatherer, PointNet, PointNetConfig};
+    ///
+    /// # fn demo(clouds: &[PointCloud]) -> Result<(), hgpcn_pcn::PcnError> {
+    /// let net = PointNet::new(PointNetConfig::classification(), 7);
+    /// let refs: Vec<&PointCloud> = clouds.iter().collect();
+    /// let mut gs: Vec<BruteKnnGatherer> =
+    ///     (0..clouds.len()).map(|_| BruteKnnGatherer::new()).collect();
+    /// let mut grefs: Vec<&mut dyn Gatherer> =
+    ///     gs.iter_mut().map(|g| g as &mut dyn Gatherer).collect();
+    /// let policies = vec![CenterPolicy::FirstN; clouds.len()];
+    /// let outs = net.infer_batch(&refs, &mut grefs, &policies)?;
+    /// assert_eq!(outs.len(), clouds.len());
+    /// # Ok(()) }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PointNet::infer`], failing on the first cloud
+    /// (in batch order) that a stage rejects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clouds`, `gatherers` and `policies` have different
+    /// lengths.
+    pub fn infer_batch(
+        &self,
+        clouds: &[&PointCloud],
+        gatherers: &mut [&mut dyn Gatherer],
+        policies: &[CenterPolicy],
+    ) -> Result<Vec<InferenceOutput>, PcnError> {
+        assert_eq!(clouds.len(), gatherers.len(), "one gatherer per cloud");
+        assert_eq!(clouds.len(), policies.len(), "one policy per cloud");
+        let b = clouds.len();
+        if b == 0 {
+            return Ok(Vec::new());
+        }
+
+        let mut macs = vec![0u64; b];
+        let mut interp_counts = vec![OpCounts::default(); b];
+        let all_clouds: Vec<usize> = (0..b).collect();
+
+        // Per-cloud encoder levels, exactly as in the serial pass.
+        let mut level_points: Vec<Vec<Vec<Point3>>> =
+            clouds.iter().map(|c| vec![c.points().to_vec()]).collect();
+        let mut level_feats: Vec<Vec<Option<Matrix>>> = (0..b).map(|_| vec![None]).collect();
+
+        for (si, stage) in self.config.stages.iter().enumerate() {
+            // Feature width is config-determined, hence equal across the
+            // batch at every level.
+            let feat_dim = level_feats[0]
+                .last()
+                .expect("levels aligned")
+                .as_ref()
+                .map_or(0, Matrix::cols);
+            match stage {
+                Stage::SetAbstraction { npoint, k, .. } => {
+                    // Gather every cloud's groups, then stack all groups
+                    // of all clouds: one segment per (cloud, center).
+                    let mut seg_rows: Vec<usize> = Vec::with_capacity(b * npoint);
+                    let mut seg_cloud: Vec<usize> = Vec::with_capacity(b * npoint);
+                    let mut all_centers: Vec<Vec<usize>> = Vec::with_capacity(b);
+                    let mut all_groups: Vec<Vec<Vec<usize>>> = Vec::with_capacity(b);
+                    for (bi, gatherer) in gatherers.iter_mut().enumerate() {
+                        let cur_pts = level_points[bi].last().expect("levels aligned");
+                        let n = cur_pts.len();
+                        if *npoint > n {
+                            return Err(PcnError::InputTooSmall {
+                                points: n,
+                                needed: *npoint,
+                            });
+                        }
+                        let centers = Self::select_centers(policies[bi], n, *npoint, si);
+                        let cur_cloud = PointCloud::from_points(cur_pts.clone());
+                        let k_eff = (*k).min(n.saturating_sub(1)).max(1);
+                        let groups = gatherer.gather(&cur_cloud, &centers, k_eff)?;
+                        for g in &groups {
+                            seg_rows.push(g.len());
+                            seg_cloud.push(bi);
+                        }
+                        all_centers.push(centers);
+                        all_groups.push(groups);
+                    }
+
+                    let mut batch = Batch::zeros(&seg_rows, 3 + feat_dim);
+                    let mut seg = 0usize;
+                    for bi in 0..b {
+                        let cur_pts = level_points[bi].last().expect("levels aligned");
+                        let cur_feats = level_feats[bi].last().expect("levels aligned");
+                        for (group, &c) in all_groups[bi].iter().zip(&all_centers[bi]) {
+                            let center = cur_pts[c];
+                            for (r, &ni) in group.iter().enumerate() {
+                                let rel = cur_pts[ni] - center;
+                                let row = batch.segment_row_mut(seg, r);
+                                row[0] = rel.x;
+                                row[1] = rel.y;
+                                row[2] = rel.z;
+                                if let Some(f) = cur_feats {
+                                    row[3..].copy_from_slice(f.row(ni));
+                                }
+                            }
+                            seg += 1;
+                        }
+                    }
+
+                    let out = Self::apply_mlp_batched(
+                        &self.stage_weights[si],
+                        batch,
+                        &seg_cloud,
+                        &mut macs,
+                        true,
+                    );
+                    let pooled_all = out.max_pool_segments();
+                    let out_dim = stage.mlp().output_width();
+                    let mut seg = 0usize;
+                    for (bi, centers) in all_centers.iter().enumerate() {
+                        let mut pooled = Matrix::zeros(centers.len(), out_dim);
+                        for gi in 0..centers.len() {
+                            pooled.row_mut(gi).copy_from_slice(pooled_all.row(seg));
+                            seg += 1;
+                        }
+                        let cur_pts = level_points[bi].last().expect("levels aligned");
+                        let next: Vec<Point3> = centers.iter().map(|&c| cur_pts[c]).collect();
+                        level_points[bi].push(next);
+                        level_feats[bi].push(Some(pooled));
+                    }
+                }
+                Stage::GlobalAbstraction { .. } => {
+                    let seg_rows: Vec<usize> = level_points
+                        .iter()
+                        .map(|lp| lp.last().expect("levels aligned").len())
+                        .collect();
+                    let mut batch = Batch::zeros(&seg_rows, 3 + feat_dim);
+                    let mut centroids = Vec::with_capacity(b);
+                    for bi in 0..b {
+                        let cur_pts = level_points[bi].last().expect("levels aligned");
+                        let n = cur_pts.len();
+                        let centroid =
+                            cur_pts.iter().fold(Point3::ORIGIN, |a, &p| a + p) / n.max(1) as f32;
+                        let cur_feats = level_feats[bi].last().expect("levels aligned");
+                        for (r, &p) in cur_pts.iter().enumerate() {
+                            let rel = p - centroid;
+                            let row = batch.segment_row_mut(bi, r);
+                            row[0] = rel.x;
+                            row[1] = rel.y;
+                            row[2] = rel.z;
+                            if let Some(f) = cur_feats {
+                                row[3..].copy_from_slice(f.row(r));
+                            }
+                        }
+                        centroids.push(centroid);
+                    }
+                    let out = Self::apply_mlp_batched(
+                        &self.stage_weights[si],
+                        batch,
+                        &all_clouds,
+                        &mut macs,
+                        true,
+                    );
+                    let pooled = out.max_pool_segments();
+                    for (bi, &centroid) in centroids.iter().enumerate() {
+                        level_points[bi].push(vec![centroid]);
+                        level_feats[bi].push(Some(Matrix::from_vec(
+                            1,
+                            pooled.cols(),
+                            pooled.row(bi).to_vec(),
+                        )));
+                    }
+                }
+            }
+        }
+
+        let logits: Vec<Matrix> = match self.config.task {
+            TaskKind::Classification { .. } => {
+                let parts: Vec<Matrix> = level_feats
+                    .iter()
+                    .map(|lf| lf.last().expect("global level").clone().expect("features"))
+                    .collect();
+                let out = Self::apply_mlp_batched(
+                    &self.head_weights,
+                    Batch::from_matrices(&parts),
+                    &all_clouds,
+                    &mut macs,
+                    false,
+                );
+                (0..b).map(|bi| out.segment_matrix(bi)).collect()
+            }
+            TaskKind::Segmentation { .. } => {
+                let top = self.config.stages.len();
+                let mut carried: Vec<Matrix> = level_feats
+                    .iter()
+                    .map(|lf| lf[top].clone().expect("coarsest features"))
+                    .collect();
+                for (j, fp) in self.fp_weights.iter().enumerate() {
+                    let coarse = top - j;
+                    let fine = coarse - 1;
+                    let parts: Vec<Matrix> = (0..b)
+                        .map(|bi| {
+                            let interpolated = interpolate(
+                                &level_points[bi][fine],
+                                &level_points[bi][coarse],
+                                &carried[bi],
+                                &mut interp_counts[bi],
+                            );
+                            match &level_feats[bi][fine] {
+                                Some(skip) => interpolated.hcat(skip),
+                                None => interpolated,
+                            }
+                        })
+                        .collect();
+                    let out = Self::apply_mlp_batched(
+                        fp,
+                        Batch::from_matrices(&parts),
+                        &all_clouds,
+                        &mut macs,
+                        true,
+                    );
+                    carried = (0..b).map(|bi| out.segment_matrix(bi)).collect();
+                }
+                let out = Self::apply_mlp_batched(
+                    &self.head_weights,
+                    Batch::from_matrices(&carried),
+                    &all_clouds,
+                    &mut macs,
+                    false,
+                );
+                (0..b).map(|bi| out.segment_matrix(bi)).collect()
+            }
+        };
+
+        Ok(logits
+            .into_iter()
+            .enumerate()
+            .map(|(bi, logits)| InferenceOutput {
+                logits,
+                gather_counts: gatherers[bi].counts() + interp_counts[bi],
+                macs: macs[bi],
+            })
+            .collect())
+    }
+
+    /// One fused pass of `weights` over the whole batch: a single weight
+    /// traversal per layer, with executed MACs attributed to each cloud
+    /// through the segment-to-cloud map.
+    fn apply_mlp_batched(
+        weights: &[LayerWeights],
+        mut x: Batch,
+        seg_cloud: &[usize],
+        macs: &mut [u64],
+        relu_last: bool,
+    ) -> Batch {
+        let mut cloud_rows = vec![0usize; macs.len()];
+        for (range, &c) in x.segments().iter().zip(seg_cloud) {
+            cloud_rows[c] += range.len();
+        }
+        let n_layers = weights.len();
+        for (i, (w, bias)) in weights.iter().enumerate() {
+            let in_cols = x.cols();
+            for (m, &r) in macs.iter_mut().zip(&cloud_rows) {
+                *m += (r * in_cols * w.cols()) as u64;
+            }
+            x = x.linear_fused(w, bias, relu_last || i + 1 < n_layers);
+        }
+        x
     }
 }
 

@@ -99,6 +99,94 @@ impl Matrix {
         out
     }
 
+    /// `self × weights + bias` with an optional fused ReLU, computed with
+    /// a register-tiled kernel: 32 output columns are accumulated in
+    /// registers while the input index streams innermost, so each output
+    /// tile is written to memory exactly once and the weight matrix is
+    /// read straight through — the batched path's tile primitive.
+    ///
+    /// Accumulation order per output element is identical to
+    /// [`Matrix::linear`] (ascending input index, zero inputs skipped), so
+    /// the result is **bit-identical** to `linear` followed by
+    /// [`Matrix::relu`]; only the memory-access schedule differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn linear_fused(&self, weights: &Matrix, bias: &[f32], relu: bool) -> Matrix {
+        assert_eq!(self.cols, weights.rows, "inner dimensions must agree");
+        assert_eq!(bias.len(), weights.cols, "bias width must match output");
+        const TILE: usize = 32;
+        let (rows, ins, outs) = (self.rows, self.cols, weights.cols);
+        let mut out = Matrix::zeros(rows, outs);
+        let x = &self.data;
+        let w = &weights.data;
+        let y = &mut out.data;
+        for r in 0..rows {
+            let xr = &x[r * ins..(r + 1) * ins];
+            let mut jt = 0usize;
+            // Full tiles: the accumulator array stays in vector registers
+            // across the whole input stream.
+            while jt + TILE <= outs {
+                let mut acc = [0.0f32; TILE];
+                acc.copy_from_slice(&bias[jt..jt + TILE]);
+                for (i, &xi) in xr.iter().enumerate() {
+                    if xi == 0.0 {
+                        continue;
+                    }
+                    let wr = &w[i * outs + jt..i * outs + jt + TILE];
+                    for l in 0..TILE {
+                        acc[l] += xi * wr[l];
+                    }
+                }
+                if relu {
+                    for a in &mut acc {
+                        if *a < 0.0 {
+                            *a = 0.0;
+                        }
+                    }
+                }
+                y[r * outs + jt..r * outs + jt + TILE].copy_from_slice(&acc);
+                jt += TILE;
+            }
+            // Remainder columns: an 8-wide tier (narrow heads like the
+            // 13-class segmentation output live here), then scalar.
+            while jt + 8 <= outs {
+                let mut acc = [0.0f32; 8];
+                acc.copy_from_slice(&bias[jt..jt + 8]);
+                for (i, &xi) in xr.iter().enumerate() {
+                    if xi == 0.0 {
+                        continue;
+                    }
+                    let wr = &w[i * outs + jt..i * outs + jt + 8];
+                    for l in 0..8 {
+                        acc[l] += xi * wr[l];
+                    }
+                }
+                if relu {
+                    for a in &mut acc {
+                        if *a < 0.0 {
+                            *a = 0.0;
+                        }
+                    }
+                }
+                y[r * outs + jt..r * outs + jt + 8].copy_from_slice(&acc);
+                jt += 8;
+            }
+            for j in jt..outs {
+                let mut a = bias[j];
+                for (i, &xi) in xr.iter().enumerate() {
+                    if xi == 0.0 {
+                        continue;
+                    }
+                    a += xi * w[i * outs + j];
+                }
+                y[r * outs + j] = if relu && a < 0.0 { 0.0 } else { a };
+            }
+        }
+        out
+    }
+
     /// In-place ReLU.
     pub fn relu(&mut self) {
         for v in &mut self.data {
@@ -197,6 +285,43 @@ mod tests {
         let h = g.hcat(&Matrix::from_vec(2, 1, vec![1.0, 2.0]));
         assert_eq!(h.row(0), &[30.0, 1.0]);
         assert_eq!(h.row(1), &[10.0, 2.0]);
+    }
+
+    #[test]
+    fn linear_fused_is_bit_identical_to_linear_plus_relu() {
+        // Pseudo-random-ish but deterministic inputs with negatives and
+        // exact zeros, exercising the zero-skip and the row-block tail.
+        let rows = 13; // not a multiple of the block size
+        let (ins, outs) = (7, 9);
+        let x = Matrix::from_vec(
+            rows,
+            ins,
+            (0..rows * ins)
+                .map(|i| {
+                    if i % 5 == 0 {
+                        0.0
+                    } else {
+                        ((i as f32 * 0.37).sin() * 3.0) - 1.0
+                    }
+                })
+                .collect(),
+        );
+        let w = Matrix::from_vec(
+            ins,
+            outs,
+            (0..ins * outs)
+                .map(|i| ((i as f32 * 0.73).cos() * 2.0) - 0.5)
+                .collect(),
+        );
+        let bias: Vec<f32> = (0..outs).map(|i| i as f32 * 0.1 - 0.3).collect();
+
+        let plain = x.linear(&w, &bias);
+        let fused_no_relu = x.linear_fused(&w, &bias, false);
+        assert_eq!(plain, fused_no_relu);
+
+        let mut plain_relu = plain.clone();
+        plain_relu.relu();
+        assert_eq!(plain_relu, x.linear_fused(&w, &bias, true));
     }
 
     #[test]

@@ -61,6 +61,21 @@ pub struct RuntimeConfig {
     /// Base seed; per-frame seeds derive from it via
     /// [`frame_seed`](crate::frame_seed).
     pub seed: u64,
+    /// Largest micro-batch an inference worker may coalesce from the
+    /// stage queue. `1` (the default) keeps the legacy serial execution;
+    /// `>= 2` routes frames through the SoA batched path
+    /// ([`InferenceEngine::run_batch`](hgpcn_system::InferenceEngine::run_batch)),
+    /// which produces bit-identical per-frame results with one weight
+    /// traversal per layer for the whole batch.
+    pub max_batch: usize,
+    /// Deadline awareness of the coalescer: the modeled virtual-time
+    /// budget (seconds) a micro-batch may occupy the inference engine.
+    /// Workers cap each batch at `batch_deadline_s / est` frames, where
+    /// `est` is their running estimate of per-frame modeled inference
+    /// latency — so under a tight deadline a backlogged queue degrades
+    /// to smaller batches instead of head-of-line blocking the oldest
+    /// frame. `f64::INFINITY` (the default) disables the cap.
+    pub batch_deadline_s: f64,
 }
 
 impl Default for RuntimeConfig {
@@ -74,6 +89,8 @@ impl Default for RuntimeConfig {
             arrival: ArrivalModel::Sensor,
             target_points: 1024,
             seed: 0x5EED,
+            max_batch: 1,
+            batch_deadline_s: f64::INFINITY,
         }
     }
 }
@@ -127,6 +144,19 @@ impl RuntimeConfig {
         self
     }
 
+    /// Sets the largest micro-batch the inference stage may coalesce.
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.max_batch = n;
+        self
+    }
+
+    /// Sets the virtual-time budget one micro-batch may occupy the
+    /// inference engine (deadline-aware batch sizing).
+    pub fn batch_deadline_s(mut self, s: f64) -> Self {
+        self.batch_deadline_s = s;
+        self
+    }
+
     /// Checks the configuration is runnable.
     ///
     /// # Errors
@@ -154,6 +184,14 @@ impl RuntimeConfig {
                 "target_points must be >= 1".into(),
             ));
         }
+        if self.max_batch == 0 {
+            return Err(RuntimeError::InvalidConfig("max_batch must be >= 1".into()));
+        }
+        if self.batch_deadline_s.is_nan() || self.batch_deadline_s <= 0.0 {
+            return Err(RuntimeError::InvalidConfig(
+                "batch_deadline_s must be positive".into(),
+            ));
+        }
         Ok(())
     }
 }
@@ -177,7 +215,9 @@ mod tests {
             .backpressure(BackpressurePolicy::DropOldest)
             .arrival(ArrivalModel::Backlogged)
             .target_points(256)
-            .seed(42);
+            .seed(42)
+            .max_batch(8)
+            .batch_deadline_s(0.25);
         assert_eq!(cfg.preproc_workers, 3);
         assert_eq!(cfg.inference_workers, 2);
         assert_eq!(cfg.queue_capacity, 5);
@@ -186,6 +226,8 @@ mod tests {
         assert_eq!(cfg.arrival, ArrivalModel::Backlogged);
         assert_eq!(cfg.target_points, 256);
         assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.max_batch, 8);
+        assert_eq!(cfg.batch_deadline_s, 0.25);
     }
 
     #[test]
@@ -206,5 +248,15 @@ mod tests {
             .target_points(0)
             .validate()
             .is_err());
+        assert!(RuntimeConfig::default().max_batch(0).validate().is_err());
+        assert!(RuntimeConfig::default()
+            .batch_deadline_s(0.0)
+            .validate()
+            .is_err());
+        assert!(RuntimeConfig::default()
+            .batch_deadline_s(f64::NAN)
+            .validate()
+            .is_err());
+        assert!(RuntimeConfig::default().max_batch(16).validate().is_ok());
     }
 }

@@ -28,10 +28,12 @@ use std::time::Instant;
 
 use hgpcn_geometry::PointCloud;
 use hgpcn_pcn::PointNet;
-use hgpcn_system::{E2ePipeline, E2eReport, PhaseReport, SystemError};
+use hgpcn_system::{E2ePipeline, E2eReport, InferenceReport, PhaseReport, SystemError};
 
 use crate::config::{ArrivalModel, BackpressurePolicy, RuntimeConfig};
-use crate::metrics::{FrameRecord, LatencySummary, QueueStats, RuntimeReport, StreamReport};
+use crate::metrics::{
+    BatchingStats, FrameRecord, LatencySummary, QueueStats, RuntimeReport, StreamReport,
+};
 use crate::queue::BoundedQueue;
 use crate::scheduler::Scheduler;
 use crate::stream::{StreamSpec, TimedFrame};
@@ -127,7 +129,7 @@ impl Runtime {
     ///
     /// # Panics
     ///
-    /// A panic inside a user-supplied [`FrameSource`] (or engine code)
+    /// A panic inside a user-supplied [`FrameSource`](crate::FrameSource) (or engine code)
     /// unwinds the whole pipeline and propagates out of this call; it
     /// never deadlocks the worker pools.
     pub fn run_with_pipeline(
@@ -145,6 +147,7 @@ impl Runtime {
         let ingress: BoundedQueue<PreprocJob> = BoundedQueue::new(config.queue_capacity);
         let stage: BoundedQueue<StageJob> = BoundedQueue::new(config.queue_capacity);
         let records: Mutex<Vec<FrameRecord>> = Mutex::new(Vec::new());
+        let batch_sizes: Mutex<Vec<usize>> = Mutex::new(Vec::new());
         let first_error: Mutex<Option<RuntimeError>> = Mutex::new(None);
         let preproc_live = AtomicUsize::new(config.preproc_workers);
         let started = Instant::now();
@@ -259,6 +262,9 @@ impl Runtime {
                     .collect();
 
                 // --- Inference pool: stage queue → records. ---
+                // `max_batch == 1` runs the legacy per-frame engine call;
+                // `>= 2` coalesces micro-batches into the SoA path, whose
+                // per-frame results are bit-identical by construction.
                 let inference_handles: Vec<_> = (0..config.inference_workers)
                     .map(|_| {
                         s.spawn(|| {
@@ -267,41 +273,130 @@ impl Runtime {
                                 stage: &stage,
                             };
                             let mut vclock = 0.0f64;
-                            while let Some((job, ticket)) = stage.pop() {
-                                let seed = frame_seed(config.seed, job.stream_id, job.frame_index);
-                                match pipeline.inference.run(&job.sampled, net, seed) {
-                                    Ok(inf) => {
-                                        let latency = inf.total_latency();
-                                        let start = vclock.max(job.virtual_preproc_done_s);
-                                        let done = start + latency.secs();
-                                        vclock = done;
-                                        let record = FrameRecord {
-                                            stream_id: job.stream_id,
-                                            frame_index: job.frame_index,
-                                            sensor_ts_s: job.sensor_ts_s,
-                                            virtual_arrival_s: job.virtual_arrival_s,
-                                            virtual_preproc_done_s: job.virtual_preproc_done_s,
-                                            virtual_done_s: done,
-                                            modeled: E2eReport {
-                                                preprocess: job.pre_phase,
-                                                inference: PhaseReport {
-                                                    latency,
-                                                    counts: inf.total_counts(),
-                                                },
-                                            },
-                                            preproc_ticket: job.preproc_ticket,
-                                            inference_ticket: ticket,
-                                            wall_done: started.elapsed(),
-                                        };
-                                        records.lock().expect("record sink poisoned").push(record);
+                            if config.max_batch <= 1 {
+                                while let Some((job, ticket)) = stage.pop() {
+                                    let seed =
+                                        frame_seed(config.seed, job.stream_id, job.frame_index);
+                                    match pipeline.inference.run(&job.sampled, net, seed) {
+                                        Ok(inf) => {
+                                            let record = finish_frame(
+                                                job,
+                                                ticket,
+                                                &inf,
+                                                &mut vclock,
+                                                started,
+                                            );
+                                            records
+                                                .lock()
+                                                .expect("record sink poisoned")
+                                                .push(record);
+                                        }
+                                        Err(err) => {
+                                            fail(RuntimeError::Frame {
+                                                stream_id: job.stream_id,
+                                                frame_index: job.frame_index,
+                                                source: err,
+                                            });
+                                            break;
+                                        }
                                     }
-                                    Err(err) => {
-                                        fail(RuntimeError::Frame {
-                                            stream_id: job.stream_id,
-                                            frame_index: job.frame_index,
-                                            source: err,
-                                        });
-                                        break;
+                                }
+                                return;
+                            }
+
+                            // Running estimate of per-frame modeled
+                            // inference latency, for the deadline cap.
+                            let mut est_latency_s = 0.0f64;
+                            'work: while let Some(first) = stage.pop() {
+                                // The first frame is taken blocking; the
+                                // rest of the micro-batch only drains
+                                // whatever is already queued, up to the
+                                // deadline-aware ceiling — a frame never
+                                // waits for companions.
+                                let allowed = if !config.batch_deadline_s.is_finite() {
+                                    config.max_batch
+                                } else if est_latency_s <= 0.0 {
+                                    1 // prime the estimator on one frame
+                                } else {
+                                    ((config.batch_deadline_s / est_latency_s) as usize)
+                                        .clamp(1, config.max_batch)
+                                };
+                                let mut batch = vec![first];
+                                while batch.len() < allowed {
+                                    match stage.try_pop() {
+                                        Some(next) => batch.push(next),
+                                        None => break,
+                                    }
+                                }
+
+                                let inputs: Vec<&PointCloud> =
+                                    batch.iter().map(|(j, _)| &j.sampled).collect();
+                                let seeds: Vec<u64> = batch
+                                    .iter()
+                                    .map(|(j, _)| {
+                                        frame_seed(config.seed, j.stream_id, j.frame_index)
+                                    })
+                                    .collect();
+                                match pipeline.inference.run_batch(&inputs, net, &seeds) {
+                                    Ok(reports) => {
+                                        batch_sizes
+                                            .lock()
+                                            .expect("batch stats poisoned")
+                                            .push(batch.len());
+                                        let mut sink =
+                                            records.lock().expect("record sink poisoned");
+                                        for ((job, ticket), inf) in batch.into_iter().zip(&reports)
+                                        {
+                                            let lat = inf.total_latency().secs();
+                                            est_latency_s = if est_latency_s <= 0.0 {
+                                                lat
+                                            } else {
+                                                0.5 * (est_latency_s + lat)
+                                            };
+                                            sink.push(finish_frame(
+                                                job,
+                                                ticket,
+                                                inf,
+                                                &mut vclock,
+                                                started,
+                                            ));
+                                        }
+                                    }
+                                    Err(_) => {
+                                        // Attribute the failure: re-run the
+                                        // batch serially (deterministic, so
+                                        // healthy frames reproduce exactly)
+                                        // and fail on the culprit.
+                                        for (job, ticket) in batch {
+                                            let seed = frame_seed(
+                                                config.seed,
+                                                job.stream_id,
+                                                job.frame_index,
+                                            );
+                                            match pipeline.inference.run(&job.sampled, net, seed) {
+                                                Ok(inf) => {
+                                                    let record = finish_frame(
+                                                        job,
+                                                        ticket,
+                                                        &inf,
+                                                        &mut vclock,
+                                                        started,
+                                                    );
+                                                    records
+                                                        .lock()
+                                                        .expect("record sink poisoned")
+                                                        .push(record);
+                                                }
+                                                Err(err) => {
+                                                    fail(RuntimeError::Frame {
+                                                        stream_id: job.stream_id,
+                                                        frame_index: job.frame_index,
+                                                        source: err,
+                                                    });
+                                                    break 'work;
+                                                }
+                                            }
+                                        }
                                     }
                                 }
                             }
@@ -327,6 +422,7 @@ impl Runtime {
         let mut records = records.into_inner().expect("record sink poisoned");
         records.sort_by_key(|r| (r.stream_id, r.frame_index));
 
+        let sizes = batch_sizes.into_inner().expect("batch stats poisoned");
         Ok(assemble_report(
             config,
             &outcome,
@@ -339,8 +435,44 @@ impl Runtime {
                 high_water: stage.high_water(),
                 dropped: stage.dropped(),
             },
+            BatchingStats::from_sizes(config.max_batch, &sizes),
             started.elapsed(),
         ))
+    }
+}
+
+/// Advances the worker's virtual clock past `job` and records its
+/// journey. Shared by the serial and batched inference paths — within a
+/// micro-batch, frames advance the clock in dequeue order, so the
+/// modeled timeline of a batched run matches the serial one exactly.
+fn finish_frame(
+    job: StageJob,
+    inference_ticket: u64,
+    inf: &InferenceReport,
+    vclock: &mut f64,
+    started: Instant,
+) -> FrameRecord {
+    let latency = inf.total_latency();
+    let start = vclock.max(job.virtual_preproc_done_s);
+    let done = start + latency.secs();
+    *vclock = done;
+    FrameRecord {
+        stream_id: job.stream_id,
+        frame_index: job.frame_index,
+        sensor_ts_s: job.sensor_ts_s,
+        virtual_arrival_s: job.virtual_arrival_s,
+        virtual_preproc_done_s: job.virtual_preproc_done_s,
+        virtual_done_s: done,
+        modeled: E2eReport {
+            preprocess: job.pre_phase,
+            inference: PhaseReport {
+                latency,
+                counts: inf.total_counts(),
+            },
+        },
+        preproc_ticket: job.preproc_ticket,
+        inference_ticket,
+        wall_done: started.elapsed(),
     }
 }
 
@@ -358,6 +490,7 @@ fn assemble_report(
     records: Vec<FrameRecord>,
     ingress_queue: QueueStats,
     stage_queue: QueueStats,
+    batching: BatchingStats,
     wall_elapsed: std::time::Duration,
 ) -> RuntimeReport {
     use hgpcn_memsim::Latency;
@@ -430,6 +563,7 @@ fn assemble_report(
         virtual_makespan_s,
         modeled_pipelined_fps,
         wall_elapsed,
+        batching,
         records,
     }
 }

@@ -18,6 +18,18 @@
 //! and policy (admission order, backpressure) is separated from
 //! mechanism (queues and worker pools).
 //!
+//! With [`RuntimeConfig::max_batch`] ≥ 2, inference workers coalesce
+//! queued frames into **micro-batches** and execute them through the SoA
+//! batched engine path
+//! ([`InferenceEngine::run_batch`](hgpcn_system::InferenceEngine::run_batch)):
+//! one weight traversal per MLP layer serves the whole batch. Coalescing
+//! never waits for frames (only already-queued work is drained), honours
+//! a deadline-aware ceiling ([`RuntimeConfig::batch_deadline_s`]), and
+//! preserves both per-stream FIFO order and per-frame `frame_seed`
+//! determinism — batched results are bit-identical to the serial path,
+//! only host throughput changes ([`RuntimeReport::wall_speedup_over`],
+//! [`BatchingStats`]).
+//!
 //! Latency accounting runs on a *virtual clock*: workers advance their
 //! own virtual time by the modeled latency of the work they actually
 //! executed. Per-frame results are deterministic regardless of worker
@@ -67,8 +79,8 @@ mod stream;
 pub use config::{AdmissionPolicy, ArrivalModel, BackpressurePolicy, RuntimeConfig};
 pub use executor::Runtime;
 pub use metrics::{
-    CrossValidation, FrameRecord, LatencySummary, QueueStats, RuntimeReport, StreamReport,
-    DEFAULT_VALIDATION_TOLERANCE,
+    BatchingStats, CrossValidation, FrameRecord, LatencySummary, QueueStats, RuntimeReport,
+    StreamReport, DEFAULT_VALIDATION_TOLERANCE,
 };
 pub use queue::{BoundedQueue, Closed};
 pub use scheduler::Scheduler;

@@ -138,6 +138,45 @@ pub struct QueueStats {
     pub dropped: u64,
 }
 
+/// Micro-batching behaviour of one run's inference stage.
+///
+/// Populated only when the run executed the SoA batched path
+/// (`max_batch >= 2`); a legacy serial run reports zero `batches` and a
+/// `mean_batch_size` of 1. Comparing a batched run's throughput against
+/// an unbatched one is [`RuntimeReport::wall_speedup_over`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BatchingStats {
+    /// Configured micro-batch ceiling.
+    pub max_batch: usize,
+    /// Micro-batches the inference pool executed.
+    pub batches: usize,
+    /// Largest micro-batch actually coalesced.
+    pub largest_batch: usize,
+    /// Mean frames per micro-batch (1.0 for a serial run).
+    pub mean_batch_size: f64,
+    /// Frames that shared a micro-batch with at least one other frame.
+    pub coalesced_frames: usize,
+}
+
+impl BatchingStats {
+    /// Summarizes the batch sizes one run produced.
+    pub fn from_sizes(max_batch: usize, sizes: &[usize]) -> BatchingStats {
+        let batches = sizes.len();
+        let frames: usize = sizes.iter().sum();
+        BatchingStats {
+            max_batch,
+            batches,
+            largest_batch: sizes.iter().copied().max().unwrap_or(0),
+            mean_batch_size: if batches == 0 {
+                1.0
+            } else {
+                frames as f64 / batches as f64
+            },
+            coalesced_frames: sizes.iter().filter(|&&s| s > 1).sum(),
+        }
+    }
+}
+
 /// Aggregate outcome of one [`Runtime::run`](crate::Runtime::run).
 #[derive(Clone, Debug)]
 pub struct RuntimeReport {
@@ -163,6 +202,8 @@ pub struct RuntimeReport {
     /// Wall-clock duration of the run (host execution speed — unrelated
     /// to the modeled hardware's throughput).
     pub wall_elapsed: Duration,
+    /// Micro-batching behaviour of the inference stage.
+    pub batching: BatchingStats,
     /// Every completed frame's journey, sorted by `(stream, frame)`.
     pub records: Vec<FrameRecord>,
 }
@@ -171,6 +212,15 @@ impl RuntimeReport {
     /// Host-side throughput (frames per wall-clock second).
     pub fn wall_fps(&self) -> f64 {
         self.total_frames as f64 / self.wall_elapsed.as_secs_f64().max(1e-12)
+    }
+
+    /// Batched-vs-unbatched throughput: this run's host throughput over
+    /// `baseline`'s. Run the same fleet twice — once with `max_batch: 1`,
+    /// once batched — and this is the single-machine speedup the SoA
+    /// path delivers (per-frame modeled results are identical by
+    /// construction, so only wall time differs).
+    pub fn wall_speedup_over(&self, baseline: &RuntimeReport) -> f64 {
+        self.wall_fps() / baseline.wall_fps().max(1e-12)
     }
 
     /// Cross-validates this run against the analytical model.
@@ -257,6 +307,17 @@ impl fmt::Display for RuntimeReport {
             self.stage_queue.high_water,
             self.stage_queue.dropped,
         )?;
+        if self.batching.batches > 0 {
+            writeln!(
+                f,
+                "  batching: {} micro-batches (max {}, largest {}, mean {:.2}), {} frames coalesced",
+                self.batching.batches,
+                self.batching.max_batch,
+                self.batching.largest_batch,
+                self.batching.mean_batch_size,
+                self.batching.coalesced_frames,
+            )?;
+        }
         for s in &self.streams {
             writeln!(
                 f,
@@ -301,6 +362,21 @@ mod tests {
         let s = LatencySummary::from_samples(&[]);
         assert_eq!(s.max, Latency::ZERO);
         assert_eq!(s.mean, Latency::ZERO);
+    }
+
+    #[test]
+    fn batching_stats_from_sizes() {
+        let s = BatchingStats::from_sizes(8, &[8, 8, 3, 1]);
+        assert_eq!(s.batches, 4);
+        assert_eq!(s.largest_batch, 8);
+        assert_eq!(s.coalesced_frames, 19);
+        assert!((s.mean_batch_size - 5.0).abs() < 1e-12);
+
+        let serial = BatchingStats::from_sizes(1, &[]);
+        assert_eq!(serial.batches, 0);
+        assert_eq!(serial.largest_batch, 0);
+        assert_eq!(serial.coalesced_frames, 0);
+        assert_eq!(serial.mean_batch_size, 1.0);
     }
 
     #[test]

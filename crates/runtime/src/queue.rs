@@ -124,6 +124,19 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Pops the oldest item if one is queued, without blocking — the
+    /// micro-batch coalescing primitive: a worker that already holds one
+    /// frame drains whatever else is ready, but never waits for more.
+    /// Returns `None` when the queue is momentarily empty *or* closed.
+    pub fn try_pop(&self) -> Option<(T, u64)> {
+        let mut state = self.state.lock().expect("queue mutex poisoned");
+        let item = state.items.pop_front()?;
+        let ticket = state.popped;
+        state.popped += 1;
+        self.not_full.notify_one();
+        Some((item, ticket))
+    }
+
     /// Closes the queue: pending and future pushes fail, pops drain the
     /// backlog then return `None`.
     pub fn close(&self) {
@@ -206,6 +219,27 @@ mod tests {
         assert!(q.pop().is_none(), "backlog must be discarded, not drained");
         assert_eq!(q.depth(), 0);
         assert!(q.push_blocking(3).is_err());
+    }
+
+    #[test]
+    fn try_pop_never_blocks() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_pop().is_none(), "empty queue yields nothing");
+        q.push_blocking(5).unwrap();
+        let (item, ticket) = q.try_pop().unwrap();
+        assert_eq!(item, 5);
+        assert_eq!(ticket, 0);
+        q.close();
+        assert!(q.try_pop().is_none(), "closed+empty yields nothing");
+    }
+
+    #[test]
+    fn try_pop_shares_tickets_with_pop() {
+        let q = BoundedQueue::new(4);
+        q.push_blocking(1).unwrap();
+        q.push_blocking(2).unwrap();
+        assert_eq!(q.pop().unwrap(), (1, 0));
+        assert_eq!(q.try_pop().unwrap(), (2, 1));
     }
 
     #[test]

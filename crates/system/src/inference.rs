@@ -82,7 +82,59 @@ impl InferenceEngine {
     ) -> Result<InferenceReport, SystemError> {
         let mut gatherer = VegGatherer::new(self.veg);
         let output = net.infer(input, &mut gatherer, CenterPolicy::Random { seed })?;
+        Ok(self.price(&gatherer, output, net))
+    }
 
+    /// Runs `net` over a micro-batch of down-sampled frames in one SoA
+    /// pass ([`PointNet::infer_batch`]): every MLP layer traverses its
+    /// weights once for the whole batch. Each frame keeps its own VEG
+    /// gatherer seeded by its own `seeds[i]`, so per-frame outputs,
+    /// gather costs and modeled latencies are **bit-identical** to
+    /// per-frame [`InferenceEngine::run`] calls — batching changes host
+    /// throughput, never results.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first frame's failure as [`SystemError::Pcn`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` and `seeds` have different lengths.
+    pub fn run_batch(
+        &self,
+        inputs: &[&PointCloud],
+        net: &PointNet,
+        seeds: &[u64],
+    ) -> Result<Vec<InferenceReport>, SystemError> {
+        assert_eq!(inputs.len(), seeds.len(), "one seed per frame");
+        let mut gatherers: Vec<VegGatherer> =
+            inputs.iter().map(|_| VegGatherer::new(self.veg)).collect();
+        let outputs = {
+            let mut grefs: Vec<&mut dyn Gatherer> = gatherers
+                .iter_mut()
+                .map(|g| g as &mut dyn Gatherer)
+                .collect();
+            let policies: Vec<CenterPolicy> = seeds
+                .iter()
+                .map(|&seed| CenterPolicy::Random { seed })
+                .collect();
+            net.infer_batch(inputs, &mut grefs, &policies)?
+        };
+        Ok(outputs
+            .into_iter()
+            .zip(&gatherers)
+            .map(|(output, gatherer)| self.price(gatherer, output, net))
+            .collect())
+    }
+
+    /// Prices one frame's data structuring on the DSU pipeline and its
+    /// feature computation on the systolic array.
+    fn price(
+        &self,
+        gatherer: &VegGatherer,
+        output: hgpcn_pcn::InferenceOutput,
+        net: &PointNet,
+    ) -> InferenceReport {
         // DSU pipeline: steady-state drain at each gather's bottleneck
         // stage, plus one pipeline fill.
         let mut agg = StageCycles::default();
@@ -102,7 +154,7 @@ impl InferenceEngine {
         }
         let gathers = gatherer.results().len();
         let ds_latency = Latency::from_ns((drain + fill) as f64 * self.dsu.cycle_ns());
-        let ds_counts = Gatherer::counts(&gatherer);
+        let ds_counts = Gatherer::counts(gatherer);
 
         // FCU: price the configured workload on the systolic array.
         let mut fc = LayerRun::default();
@@ -113,7 +165,7 @@ impl InferenceEngine {
         }
         let fc_latency = self.array.latency(&fc);
 
-        Ok(InferenceReport {
+        InferenceReport {
             output,
             ds_latency,
             fc_latency,
@@ -123,7 +175,7 @@ impl InferenceEngine {
             gathers,
             candidates_sorted,
             gathered_free,
-        })
+        }
     }
 }
 
@@ -166,6 +218,25 @@ mod tests {
         let net = PointNet::new(PointNetConfig::classification(), 1);
         let report = engine.run(&input(1024), &net, 5).unwrap();
         assert!(report.fc_latency > report.ds_latency);
+    }
+
+    #[test]
+    fn run_batch_is_bit_identical_to_per_frame_runs() {
+        let engine = InferenceEngine::prototype();
+        let net = PointNet::new(PointNetConfig::classification(), 1);
+        let frames = [input(1024), input(1100), input(1050)];
+        let seeds = [5u64, 6, 7];
+        let refs: Vec<&PointCloud> = frames.iter().collect();
+        let batched = engine.run_batch(&refs, &net, &seeds).unwrap();
+        assert_eq!(batched.len(), 3);
+        for ((frame, &seed), b) in frames.iter().zip(&seeds).zip(&batched) {
+            let serial = engine.run(frame, &net, seed).unwrap();
+            assert_eq!(b.output.logits, serial.output.logits);
+            assert_eq!(b.output.macs, serial.output.macs);
+            assert_eq!(b.ds_latency, serial.ds_latency);
+            assert_eq!(b.fc_latency, serial.fc_latency);
+            assert_eq!(b.candidates_sorted, serial.candidates_sorted);
+        }
     }
 
     #[test]

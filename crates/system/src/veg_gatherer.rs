@@ -1,19 +1,20 @@
-use hgpcn_gather::veg::{self, VegConfig};
-use hgpcn_gather::GatherResult;
+use hgpcn_gather::veg::VegConfig;
+use hgpcn_gather::{GatherResult, NeighborIndex, VegIndex};
 use hgpcn_geometry::PointCloud;
 use hgpcn_memsim::OpCounts;
-use hgpcn_octree::{Octree, OctreeConfig};
+use hgpcn_octree::OctreeConfig;
 use hgpcn_pcn::{Gatherer, PcnError};
 
 /// The VEG-backed [`Gatherer`]: the Data Structuring Unit's algorithmic
 /// half, pluggable into the PointNet++ forward pass.
 ///
 /// PointNet++ gathers at several hierarchy levels (the down-sampled input,
-/// then each set-abstraction level), so the gatherer indexes each level it
-/// is handed with an octree and runs VEG over it. The octree build for the
-/// *input* level conceptually reuses the pre-processing octree (the
-/// paper's amortization argument, §VII-B); the build operations are
-/// tallied either way, so the reported costs are conservative.
+/// then each set-abstraction level), so the gatherer builds one
+/// [`VegIndex`] per level it is handed — octree + SFC permutations built
+/// **once**, every center of the level answered from it. The octree build
+/// for the *input* level conceptually reuses the pre-processing octree
+/// (the paper's amortization argument, §VII-B); the build operations are
+/// not charged to the query counts, matching that amortization.
 #[derive(Debug)]
 pub struct VegGatherer {
     config: VegConfig,
@@ -58,21 +59,14 @@ impl Gatherer for VegGatherer {
         centers: &[usize],
         k: usize,
     ) -> Result<Vec<Vec<usize>>, PcnError> {
-        // Index this level. SFC order differs from the caller's order, so
-        // translate centers in and neighbor indices back out.
-        let octree = Octree::build(cloud, self.octree_config)
-            .map_err(|_| PcnError::Gather(hgpcn_gather::GatherError::EmptyCloud))?;
-        let perm = octree.permutation(); // sfc position -> caller index
-        let mut inverse = vec![0usize; perm.len()];
-        for (sfc, &raw) in perm.iter().enumerate() {
-            inverse[raw] = sfc;
-        }
-
+        // One index build for this level; the index translates between
+        // the caller's order and SFC order internally.
+        let index = VegIndex::build(cloud, self.config, self.octree_config)?;
         let mut out = Vec::with_capacity(centers.len());
         for &c in centers {
-            let r = veg::gather(&octree, inverse[c], k, &self.config)?;
+            let r = index.query(c, k)?;
             self.counts += r.counts;
-            out.push(r.neighbors.iter().map(|&sfc| perm[sfc]).collect());
+            out.push(r.neighbors.clone());
             self.results.push(r);
         }
         Ok(out)

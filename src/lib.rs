@@ -10,16 +10,21 @@
 //! * [`memsim`] — host/on-chip memory models and device cost profiles;
 //! * [`sampling`] — FPS, RS, RS+reinforce, Octree-Indexed Sampling (OIS)
 //!   and the FPGA Down-sampling Unit model;
-//! * [`gather`] — brute KNN, ball query, Voxel-Expanded Gathering (VEG)
-//!   and the six-stage Data Structuring Unit model;
+//! * [`gather`] — brute KNN, ball query, Voxel-Expanded Gathering (VEG),
+//!   the six-stage Data Structuring Unit model, and per-cloud
+//!   `NeighborIndex` structures built once and queried per center;
 //! * [`dla`] — the 16×16 systolic Feature Computation Unit;
-//! * [`pcn`] — a real PointNet++ forward pass with pluggable gathering;
+//! * [`pcn`] — a real PointNet++ forward pass with pluggable gathering,
+//!   plus the SoA `Batch` tile layer and `infer_batch` (B clouds per
+//!   call, one weight traversal per MLP layer, bit-identical results);
 //! * [`system`] — both HgPCN engines, the baseline platforms, the E2E
 //!   pipeline and the real-time experiment;
 //! * [`runtime`] — the concurrent multi-stream serving runtime: stage-
-//!   pipelined worker pools, multi-tenant admission, backpressure and
-//!   per-stream latency metrics over real threads;
-//! * [`bench`] — regenerators for every table and figure of the paper.
+//!   pipelined worker pools, multi-tenant admission, backpressure,
+//!   micro-batch coalescing into the SoA engine path, and per-stream
+//!   latency metrics over real threads;
+//! * [`bench`](mod@bench) — regenerators for every table and figure of
+//!   the paper.
 //!
 //! # Quick start
 //!
@@ -59,13 +64,14 @@ pub use hgpcn_system as system;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
+    pub use hgpcn_gather::{IndexKind, NeighborIndex};
     pub use hgpcn_geometry::{Aabb, MortonCode, Point3, PointCloud};
     pub use hgpcn_memsim::{DeviceProfile, HostMemory, Latency, OnChipMemory, OpCounts};
     pub use hgpcn_octree::{Octree, OctreeConfig, OctreeTable};
-    pub use hgpcn_pcn::{CenterPolicy, PointNet, PointNetConfig};
+    pub use hgpcn_pcn::{Batch, CenterPolicy, IndexedGatherer, PointNet, PointNetConfig};
     pub use hgpcn_runtime::{
-        AdmissionPolicy, ArrivalModel, BackpressurePolicy, KittiSource, Runtime, RuntimeConfig,
-        RuntimeReport, StreamSpec, SyntheticSource,
+        AdmissionPolicy, ArrivalModel, BackpressurePolicy, BatchingStats, KittiSource, Runtime,
+        RuntimeConfig, RuntimeReport, StreamSpec, SyntheticSource,
     };
     pub use hgpcn_system::{E2ePipeline, InferenceEngine, PreprocessingEngine};
 }

@@ -1,0 +1,413 @@
+//! `bench_gate` — the CI perf-regression comparator.
+//!
+//! ```text
+//! bench_gate <baseline.json> <candidate.json> [--tolerance 0.15] [--min-speedup X]
+//! ```
+//!
+//! Reads two `BENCH_runtime.json` files (the committed baseline and the
+//! fresh CI measurement) and fails (exit 1) when the candidate regresses:
+//!
+//! * `batched.p95_service_ms` — the **modeled** per-frame p95 latency.
+//!   Deterministic across machines, so any drift beyond the tolerance is
+//!   a real change in the cost models or the execution path.
+//! * `speedup` — batched-over-serial host throughput. Wall-clock FPS is
+//!   machine-dependent, but the *ratio* between two runs of the same
+//!   binary on the same host is stable, so the gate compares ratios:
+//!   candidate speedup must stay within `tolerance` of the baseline's.
+//! * with `--min-speedup X`, additionally requires `speedup >= X`.
+//!
+//! Absolute `wall_fps` values are printed for the record but never gated
+//! (a faster or slower runner generation would otherwise break CI).
+//!
+//! No dependencies: includes a small recursive-descent JSON parser.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::process::ExitCode;
+
+/// Minimal JSON value.
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Looks up a dotted path like `"batched.p95_service_ms"`.
+    fn path(&self, path: &str) -> Option<&Json> {
+        let mut cur = self;
+        for key in path.split('.') {
+            match cur {
+                Json::Obj(map) => cur = map.get(key)?,
+                _ => return None,
+            }
+        }
+        Some(cur)
+    }
+
+    fn num(&self, path: &str) -> Option<f64> {
+        match self.path(path)? {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+#[derive(Debug)]
+struct ParseError {
+    pos: usize,
+    what: &'static str,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.pos, self.what)
+    }
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, what: &'static str) -> ParseError {
+        ParseError {
+            pos: self.pos,
+            what,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err("unexpected character"))
+        }
+    }
+
+    fn parse(&mut self) -> Result<Json, ParseError> {
+        self.skip_ws();
+        match self.peek().ok_or_else(|| self.err("unexpected end"))? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("bad literal"))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.parse()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek().ok_or_else(|| self.err("unterminated string"))? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                c => {
+                    // Copy the raw byte run (UTF-8 passes through intact).
+                    let start = self.pos;
+                    while !matches!(self.peek(), None | Some(b'"' | b'\\')) {
+                        self.pos += 1;
+                    }
+                    let _ = c;
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid utf-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("bad number"))
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, ParseError> {
+    let mut p = Parser::new(text);
+    let v = p.parse()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data"));
+    }
+    Ok(v)
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut paths: Vec<String> = Vec::new();
+    let mut tolerance = 0.15f64;
+    let mut min_speedup: Option<f64> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--tolerance" => {
+                tolerance = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--tolerance needs a number");
+                    std::process::exit(2);
+                })
+            }
+            "--min-speedup" => {
+                min_speedup = Some(args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--min-speedup needs a number");
+                    std::process::exit(2);
+                }))
+            }
+            other => paths.push(other.to_owned()),
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("usage: bench_gate <baseline.json> <candidate.json> [--tolerance 0.15] [--min-speedup X]");
+        return ExitCode::from(2);
+    }
+    let (baseline, candidate) = match (load(&paths[0]), load(&paths[1])) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failures = 0usize;
+    let mut check = |name: &str, base: Option<f64>, cand: Option<f64>, lower_is_better: bool| {
+        let (Some(base), Some(cand)) = (base, cand) else {
+            eprintln!("FAIL {name}: missing in baseline or candidate");
+            failures += 1;
+            return;
+        };
+        // Regression = candidate worse than baseline by more than the
+        // tolerance, in the metric's bad direction. Improvements pass.
+        let ratio = cand / base.max(1e-12);
+        let bad = if lower_is_better {
+            ratio > 1.0 + tolerance
+        } else {
+            ratio < 1.0 - tolerance
+        };
+        let verdict = if bad { "FAIL" } else { "ok  " };
+        println!(
+            "{verdict} {name}: baseline {base:.4}, candidate {cand:.4} (ratio {ratio:.3}, tolerance {tolerance:.0}%)",
+            tolerance = tolerance * 100.0
+        );
+        if bad {
+            failures += 1;
+        }
+    };
+
+    check(
+        "batched.p95_service_ms (modeled, deterministic)",
+        baseline.num("batched.p95_service_ms"),
+        candidate.num("batched.p95_service_ms"),
+        true,
+    );
+    check(
+        "serial.p95_service_ms (modeled, deterministic)",
+        baseline.num("serial.p95_service_ms"),
+        candidate.num("serial.p95_service_ms"),
+        true,
+    );
+    check(
+        "speedup (batched over serial, machine-relative)",
+        baseline.num("speedup"),
+        candidate.num("speedup"),
+        false,
+    );
+
+    if let Some(floor) = min_speedup {
+        match candidate.num("speedup") {
+            Some(s) if s >= floor => println!("ok   speedup floor: {s:.3} >= {floor:.3}"),
+            Some(s) => {
+                eprintln!("FAIL speedup floor: {s:.3} < {floor:.3}");
+                failures += 1;
+            }
+            None => {
+                eprintln!("FAIL speedup floor: candidate has no speedup field");
+                failures += 1;
+            }
+        }
+    }
+
+    // Context lines (informational, never gated).
+    for key in ["serial.wall_fps", "batched.wall_fps"] {
+        if let (Some(b), Some(c)) = (baseline.num(key), candidate.num(key)) {
+            println!("info {key}: baseline {b:.2}, candidate {c:.2} (not gated)");
+        }
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "bench_gate: {failures} regression(s) beyond {:.0}% tolerance",
+            tolerance * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("bench_gate: no regressions");
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_numbers() {
+        let j = parse_json(r#"{"a": {"b": 1.5, "c": [1, 2]}, "d": -3e2, "s": "x\ny"}"#).unwrap();
+        assert_eq!(j.num("a.b"), Some(1.5));
+        assert_eq!(j.num("d"), Some(-300.0));
+        assert_eq!(j.num("a.missing"), None);
+        assert_eq!(j.path("s"), Some(&Json::Str("x\ny".to_owned())));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_json("{} x").is_err());
+        assert!(parse_json("{").is_err());
+        assert!(parse_json(r#"{"a"}"#).is_err());
+    }
+
+    #[test]
+    fn parses_real_schema() {
+        let j = parse_json(
+            r#"{
+  "bench": "runtime_batching",
+  "schema_version": 1,
+  "serial": {"frames": 32, "wall_fps": 24.0, "p95_service_ms": 3.17},
+  "batched": {"frames": 32, "wall_fps": 35.0, "p95_service_ms": 3.17},
+  "speedup": 1.45
+}"#,
+        )
+        .unwrap();
+        assert_eq!(j.num("speedup"), Some(1.45));
+        assert_eq!(j.num("batched.p95_service_ms"), Some(3.17));
+    }
+}
