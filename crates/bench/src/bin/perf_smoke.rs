@@ -7,24 +7,39 @@
 //! ```
 //!
 //! Runs the same synthetic fleet through the serving runtime twice — once
-//! with the legacy serial inference path (`max_batch = 1`), once with SoA
-//! micro-batching (`max_batch = N`, default 8) — on the **same** worker
-//! count, asserts the per-frame modeled results are bit-identical, and
-//! writes throughput, speedup and latency percentiles as JSON.
+//! with the **legacy yardstick**: the serial inference path
+//! (`max_batch = 1`) pinned to the reference scalar kernel, and once
+//! with the **modern path**: SoA micro-batching (`max_batch = N`,
+//! default 8) on the dispatched kernel backend (AVX2 under
+//! `--features simd`, otherwise the blocked scalar kernel; the
+//! `HGPCN_KERNEL` env override is honoured) — on the **same** worker
+//! count. It asserts the per-frame modeled results are bit-identical
+//! (all kernel backends are, by contract) and writes throughput,
+//! speedup and latency percentiles as JSON.
 //!
-//! Two kinds of numbers land in the JSON:
+//! Three kinds of numbers land in the JSON:
 //!
 //! * `wall_fps` / `speedup` — host wall-clock throughput. Machine
-//!   dependent; CI gates only on the *ratio* (batched over serial), which
-//!   is stable across runner generations.
+//!   dependent; CI gates only on the *ratio* (batched-modern over
+//!   serial-legacy), which is stable across runner generations and is
+//!   exactly the metric the committed baseline has tracked since the
+//!   batching PR.
 //! * `p95_service_ms` — the modeled per-frame service latency from the
 //!   deterministic cost models. Bit-reproducible anywhere; CI gates on it
 //!   tightly.
+//! * `kernel_backend` / `kernel_gmacs` / `kernel_gmacs_vs_reference` —
+//!   which backend the batched side dispatched to, its measured dense
+//!   matmul throughput on a representative layer shape, and that
+//!   throughput as a same-host multiple of the reference kernel's. The
+//!   absolute GMAC/s is machine dependent and never gated; the
+//!   vs-reference multiple is machine-relative (like `speedup`) and is
+//!   what CI gates — it collapses if dispatch silently stops selecting
+//!   the fast backend.
 
 use std::time::Instant;
 
 use hgpcn_memsim::Latency;
-use hgpcn_pcn::{PointNet, PointNetConfig};
+use hgpcn_pcn::{LinearKernel, PointNet, PointNetConfig};
 use hgpcn_runtime::{
     ArrivalModel, LatencySummary, Runtime, RuntimeConfig, RuntimeReport, StreamSpec,
     SyntheticSource,
@@ -143,6 +158,7 @@ fn side_json(label: &str, report: &RuntimeReport, wall_s: f64) -> String {
             "    \"p50_service_ms\": {:.6},\n",
             "    \"p95_service_ms\": {:.6},\n",
             "    \"modeled_pipelined_fps\": {:.4},\n",
+            "    \"kernel_backend\": \"{}\",\n",
             "    \"batches\": {},\n",
             "    \"mean_batch_size\": {:.3},\n",
             "    \"largest_batch\": {}\n",
@@ -155,22 +171,54 @@ fn side_json(label: &str, report: &RuntimeReport, wall_s: f64) -> String {
         service.p50.ms(),
         service.p95.ms(),
         report.modeled_pipelined_fps,
+        report.kernel_backend,
         report.batching.batches,
         report.batching.mean_batch_size,
         report.batching.largest_batch,
     )
 }
 
+/// Dense matmul throughput (GMAC/s) of `kernel` on a representative
+/// mid-network layer shape — best of a few reps, no zero-skips (the
+/// same [`hgpcn_bench::dense_matrix`] workload the `kernel_matmul`
+/// bench sweeps), so the number reads directly as kernel arithmetic
+/// throughput.
+fn kernel_gmacs(kernel: LinearKernel) -> f64 {
+    const ROWS: usize = 1024;
+    const INS: usize = 131;
+    const OUTS: usize = 128;
+    let x = hgpcn_bench::dense_matrix(ROWS, INS, 0.0);
+    let w = hgpcn_bench::dense_matrix(INS, OUTS, 1.0);
+    let bias: Vec<f32> = (0..OUTS).map(|j| j as f32 * 0.01 - 0.2).collect();
+    let macs = (ROWS * INS * OUTS) as f64;
+    let mut best = f64::INFINITY;
+    for _ in 0..6 {
+        let started = Instant::now();
+        std::hint::black_box(kernel.apply(&x, &w, &bias, true));
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    macs / best.max(1e-12) / 1e9
+}
+
 fn main() {
     let args = parse_args();
-    let net = PointNet::new(PointNetConfig::semantic_segmentation(TARGET), 1);
+    // The yardstick: the legacy serial engine, pinned to the reference
+    // scalar kernel so the metric keeps meaning "what did batching +
+    // kernel dispatch buy over the original path". The candidate: the
+    // batched path on the dispatched (auto or HGPCN_KERNEL-forced)
+    // backend. Same seed, and all backends are bit-identical, so the
+    // two nets produce identical per-frame results.
+    let config = PointNetConfig::semantic_segmentation(TARGET);
+    let net_serial = PointNet::new(config.clone(), 1).with_kernel(LinearKernel::Reference);
+    let net_batched = PointNet::new(config, 1);
 
     // One warm-up pass so first-touch costs (page faults, lazy init)
     // don't land on whichever side runs first.
-    let _ = run(&args, 1, &net, 1);
+    let _ = run(&args, 1, &net_serial, 1);
+    let _ = run(&args, args.batch, &net_batched, 1);
 
-    let (serial, serial_s) = run(&args, 1, &net, args.repeats);
-    let (batched, batched_s) = run(&args, args.batch, &net, args.repeats);
+    let (serial, serial_s) = run(&args, 1, &net_serial, args.repeats);
+    let (batched, batched_s) = run(&args, args.batch, &net_batched, args.repeats);
 
     // The batched path must not perturb results: identical per-frame
     // modeled inference latencies and op counts.
@@ -188,12 +236,19 @@ fn main() {
     let serial_fps = serial.total_frames as f64 / serial_s.max(1e-12);
     let batched_fps = batched.total_frames as f64 / batched_s.max(1e-12);
     let speedup = batched_fps / serial_fps.max(1e-12);
+    let active = net_batched.kernel();
+    let gmacs = kernel_gmacs(active);
+    // Same-host ratio of the dispatched backend over the reference
+    // kernel: machine-relative like `speedup`, so the gate can hold it
+    // to a tight tolerance across runner generations. A dispatch that
+    // silently stops selecting AVX2 drops this by ~30%.
+    let gmacs_vs_reference = gmacs / kernel_gmacs(LinearKernel::Reference).max(1e-12);
 
     let json = format!(
         concat!(
             "{{\n",
             "  \"bench\": \"runtime_batching\",\n",
-            "  \"schema_version\": 1,\n",
+            "  \"schema_version\": 2,\n",
             "  \"config\": {{\n",
             "    \"streams\": {},\n",
             "    \"frames_per_stream\": {},\n",
@@ -204,6 +259,9 @@ fn main() {
             "  }},\n",
             "{},\n",
             "{},\n",
+            "  \"kernel_backend\": \"{}\",\n",
+            "  \"kernel_gmacs\": {:.4},\n",
+            "  \"kernel_gmacs_vs_reference\": {:.4},\n",
             "  \"speedup\": {:.4}\n",
             "}}\n"
         ),
@@ -215,6 +273,9 @@ fn main() {
         args.seed,
         side_json("serial", &serial, serial_s),
         side_json("batched", &batched, batched_s),
+        active.name(),
+        gmacs,
+        gmacs_vs_reference,
         speedup,
     );
     std::fs::write(&args.out, &json).unwrap_or_else(|e| {
@@ -223,10 +284,19 @@ fn main() {
     });
 
     println!("perf_smoke: {} frames per side", serial.total_frames);
-    println!("  serial : {serial_s:.3} s wall, {serial_fps:.2} frames/s (max_batch 1)");
     println!(
-        "  batched: {batched_s:.3} s wall, {batched_fps:.2} frames/s (max_batch {}, mean batch {:.2})",
-        args.batch, batched.batching.mean_batch_size
+        "  serial : {serial_s:.3} s wall, {serial_fps:.2} frames/s (max_batch 1, kernel {})",
+        serial.kernel_backend
+    );
+    println!(
+        "  batched: {batched_s:.3} s wall, {batched_fps:.2} frames/s (max_batch {}, mean batch {:.2}, kernel {})",
+        args.batch,
+        batched.batching.mean_batch_size,
+        batched.kernel_backend
+    );
+    println!(
+        "  kernel : {} at {gmacs:.2} GMAC/s dense ({gmacs_vs_reference:.2}x the reference kernel)",
+        active.name()
     );
     println!("  speedup: {speedup:.2}x  -> {}", args.out);
 }

@@ -15,3 +15,25 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+
+/// Deterministic dense `rows × cols` matrix with **no exact zeros**, so
+/// every matmul backend executes every MAC (the zero-skip never fires)
+/// and elements/s reads directly as MAC/s. Shared by the
+/// `kernel_matmul` bench and `perf_smoke`'s `kernel_gmacs` probe so
+/// both measure the identical workload.
+pub fn dense_matrix(rows: usize, cols: usize, phase: f32) -> hgpcn_pcn::Matrix {
+    hgpcn_pcn::Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|i| {
+                let v = ((i as f32 * 0.7311 + phase).sin() * 1.7) - 0.31;
+                if v == 0.0 {
+                    0.125
+                } else {
+                    v
+                }
+            })
+            .collect(),
+    )
+}

@@ -181,17 +181,17 @@ impl MortonCode {
     }
 
     /// Integer grid coordinates `(x, y, z)` of this voxel at its own level
-    /// (each in `0..2^level`), de-interleaved from the code bits.
+    /// (each in `0..2^level`), de-interleaved from the code bits with the
+    /// standard parallel-bit (magic-mask) Morton decode — equivalent to
+    /// the per-level loop it replaced, but constant-time; this runs once
+    /// per scoreboard voxel per OIS pick and once per shell voxel in VEG,
+    /// which made the bit-loop a measurable share of the serving floor.
     pub fn grid_coords(self) -> (u32, u32, u32) {
-        let (mut x, mut y, mut z) = (0u32, 0u32, 0u32);
-        for lvl in 0..self.level {
-            let shift = 3 * (self.level - 1 - lvl);
-            let oct = (self.bits >> shift) & 0b111;
-            x = (x << 1) | ((oct >> 2) & 1) as u32;
-            y = (y << 1) | ((oct >> 1) & 1) as u32;
-            z = (z << 1) | (oct & 1) as u32;
-        }
-        (x, y, z)
+        (
+            compact_every_third_bit(self.bits >> 2),
+            compact_every_third_bit(self.bits >> 1),
+            compact_every_third_bit(self.bits),
+        )
     }
 
     /// Builds the code at `level` from integer grid coordinates by bit
@@ -210,11 +210,9 @@ impl MortonCode {
             u64::from(x) < limit && u64::from(y) < limit && u64::from(z) < limit,
             "grid coords ({x},{y},{z}) out of range for level {level}"
         );
-        let mut bits = 0u64;
-        for lvl in (0..level).rev() {
-            let oct = (((x >> lvl) & 1) << 2) | (((y >> lvl) & 1) << 1) | ((z >> lvl) & 1);
-            bits = (bits << 3) | u64::from(oct);
-        }
+        let bits = (spread_every_third_bit(x) << 2)
+            | (spread_every_third_bit(y) << 1)
+            | spread_every_third_bit(z);
         MortonCode { bits, level }
     }
 
@@ -235,6 +233,35 @@ impl MortonCode {
         let d = |a: u32, b: u32| a.abs_diff(b);
         d(ax, bx).max(d(ay, by)).max(d(az, bz))
     }
+}
+
+/// Gathers every third bit of `v` (positions 0, 3, 6, …) into a dense
+/// low-order integer — the Morton de-interleave for one axis, done with
+/// the classic magic-mask reduction instead of a per-bit loop. Inverse
+/// of [`spread_every_third_bit`].
+#[inline]
+fn compact_every_third_bit(v: u64) -> u32 {
+    let mut x = v & 0x1249_2492_4924_9249;
+    x = (x | (x >> 2)) & 0x10c3_0c30_c30c_30c3;
+    x = (x | (x >> 4)) & 0x100f_00f0_0f00_f00f;
+    x = (x | (x >> 8)) & 0x001f_0000_ff00_00ff;
+    x = (x | (x >> 16)) & 0x001f_0000_0000_ffff;
+    x = (x | (x >> 32)) & 0x001f_ffff;
+    x as u32
+}
+
+/// Spreads the low 21 bits of `v` so bit `i` lands at position `3 i` —
+/// the Morton interleave for one axis. Inverse of
+/// [`compact_every_third_bit`].
+#[inline]
+fn spread_every_third_bit(v: u32) -> u64 {
+    let mut x = u64::from(v) & 0x001f_ffff;
+    x = (x | (x << 32)) & 0x001f_0000_0000_ffff;
+    x = (x | (x << 16)) & 0x001f_0000_ff00_00ff;
+    x = (x | (x << 8)) & 0x100f_00f0_0f00_f00f;
+    x = (x | (x << 4)) & 0x10c3_0c30_c30c_30c3;
+    x = (x | (x << 2)) & 0x1249_2492_4924_9249;
+    x
 }
 
 impl PartialOrd for MortonCode {

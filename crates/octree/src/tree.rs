@@ -286,11 +286,40 @@ impl Octree {
     /// is the Octree-Table lookup primitive the VEG point-count step uses.
     pub fn voxel_range(&self, code: MortonCode) -> Range<usize> {
         debug_assert!(code.level() <= self.config.max_depth);
+        // Walk the node arena along the code's octant path instead of
+        // binary-searching the full code array: the (very common) query
+        // for an *empty* voxel — VEG probes every voxel of a shell —
+        // exits at the first missing child, and a populated voxel
+        // narrows to at most one leaf's few points. Results are
+        // identical to a two-sided search of the sorted code array.
+        let mut node = self.node(self.root);
+        for level in 1..=code.level() {
+            if node.is_leaf {
+                break;
+            }
+            let octant = code
+                .ancestor_at(level)
+                .octant_in_parent()
+                .expect("level >= 1");
+            match node.children[octant.index() as usize] {
+                Some(child) => node = self.node(child),
+                None => return 0..0,
+            }
+        }
+        if node.code.level() >= code.level() {
+            // Found the voxel's own node (or a deeper ancestor chain
+            // ended exactly here): its recorded range is the answer.
+            let r = node.range.clone();
+            return r.start as usize..r.end as usize;
+        }
+        // A shallower leaf covers the queried voxel: narrow its small
+        // contiguous range by code prefix.
         let shift = 3 * (self.config.max_depth - code.level()) as u32;
         let lo = code.bits() << shift;
         let hi = lo + (1u64 << shift);
-        let start = self.codes.partition_point(|c| c.bits() < lo);
-        let end = self.codes.partition_point(|c| c.bits() < hi);
+        let within = &self.codes[node.range.start as usize..node.range.end as usize];
+        let start = node.range.start as usize + within.partition_point(|c| c.bits() < lo);
+        let end = node.range.start as usize + within.partition_point(|c| c.bits() < hi);
         start..end
     }
 

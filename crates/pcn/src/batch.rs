@@ -18,7 +18,7 @@
 
 use std::ops::Range;
 
-use crate::Matrix;
+use crate::{kernel, LinearKernel, Matrix};
 
 /// A segmented stack of activation rows: the unit the batched forward
 /// pass moves through MLP layers.
@@ -119,16 +119,55 @@ impl Batch {
 
     /// One weight traversal for the whole batch:
     /// `self × weights + bias` (optionally fused ReLU) over every stacked
-    /// row, keeping the segment table.
+    /// row, keeping the segment table. Dispatches to the process-wide
+    /// [`kernel::active`] backend.
     ///
     /// # Panics
     ///
     /// Panics on shape mismatch.
     pub fn linear_fused(&self, weights: &Matrix, bias: &[f32], relu: bool) -> Batch {
+        self.linear_fused_with(kernel::active(), weights, bias, relu)
+    }
+
+    /// [`Batch::linear_fused`] on an explicitly chosen backend — the
+    /// batched tile primitive the kernel dispatch is wired through
+    /// (results are bit-identical across backends; only speed differs).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch, or if `kernel` is unsupported on the
+    /// running CPU.
+    pub fn linear_fused_with(
+        &self,
+        kernel: LinearKernel,
+        weights: &Matrix,
+        bias: &[f32],
+        relu: bool,
+    ) -> Batch {
         Batch {
-            data: self.data.linear_fused(weights, bias, relu),
+            data: kernel.apply(&self.data, weights, bias, relu),
             segments: self.segments.clone(),
         }
+    }
+
+    /// [`Batch::linear_fused_with`] writing into a caller-owned batch
+    /// whose buffers are reused across calls — the batched MLP loop
+    /// ping-pongs two of these instead of allocating per layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch, or if `kernel` is unsupported on the
+    /// running CPU.
+    pub fn linear_fused_into(
+        &self,
+        kernel: LinearKernel,
+        weights: &Matrix,
+        bias: &[f32],
+        relu: bool,
+        out: &mut Batch,
+    ) {
+        kernel.apply_into(&self.data, weights, bias, relu, &mut out.data);
+        out.segments.clone_from(&self.segments);
     }
 
     /// Per-segment column-wise max (the PointNet max-pool applied to each
@@ -153,6 +192,21 @@ impl Batch {
             }
         }
         out
+    }
+
+    /// Re-shapes this batch to the given segment layout, reusing the
+    /// underlying allocations when they are large enough. Contents are
+    /// unspecified afterwards — callers must overwrite every row (the
+    /// batched forward pass fills every segment row it lays out).
+    pub(crate) fn reshape_for_overwrite(&mut self, segment_rows: &[usize], cols: usize) {
+        let total: usize = segment_rows.iter().sum();
+        self.segments.clear();
+        let mut start = 0usize;
+        for &r in segment_rows {
+            self.segments.push(start..start + r);
+            start += r;
+        }
+        self.data.reshape_for_overwrite(total, cols);
     }
 
     /// Copies segment `seg` out as a standalone matrix (used to hand each

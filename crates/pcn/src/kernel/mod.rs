@@ -1,0 +1,352 @@
+//! Pluggable matmul kernel backends with one-time runtime dispatch.
+//!
+//! Every dense layer in the workspace funnels through a single
+//! primitive: `y = x · w + bias`, applied row-wise with an optional
+//! fused ReLU, where a **zero input is skipped** rather than multiplied
+//! (the ReLU-sparsity shortcut the cost models count). This module owns
+//! that primitive and offers several implementations — a
+//! [`LinearKernel`] — behind one contract:
+//!
+//! > Every backend accumulates each output element in exactly the same
+//! > order as [`LinearKernel::Reference`] (ascending input index,
+//! > zero inputs skipped, multiply-then-add with no FMA contraction), so
+//! > all backends produce **bit-identical** results — logits, not
+//! > "close enough". Only the memory-access schedule and the instruction
+//! > selection differ. (One carve-out: when several NaNs merge into one
+//! > accumulator, the result is NaN on every backend but its *payload*
+//! > is unspecified — the surviving payload depends on operand order,
+//! > which the compiler may legally commute even between two builds of
+//! > the reference loop.)
+//!
+//! That contract is what lets the whole test suite stay anchored on one
+//! reference path while ISA-specific backends slot in underneath — in
+//! the spirit of a microkernel decomposition, mechanism (the MAC loops)
+//! is separated from policy (which loop to run), and the policy is
+//! decided **once** per process:
+//!
+//! * [`active`] picks the fastest supported backend on first use
+//!   (runtime CPU-feature detection via `is_x86_feature_detected!`) and
+//!   caches it for the lifetime of the process;
+//! * the `HGPCN_KERNEL` environment variable force-overrides the choice
+//!   (`auto`, `reference`, `blocked`, `simd`/`avx2`) for tests, CI
+//!   feature-matrix runs, and performance triage. Forcing a backend the
+//!   platform cannot run degrades to the best scalar backend instead of
+//!   refusing to serve.
+//!
+//! The AVX2 backend only exists under the `simd` cargo feature; without
+//! it the crate compiles with no unsafe code at all.
+
+mod scalar;
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod avx2;
+
+use std::sync::OnceLock;
+
+use crate::Matrix;
+
+/// One dense-layer task: `y = x · w + bias` (+ optional ReLU) over
+/// row-major slices. `x` is `rows × ins`, `w` is `ins × outs`, `bias`
+/// has length `outs`; the output buffer is `rows × outs`.
+#[derive(Clone, Copy)]
+pub(crate) struct LinearTask<'a> {
+    /// Row-major input activations, `rows × ins`.
+    pub x: &'a [f32],
+    /// Number of activation rows.
+    pub rows: usize,
+    /// Input features per row.
+    pub ins: usize,
+    /// Row-major weights, `ins × outs`.
+    pub w: &'a [f32],
+    /// Output features per row.
+    pub outs: usize,
+    /// Per-output bias, length `outs`.
+    pub bias: &'a [f32],
+    /// Whether to fuse `max(0, ·)` into the store.
+    pub relu: bool,
+}
+
+/// A matmul backend. All variants are bit-identical in results; they
+/// differ only in speed. See the [module docs](self) for the contract.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum LinearKernel {
+    /// The original scalar loop: streams inputs outermost and
+    /// accumulates directly into the output row. The semantic anchor
+    /// every other backend must match bit-for-bit.
+    Reference,
+    /// Cache-blocked scalar: 32/8-wide register tiles of output columns
+    /// accumulate across the whole input stream, so each output tile is
+    /// written to memory exactly once (PR 2's `linear_fused` schedule).
+    Blocked,
+    /// Explicit AVX2 `std::arch` intrinsics: 8-lane vectors across
+    /// output columns in 32/16/8-column tiles, scalar tail. Uses
+    /// separate multiply and add (no FMA) to keep scalar rounding.
+    /// Only compiled under the `simd` cargo feature; only *selected*
+    /// when the CPU reports AVX2.
+    #[cfg(feature = "simd")]
+    Avx2,
+}
+
+impl LinearKernel {
+    /// Stable lower-case name, as reported in `RuntimeReport` and
+    /// `BENCH_runtime.json` and accepted back by [`LinearKernel::from_name`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            LinearKernel::Reference => "reference",
+            LinearKernel::Blocked => "blocked",
+            #[cfg(feature = "simd")]
+            LinearKernel::Avx2 => "avx2",
+        }
+    }
+
+    /// Parses a backend name (`reference`, `blocked`, `simd`/`avx2`).
+    /// Returns `None` for unknown names and for backends compiled out
+    /// (e.g. `avx2` without the `simd` feature).
+    pub fn from_name(name: &str) -> Option<LinearKernel> {
+        match name {
+            "reference" => Some(LinearKernel::Reference),
+            "blocked" => Some(LinearKernel::Blocked),
+            #[cfg(feature = "simd")]
+            "simd" | "avx2" => Some(LinearKernel::Avx2),
+            _ => None,
+        }
+    }
+
+    /// Whether the running CPU can execute this backend. Scalar
+    /// backends always can; AVX2 requires runtime feature detection to
+    /// succeed on an `x86_64` host.
+    pub fn is_supported(&self) -> bool {
+        match self {
+            LinearKernel::Reference | LinearKernel::Blocked => true,
+            #[cfg(feature = "simd")]
+            LinearKernel::Avx2 => avx2_detected(),
+        }
+    }
+
+    /// Every backend compiled into this build, fastest-last. Sweep this
+    /// (filtered by [`LinearKernel::is_supported`]) in equivalence tests
+    /// and benches.
+    pub fn all() -> &'static [LinearKernel] {
+        &[
+            LinearKernel::Reference,
+            LinearKernel::Blocked,
+            #[cfg(feature = "simd")]
+            LinearKernel::Avx2,
+        ]
+    }
+
+    /// Runs this backend: `x · weights + bias`, row-wise, with an
+    /// optional fused ReLU — the primitive behind
+    /// [`Matrix::linear`] / [`Matrix::linear_fused`], callable on a
+    /// *specific* backend for equivalence tests and benches.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch, and when invoked on a backend the
+    /// running CPU does not support (see [`LinearKernel::is_supported`]).
+    pub fn apply(&self, x: &Matrix, weights: &Matrix, bias: &[f32], relu: bool) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.apply_into(x, weights, bias, relu, &mut out);
+        out
+    }
+
+    /// [`LinearKernel::apply`] writing into a caller-owned matrix, which
+    /// is reshaped (reusing its allocation when capacity suffices) and
+    /// fully overwritten — the hot batched path ping-pongs two such
+    /// buffers through an MLP instead of allocating one output per
+    /// layer.
+    ///
+    /// # Panics
+    ///
+    /// As [`LinearKernel::apply`].
+    pub fn apply_into(
+        &self,
+        x: &Matrix,
+        weights: &Matrix,
+        bias: &[f32],
+        relu: bool,
+        out: &mut Matrix,
+    ) {
+        assert_eq!(x.cols(), weights.rows(), "inner dimensions must agree");
+        assert_eq!(bias.len(), weights.cols(), "bias width must match output");
+        out.reshape_for_overwrite(x.rows(), weights.cols());
+        let task = LinearTask {
+            x: x.as_slice(),
+            rows: x.rows(),
+            ins: x.cols(),
+            w: weights.as_slice(),
+            outs: weights.cols(),
+            bias,
+            relu,
+        };
+        self.run(&task, out.as_mut_slice());
+    }
+
+    /// Backend dispatch over validated slices.
+    pub(crate) fn run(&self, task: &LinearTask<'_>, y: &mut [f32]) {
+        debug_assert_eq!(task.x.len(), task.rows * task.ins);
+        debug_assert_eq!(task.w.len(), task.ins * task.outs);
+        debug_assert_eq!(task.bias.len(), task.outs);
+        debug_assert_eq!(y.len(), task.rows * task.outs);
+        match self {
+            LinearKernel::Reference => scalar::reference(task, y),
+            LinearKernel::Blocked => scalar::blocked(task, y),
+            #[cfg(feature = "simd")]
+            LinearKernel::Avx2 => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    assert!(
+                        avx2_detected(),
+                        "the AVX2 kernel was invoked on a CPU without AVX2; \
+                         use kernel::active() for checked dispatch"
+                    );
+                    avx2::run(task, y);
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                panic!("the AVX2 kernel is only available on x86_64 hosts");
+            }
+        }
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+fn avx2_detected() -> bool {
+    is_x86_feature_detected!("avx2")
+}
+
+#[cfg(all(feature = "simd", not(target_arch = "x86_64")))]
+fn avx2_detected() -> bool {
+    false
+}
+
+/// The fastest backend the build *and* the running CPU support:
+/// AVX2 when the `simd` feature is compiled in and detection succeeds,
+/// otherwise the blocked scalar kernel.
+pub fn fastest_supported() -> LinearKernel {
+    #[cfg(feature = "simd")]
+    if LinearKernel::Avx2.is_supported() {
+        return LinearKernel::Avx2;
+    }
+    LinearKernel::Blocked
+}
+
+/// Resolves an override request (the `HGPCN_KERNEL` value) to a
+/// runnable backend. Empty / `auto` selects [`fastest_supported`];
+/// naming a backend the platform cannot run (e.g. `simd` without the
+/// feature or without AVX2 hardware) **degrades to the best scalar
+/// backend** so a forced configuration still serves.
+///
+/// # Panics
+///
+/// Panics on names that are not `auto`, `reference`, `blocked`, `simd`
+/// or `avx2` — a typo in CI must fail loudly, not silently serve the
+/// wrong backend.
+pub fn resolve_override(request: &str) -> LinearKernel {
+    match request {
+        "" | "auto" => fastest_supported(),
+        "reference" => LinearKernel::Reference,
+        "blocked" => LinearKernel::Blocked,
+        "simd" | "avx2" => match LinearKernel::from_name(request) {
+            Some(k) if k.is_supported() => k,
+            // Compiled out or CPU lacks AVX2: degrade, don't refuse.
+            _ => LinearKernel::Blocked,
+        },
+        other => panic!(
+            "HGPCN_KERNEL: unknown backend {other:?} \
+             (expected auto | reference | blocked | simd | avx2)"
+        ),
+    }
+}
+
+static ACTIVE: OnceLock<LinearKernel> = OnceLock::new();
+
+/// The process-wide backend every [`Matrix::linear`] /
+/// [`Matrix::linear_fused`] call dispatches to. Decided once, on first
+/// use: the `HGPCN_KERNEL` override if set, otherwise
+/// [`fastest_supported`] via runtime CPU-feature detection.
+pub fn active() -> LinearKernel {
+    *ACTIVE.get_or_init(|| {
+        let request = std::env::var("HGPCN_KERNEL").unwrap_or_default();
+        resolve_override(&request)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (Matrix, Matrix, Vec<f32>) {
+        let x = Matrix::from_vec(
+            3,
+            5,
+            (0..15)
+                .map(|i| {
+                    if i % 4 == 0 {
+                        0.0
+                    } else {
+                        (i as f32 * 0.61).sin() * 2.0 - 0.4
+                    }
+                })
+                .collect(),
+        );
+        let w = Matrix::from_vec(
+            5,
+            7,
+            (0..35).map(|i| (i as f32 * 0.37).cos() * 1.5).collect(),
+        );
+        let bias = (0..7).map(|i| i as f32 * 0.2 - 0.7).collect();
+        (x, w, bias)
+    }
+
+    #[test]
+    fn every_supported_backend_matches_reference() {
+        let (x, w, bias) = toy();
+        for relu in [false, true] {
+            let want = LinearKernel::Reference.apply(&x, &w, &bias, relu);
+            for k in LinearKernel::all() {
+                if !k.is_supported() {
+                    continue;
+                }
+                assert_eq!(
+                    k.apply(&x, &w, &bias, relu),
+                    want,
+                    "{} relu={relu}",
+                    k.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for k in LinearKernel::all() {
+            assert_eq!(LinearKernel::from_name(k.name()), Some(*k));
+        }
+        assert_eq!(LinearKernel::from_name("mmx"), None);
+    }
+
+    #[test]
+    fn override_resolution() {
+        assert_eq!(resolve_override("reference"), LinearKernel::Reference);
+        assert_eq!(resolve_override("blocked"), LinearKernel::Blocked);
+        assert_eq!(resolve_override(""), fastest_supported());
+        assert_eq!(resolve_override("auto"), fastest_supported());
+        // A forced SIMD request always resolves to something runnable.
+        assert!(resolve_override("simd").is_supported());
+        assert!(resolve_override("avx2").is_supported());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown backend")]
+    fn unknown_override_panics() {
+        let _ = resolve_override("sse9");
+    }
+
+    #[test]
+    fn active_is_stable_and_supported() {
+        let first = active();
+        assert!(first.is_supported());
+        assert_eq!(active(), first, "selection is decided once per process");
+    }
+}

@@ -17,14 +17,27 @@
 //! [`PointNetConfig::workload`] exports each stage's batch size and MLP
 //! shape so the system crate can price feature computation on the shared
 //! systolic-array model.
+//!
+//! The matmul itself is pluggable too: every dense layer dispatches to a
+//! [`kernel::LinearKernel`] backend (reference scalar, cache-blocked
+//! scalar, explicit AVX2 under the `simd` feature), selected once per
+//! process by runtime CPU detection and overridable via `HGPCN_KERNEL`
+//! or [`PointNet::with_kernel`]. All backends are bit-identical by
+//! contract, so the kernel choice moves host speed, never results — see
+//! the [`kernel`] module docs.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the explicit-SIMD backend in
+// `kernel::avx2` (compiled only under the `simd` feature) carries the
+// crate's single, safety-commented `#![allow(unsafe_code)]`; everything
+// else still refuses unsafe code outright.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod batch;
 mod config;
 mod error;
 mod gatherer;
+pub mod kernel;
 mod network;
 mod tensor;
 
@@ -32,5 +45,6 @@ pub use batch::Batch;
 pub use config::{PointNetConfig, Stage, StageWorkload, TaskKind};
 pub use error::PcnError;
 pub use gatherer::{BruteKnnGatherer, Gatherer, IndexedGatherer};
+pub use kernel::LinearKernel;
 pub use network::{CenterPolicy, InferenceOutput, PointNet};
 pub use tensor::Matrix;

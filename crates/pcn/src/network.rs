@@ -5,7 +5,9 @@ use hgpcn_dla::MlpSpec;
 use hgpcn_geometry::{Point3, PointCloud};
 use hgpcn_memsim::OpCounts;
 
-use crate::{Batch, Gatherer, Matrix, PcnError, PointNetConfig, Stage, TaskKind};
+use crate::{
+    kernel, Batch, Gatherer, LinearKernel, Matrix, PcnError, PointNetConfig, Stage, TaskKind,
+};
 
 /// How set-abstraction centers are chosen.
 ///
@@ -94,6 +96,7 @@ pub struct PointNet {
     stage_weights: Vec<Vec<LayerWeights>>,
     fp_weights: Vec<Vec<LayerWeights>>,
     head_weights: Vec<LayerWeights>,
+    kernel: LinearKernel,
 }
 
 fn init_mlp(rng: &mut StdRng, spec: &MlpSpec) -> Vec<LayerWeights> {
@@ -131,7 +134,35 @@ impl PointNet {
             stage_weights,
             fp_weights,
             head_weights,
+            kernel: kernel::active(),
         }
+    }
+
+    /// Pins this network to a specific matmul backend instead of the
+    /// process-wide [`kernel::active`] choice. All backends are
+    /// bit-identical, so this changes host speed only — it exists so a
+    /// harness can run e.g. a reference-kernel yardstick and a SIMD
+    /// candidate side by side in one process (`perf_smoke` does exactly
+    /// that).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` is not supported on the running CPU (see
+    /// [`LinearKernel::is_supported`]).
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: LinearKernel) -> PointNet {
+        assert!(
+            kernel.is_supported(),
+            "kernel backend {:?} is not supported on this CPU",
+            kernel
+        );
+        self.kernel = kernel;
+        self
+    }
+
+    /// The matmul backend this network dispatches to.
+    pub fn kernel(&self) -> LinearKernel {
+        self.kernel
     }
 
     /// The network's configuration.
@@ -140,6 +171,7 @@ impl PointNet {
     }
 
     fn apply_mlp(
+        &self,
         weights: &[LayerWeights],
         mut x: Matrix,
         macs: &mut u64,
@@ -148,7 +180,7 @@ impl PointNet {
         let n_layers = weights.len();
         for (i, (w, b)) in weights.iter().enumerate() {
             *macs += (x.rows() * x.cols() * w.cols()) as u64;
-            x = x.linear(w, b);
+            x = self.kernel.apply(&x, w, b, false);
             if relu_last || i + 1 < n_layers {
                 x.relu();
             }
@@ -232,7 +264,7 @@ impl PointNet {
                                 row[3..].copy_from_slice(f.row(ni));
                             }
                         }
-                        let out = Self::apply_mlp(&self.stage_weights[si], rows, &mut macs, true);
+                        let out = self.apply_mlp(&self.stage_weights[si], rows, &mut macs, true);
                         pooled.row_mut(gi).copy_from_slice(out.max_pool().row(0));
                     }
                     level_points.push(centers.iter().map(|&c| cur_pts[c]).collect());
@@ -253,7 +285,7 @@ impl PointNet {
                             row[3..].copy_from_slice(f.row(r));
                         }
                     }
-                    let out = Self::apply_mlp(&self.stage_weights[si], rows, &mut macs, true);
+                    let out = self.apply_mlp(&self.stage_weights[si], rows, &mut macs, true);
                     level_points.push(vec![centroid]);
                     level_feats.push(Some(out.max_pool()));
                 }
@@ -267,7 +299,7 @@ impl PointNet {
                     .expect("global level")
                     .clone()
                     .expect("features");
-                Self::apply_mlp(&self.head_weights, global, &mut macs, false)
+                self.apply_mlp(&self.head_weights, global, &mut macs, false)
             }
             TaskKind::Segmentation { .. } => {
                 // Feature propagation: coarsest -> finest.
@@ -286,9 +318,9 @@ impl PointNet {
                         Some(skip) => interpolated.hcat(skip),
                         None => interpolated,
                     };
-                    carried = Self::apply_mlp(fp, x, &mut macs, true);
+                    carried = self.apply_mlp(fp, x, &mut macs, true);
                 }
-                Self::apply_mlp(&self.head_weights, carried, &mut macs, false)
+                self.apply_mlp(&self.head_weights, carried, &mut macs, false)
             }
         };
 
@@ -360,6 +392,14 @@ impl PointNet {
         let mut interp_counts = vec![OpCounts::default(); b];
         let all_clouds: Vec<usize> = (0..b).collect();
 
+        // Recycled batch buffers: `pool` carries each stage's stacked
+        // input and takes the consumed MLP output back; `scratch`
+        // ping-pongs inside the layer loop. Both grow to the largest
+        // stage once and are then reused — the batched path performs no
+        // per-layer output allocations.
+        let mut pool = Batch::zeros(&[], 0);
+        let mut scratch = Batch::zeros(&[], 0);
+
         // Per-cloud encoder levels, exactly as in the serial pass.
         let mut level_points: Vec<Vec<Vec<Point3>>> =
             clouds.iter().map(|c| vec![c.points().to_vec()]).collect();
@@ -402,7 +442,8 @@ impl PointNet {
                         all_groups.push(groups);
                     }
 
-                    let mut batch = Batch::zeros(&seg_rows, 3 + feat_dim);
+                    let mut batch = std::mem::replace(&mut pool, Batch::zeros(&[], 0));
+                    batch.reshape_for_overwrite(&seg_rows, 3 + feat_dim);
                     let mut seg = 0usize;
                     for bi in 0..b {
                         let cur_pts = level_points[bi].last().expect("levels aligned");
@@ -423,12 +464,13 @@ impl PointNet {
                         }
                     }
 
-                    let out = Self::apply_mlp_batched(
+                    let out = self.apply_mlp_batched(
                         &self.stage_weights[si],
                         batch,
                         &seg_cloud,
                         &mut macs,
                         true,
+                        &mut scratch,
                     );
                     let pooled_all = out.max_pool_segments();
                     let out_dim = stage.mlp().output_width();
@@ -444,13 +486,15 @@ impl PointNet {
                         level_points[bi].push(next);
                         level_feats[bi].push(Some(pooled));
                     }
+                    pool = out;
                 }
                 Stage::GlobalAbstraction { .. } => {
                     let seg_rows: Vec<usize> = level_points
                         .iter()
                         .map(|lp| lp.last().expect("levels aligned").len())
                         .collect();
-                    let mut batch = Batch::zeros(&seg_rows, 3 + feat_dim);
+                    let mut batch = std::mem::replace(&mut pool, Batch::zeros(&[], 0));
+                    batch.reshape_for_overwrite(&seg_rows, 3 + feat_dim);
                     let mut centroids = Vec::with_capacity(b);
                     for bi in 0..b {
                         let cur_pts = level_points[bi].last().expect("levels aligned");
@@ -470,12 +514,13 @@ impl PointNet {
                         }
                         centroids.push(centroid);
                     }
-                    let out = Self::apply_mlp_batched(
+                    let out = self.apply_mlp_batched(
                         &self.stage_weights[si],
                         batch,
                         &all_clouds,
                         &mut macs,
                         true,
+                        &mut scratch,
                     );
                     let pooled = out.max_pool_segments();
                     for (bi, &centroid) in centroids.iter().enumerate() {
@@ -486,6 +531,7 @@ impl PointNet {
                             pooled.row(bi).to_vec(),
                         )));
                     }
+                    pool = out;
                 }
             }
         }
@@ -496,12 +542,13 @@ impl PointNet {
                     .iter()
                     .map(|lf| lf.last().expect("global level").clone().expect("features"))
                     .collect();
-                let out = Self::apply_mlp_batched(
+                let out = self.apply_mlp_batched(
                     &self.head_weights,
                     Batch::from_matrices(&parts),
                     &all_clouds,
                     &mut macs,
                     false,
+                    &mut scratch,
                 );
                 (0..b).map(|bi| out.segment_matrix(bi)).collect()
             }
@@ -514,35 +561,52 @@ impl PointNet {
                 for (j, fp) in self.fp_weights.iter().enumerate() {
                     let coarse = top - j;
                     let fine = coarse - 1;
-                    let parts: Vec<Matrix> = (0..b)
+                    let interps: Vec<Matrix> = (0..b)
                         .map(|bi| {
-                            let interpolated = interpolate(
+                            interpolate(
                                 &level_points[bi][fine],
                                 &level_points[bi][coarse],
                                 &carried[bi],
                                 &mut interp_counts[bi],
-                            );
-                            match &level_feats[bi][fine] {
-                                Some(skip) => interpolated.hcat(skip),
-                                None => interpolated,
-                            }
+                            )
                         })
                         .collect();
-                    let out = Self::apply_mlp_batched(
+                    // Stack `[interpolated | skip]` straight into the
+                    // recycled batch — the per-cloud `hcat` and the
+                    // re-stacking copy it used to feed are gone, but the
+                    // stacked rows are byte-identical.
+                    let interp_dim = interps[0].cols();
+                    let skip_dim = level_feats[0][fine].as_ref().map_or(0, Matrix::cols);
+                    let seg_rows: Vec<usize> = interps.iter().map(Matrix::rows).collect();
+                    let mut batch = std::mem::replace(&mut pool, Batch::zeros(&[], 0));
+                    batch.reshape_for_overwrite(&seg_rows, interp_dim + skip_dim);
+                    for (bi, interp) in interps.iter().enumerate() {
+                        for r in 0..interp.rows() {
+                            let row = batch.segment_row_mut(bi, r);
+                            row[..interp_dim].copy_from_slice(interp.row(r));
+                            if let Some(skip) = &level_feats[bi][fine] {
+                                row[interp_dim..].copy_from_slice(skip.row(r));
+                            }
+                        }
+                    }
+                    let out = self.apply_mlp_batched(
                         fp,
-                        Batch::from_matrices(&parts),
+                        batch,
                         &all_clouds,
                         &mut macs,
                         true,
+                        &mut scratch,
                     );
                     carried = (0..b).map(|bi| out.segment_matrix(bi)).collect();
+                    pool = out;
                 }
-                let out = Self::apply_mlp_batched(
+                let out = self.apply_mlp_batched(
                     &self.head_weights,
                     Batch::from_matrices(&carried),
                     &all_clouds,
                     &mut macs,
                     false,
+                    &mut scratch,
                 );
                 (0..b).map(|bi| out.segment_matrix(bi)).collect()
             }
@@ -563,23 +627,29 @@ impl PointNet {
     /// traversal per layer, with executed MACs attributed to each cloud
     /// through the segment-to-cloud map.
     fn apply_mlp_batched(
+        &self,
         weights: &[LayerWeights],
         mut x: Batch,
         seg_cloud: &[usize],
         macs: &mut [u64],
         relu_last: bool,
+        scratch: &mut Batch,
     ) -> Batch {
         let mut cloud_rows = vec![0usize; macs.len()];
         for (range, &c) in x.segments().iter().zip(seg_cloud) {
             cloud_rows[c] += range.len();
         }
         let n_layers = weights.len();
+        // Ping-pong the caller's scratch batch against the input: each
+        // layer writes into the other's (capacity-reused) buffer instead
+        // of allocating a fresh output per layer.
         for (i, (w, bias)) in weights.iter().enumerate() {
             let in_cols = x.cols();
             for (m, &r) in macs.iter_mut().zip(&cloud_rows) {
                 *m += (r * in_cols * w.cols()) as u64;
             }
-            x = x.linear_fused(w, bias, relu_last || i + 1 < n_layers);
+            x.linear_fused_into(self.kernel, w, bias, relu_last || i + 1 < n_layers, scratch);
+            std::mem::swap(&mut x, scratch);
         }
         x
     }
@@ -587,35 +657,63 @@ impl PointNet {
 
 /// Inverse-distance 3-NN interpolation of `coarse` features onto the
 /// `fine` coordinates (PointNet++'s FP rule), tallying the search cost.
+///
+/// The top-3 selection is an allocation-free insertion into a fixed
+/// array, equivalent element-for-element to the original
+/// push / stable-sort / truncate loop (same comparator —
+/// `partial_cmp(..).unwrap_or(Equal)` — same stable tie-break, same
+/// resulting candidate *order*, hence bit-identical interpolation
+/// weights); this loop runs `fine × coarse` times per FP layer and was
+/// a measurable share of the serving floor.
 fn interpolate(
     fine: &[Point3],
     coarse: &[Point3],
     coarse_feats: &Matrix,
     counts: &mut OpCounts,
 ) -> Matrix {
+    use std::cmp::Ordering;
     let dim = coarse_feats.cols();
     let mut out = Matrix::zeros(fine.len(), dim);
     for (r, &p) in fine.iter().enumerate() {
-        // Distances to every coarse point; keep the best three.
-        let mut best: Vec<(f32, usize)> = Vec::with_capacity(4);
+        // Distances to every coarse point; keep the best three. A new
+        // candidate starts at the back and slides left past strictly
+        // greater entries — exactly where a stable sort of the appended
+        // list would place it (NaN distances compare `Equal` and thus
+        // never displace anything, as before).
+        let mut best = [(0.0f32, 0usize); 3];
+        let mut blen = 0usize;
         for (ci, &c) in coarse.iter().enumerate() {
             counts.distance_computations += 1;
             counts.comparisons += 1;
             let d = p.distance_sq(c);
-            best.push((d, ci));
-            best.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-            best.truncate(3);
+            if blen < 3 {
+                best[blen] = (d, ci);
+                blen += 1;
+            } else if best[2].0.partial_cmp(&d) == Some(Ordering::Greater) {
+                // Would displace the current third-best; the old
+                // third-best is what truncate(3) used to drop.
+                best[2] = (d, ci);
+            } else {
+                continue;
+            }
+            let mut j = blen - 1;
+            while j > 0 && best[j - 1].0.partial_cmp(&best[j].0) == Some(Ordering::Greater) {
+                best.swap(j - 1, j);
+                j -= 1;
+            }
         }
         counts.mem_reads += coarse.len() as u64;
         counts.bytes_read += coarse.len() as u64 * 12;
         let mut wsum = 0.0f32;
-        let weights: Vec<(f32, usize)> =
-            best.iter().map(|&(d, ci)| (1.0 / (d + 1e-8), ci)).collect();
-        for &(w, _) in &weights {
+        let mut weights = [(0.0f32, 0usize); 3];
+        for (wslot, &(d, ci)) in weights[..blen].iter_mut().zip(&best[..blen]) {
+            *wslot = (1.0 / (d + 1e-8), ci);
+        }
+        for &(w, _) in &weights[..blen] {
             wsum += w;
         }
         let row = out.row_mut(r);
-        for &(w, ci) in &weights {
+        for &(w, ci) in &weights[..blen] {
             let f = coarse_feats.row(ci);
             let scale = w / wsum;
             for (o, &v) in row.iter_mut().zip(f) {

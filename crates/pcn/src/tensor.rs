@@ -1,5 +1,7 @@
 use std::fmt;
 
+use crate::kernel;
+
 /// A dense row-major `f32` matrix — the minimal tensor the forward pass
 /// needs (activations are `points × features`).
 #[derive(Clone, PartialEq)]
@@ -72,119 +74,60 @@ impl Matrix {
         self.data[r * self.cols + c]
     }
 
+    /// Row-major view of the whole buffer, for the kernel backends.
+    #[inline]
+    pub(crate) fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable row-major view of the whole buffer, for the kernel
+    /// backends.
+    #[inline]
+    pub(crate) fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Re-shapes this matrix to `rows × cols`, reusing the existing
+    /// allocation when it is large enough. Contents after the call are
+    /// unspecified (a mix of zeros and stale values) — callers must
+    /// overwrite every element, which the kernel backends do.
+    pub(crate) fn reshape_for_overwrite(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// `self × weights + bias`, applied row-wise: `weights` is
     /// `cols × out`, `bias` has length `out`.
+    ///
+    /// Dispatches to the process-wide [`kernel::active`] backend; every
+    /// backend is bit-identical to [`LinearKernel::Reference`]
+    /// (ascending input index, zero inputs skipped), so results do not
+    /// depend on which backend serves the call.
+    ///
+    /// [`LinearKernel::Reference`]: crate::LinearKernel::Reference
     ///
     /// # Panics
     ///
     /// Panics on shape mismatch.
     pub fn linear(&self, weights: &Matrix, bias: &[f32]) -> Matrix {
-        assert_eq!(self.cols, weights.rows, "inner dimensions must agree");
-        assert_eq!(bias.len(), weights.cols, "bias width must match output");
-        let mut out = Matrix::zeros(self.rows, weights.cols);
-        for r in 0..self.rows {
-            let x = self.row(r);
-            let y = out.row_mut(r);
-            y.copy_from_slice(bias);
-            for (i, &xi) in x.iter().enumerate() {
-                if xi == 0.0 {
-                    continue;
-                }
-                let wrow = weights.row(i);
-                for (j, &wij) in wrow.iter().enumerate() {
-                    y[j] += xi * wij;
-                }
-            }
-        }
-        out
+        kernel::active().apply(self, weights, bias, false)
     }
 
-    /// `self × weights + bias` with an optional fused ReLU, computed with
-    /// a register-tiled kernel: 32 output columns are accumulated in
-    /// registers while the input index streams innermost, so each output
-    /// tile is written to memory exactly once and the weight matrix is
-    /// read straight through — the batched path's tile primitive.
+    /// `self × weights + bias` with an optional fused ReLU — the batched
+    /// path's tile primitive, dispatched to the process-wide
+    /// [`kernel::active`] backend exactly like [`Matrix::linear`].
     ///
     /// Accumulation order per output element is identical to
-    /// [`Matrix::linear`] (ascending input index, zero inputs skipped), so
-    /// the result is **bit-identical** to `linear` followed by
-    /// [`Matrix::relu`]; only the memory-access schedule differs.
+    /// [`Matrix::linear`] on every backend, so the result is
+    /// **bit-identical** to `linear` followed by [`Matrix::relu`]; only
+    /// the memory-access schedule and instruction selection differ.
     ///
     /// # Panics
     ///
     /// Panics on shape mismatch.
     pub fn linear_fused(&self, weights: &Matrix, bias: &[f32], relu: bool) -> Matrix {
-        assert_eq!(self.cols, weights.rows, "inner dimensions must agree");
-        assert_eq!(bias.len(), weights.cols, "bias width must match output");
-        const TILE: usize = 32;
-        let (rows, ins, outs) = (self.rows, self.cols, weights.cols);
-        let mut out = Matrix::zeros(rows, outs);
-        let x = &self.data;
-        let w = &weights.data;
-        let y = &mut out.data;
-        for r in 0..rows {
-            let xr = &x[r * ins..(r + 1) * ins];
-            let mut jt = 0usize;
-            // Full tiles: the accumulator array stays in vector registers
-            // across the whole input stream.
-            while jt + TILE <= outs {
-                let mut acc = [0.0f32; TILE];
-                acc.copy_from_slice(&bias[jt..jt + TILE]);
-                for (i, &xi) in xr.iter().enumerate() {
-                    if xi == 0.0 {
-                        continue;
-                    }
-                    let wr = &w[i * outs + jt..i * outs + jt + TILE];
-                    for l in 0..TILE {
-                        acc[l] += xi * wr[l];
-                    }
-                }
-                if relu {
-                    for a in &mut acc {
-                        if *a < 0.0 {
-                            *a = 0.0;
-                        }
-                    }
-                }
-                y[r * outs + jt..r * outs + jt + TILE].copy_from_slice(&acc);
-                jt += TILE;
-            }
-            // Remainder columns: an 8-wide tier (narrow heads like the
-            // 13-class segmentation output live here), then scalar.
-            while jt + 8 <= outs {
-                let mut acc = [0.0f32; 8];
-                acc.copy_from_slice(&bias[jt..jt + 8]);
-                for (i, &xi) in xr.iter().enumerate() {
-                    if xi == 0.0 {
-                        continue;
-                    }
-                    let wr = &w[i * outs + jt..i * outs + jt + 8];
-                    for l in 0..8 {
-                        acc[l] += xi * wr[l];
-                    }
-                }
-                if relu {
-                    for a in &mut acc {
-                        if *a < 0.0 {
-                            *a = 0.0;
-                        }
-                    }
-                }
-                y[r * outs + jt..r * outs + jt + 8].copy_from_slice(&acc);
-                jt += 8;
-            }
-            for j in jt..outs {
-                let mut a = bias[j];
-                for (i, &xi) in xr.iter().enumerate() {
-                    if xi == 0.0 {
-                        continue;
-                    }
-                    a += xi * w[i * outs + j];
-                }
-                y[r * outs + j] = if relu && a < 0.0 { 0.0 } else { a };
-            }
-        }
-        out
+        kernel::active().apply(self, weights, bias, relu)
     }
 
     /// In-place ReLU.

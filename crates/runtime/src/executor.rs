@@ -425,6 +425,7 @@ impl Runtime {
         let sizes = batch_sizes.into_inner().expect("batch stats poisoned");
         Ok(assemble_report(
             config,
+            net.kernel().name(),
             &outcome,
             records,
             QueueStats {
@@ -484,8 +485,12 @@ fn frame_error(frame: &TimedFrame, source: SystemError) -> RuntimeError {
     }
 }
 
+// One parameter per report ingredient; bundling them would only move
+// the argument list into a single-use struct.
+#[allow(clippy::too_many_arguments)]
 fn assemble_report(
     config: &RuntimeConfig,
+    kernel_backend: &'static str,
     outcome: &AdmissionOutcome,
     records: Vec<FrameRecord>,
     ingress_queue: QueueStats,
@@ -563,6 +568,7 @@ fn assemble_report(
         virtual_makespan_s,
         modeled_pipelined_fps,
         wall_elapsed,
+        kernel_backend,
         batching,
         records,
     }

@@ -202,6 +202,11 @@ pub struct RuntimeReport {
     /// Wall-clock duration of the run (host execution speed — unrelated
     /// to the modeled hardware's throughput).
     pub wall_elapsed: Duration,
+    /// The matmul kernel backend the served network dispatched to
+    /// (`hgpcn_pcn::LinearKernel::name`) — results are bit-identical
+    /// across backends, so this is host-speed provenance, not a result
+    /// qualifier.
+    pub kernel_backend: &'static str,
     /// Micro-batching behaviour of the inference stage.
     pub batching: BatchingStats,
     /// Every completed frame's journey, sorted by `(stream, frame)`.
@@ -289,11 +294,12 @@ impl fmt::Display for RuntimeReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "RuntimeReport: {} frames ({} dropped) | {}+{} workers | virtual makespan {:.3} s | {:.2} modeled FPS | wall {:.2?} ({:.1} frames/s host)",
+            "RuntimeReport: {} frames ({} dropped) | {}+{} workers | kernel {} | virtual makespan {:.3} s | {:.2} modeled FPS | wall {:.2?} ({:.1} frames/s host)",
             self.total_frames,
             self.total_dropped,
             self.preproc_workers,
             self.inference_workers,
+            self.kernel_backend,
             self.virtual_makespan_s,
             self.modeled_pipelined_fps,
             self.wall_elapsed,

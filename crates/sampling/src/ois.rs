@@ -186,12 +186,25 @@ struct Scoreboard {
     entries: Vec<u32>,
     /// m-code of each scoreboard voxel.
     codes: Vec<MortonCode>,
+    /// Leaf-cell-unit box of each voxel, cached at build/refine time:
+    /// `(lo_x, lo_y, lo_z, scale)` with `scale = 2^(max_depth - level)`.
+    /// Scoring runs once per voxel per pick, so de-interleaving the
+    /// m-code there (as the hardware's combinational logic does for
+    /// free) was a measurable share of the sampling floor.
+    boxes: Vec<(u32, u32, u32, u32)>,
     /// Minimum (normalized) voxel distance to the picked set so far.
     min_hamming: Vec<u32>,
     /// Refinement capacity.
     limit: usize,
     /// Depth normalization reference.
     max_depth: u8,
+}
+
+/// Cached leaf-cell-unit box of a scoreboard voxel.
+fn voxel_box(code: MortonCode, max_depth: u8) -> (u32, u32, u32, u32) {
+    let scale = 1u32 << (max_depth - code.level());
+    let (vx, vy, vz) = code.grid_coords();
+    (vx * scale, vy * scale, vz * scale, scale)
 }
 
 impl Scoreboard {
@@ -227,15 +240,18 @@ impl Scoreboard {
             }
             cut = next;
         }
-        let codes = cut.iter().map(|&i| table.code(i)).collect();
+        let codes: Vec<MortonCode> = cut.iter().map(|&i| table.code(i)).collect();
+        let max_depth = table.max_depth();
+        let boxes = codes.iter().map(|&c| voxel_box(c, max_depth)).collect();
         let min_hamming = vec![u32::MAX; cut.len()];
         let limit = (4 * k.max(1)).clamp(SCOREBOARD_INITIAL, SCOREBOARD_LIMIT);
         Scoreboard {
             entries: cut,
             codes,
+            boxes,
             min_hamming,
             limit,
-            max_depth: table.max_depth(),
+            max_depth,
         }
     }
 
@@ -255,14 +271,18 @@ impl Scoreboard {
         for octant in e.child_octants() {
             let child = e.child(octant).expect("octant from mask");
             counts.table_lookups += 1;
+            let code = table.code(child);
+            let bx = voxel_box(code, self.max_depth);
             if first {
                 self.entries[slot] = child;
-                self.codes[slot] = table.code(child);
+                self.codes[slot] = code;
+                self.boxes[slot] = bx;
                 self.min_hamming[slot] = inherited;
                 first = false;
             } else {
                 self.entries.push(child);
-                self.codes.push(table.code(child));
+                self.codes.push(code);
+                self.boxes.push(bx);
                 self.min_hamming.push(inherited);
             }
         }
@@ -278,14 +298,11 @@ impl Scoreboard {
     /// paper's FPS-accuracy claim (see EXPERIMENTS.md).
     fn update(&mut self, picked: MortonCode, counts: &mut OpCounts) {
         let (px, py, pz) = picked.grid_coords();
-        for (i, &code) in self.codes.iter().enumerate() {
+        for (i, &(lx, ly, lz, scale)) in self.boxes.iter().enumerate() {
             // Chebyshev distance, in leaf-cell units, from the picked leaf
-            // cell to the scoreboard voxel's box: per axis a pair of
-            // compare-subtracts after de-interleaving — one module-cycle.
-            let scale = 1u32 << (self.max_depth - code.level());
-            let (vx, vy, vz) = code.grid_coords();
-            let axis = |v: u32, p: u32| {
-                let lo = v * scale;
+            // cell to the scoreboard voxel's cached box: per axis a pair
+            // of compare-subtracts — one module-cycle.
+            let axis = |lo: u32, p: u32| {
                 let hi = lo + scale - 1;
                 if p < lo {
                     lo - p
@@ -293,7 +310,7 @@ impl Scoreboard {
                     p.saturating_sub(hi)
                 }
             };
-            let d = axis(vx, px).max(axis(vy, py)).max(axis(vz, pz));
+            let d = axis(lx, px).max(axis(ly, py)).max(axis(lz, pz));
             counts.hamming_ops += 1;
             if d < self.min_hamming[i] {
                 self.min_hamming[i] = d;

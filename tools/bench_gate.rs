@@ -14,6 +14,13 @@
 //!   machine-dependent, but the *ratio* between two runs of the same
 //!   binary on the same host is stable, so the gate compares ratios:
 //!   candidate speedup must stay within `tolerance` of the baseline's.
+//! * `kernel_gmacs_vs_reference` — the selected matmul backend's dense
+//!   throughput as a same-host multiple of the reference kernel's.
+//!   Machine-relative like `speedup` (both kernels ran on the same
+//!   CPU), so a drop beyond the tolerance means the kernel itself
+//!   regressed or the dispatch silently fell back to a scalar backend.
+//!   The absolute `kernel_gmacs` is printed for the record but — like
+//!   `wall_fps` — never gated across runner generations.
 //! * with `--min-speedup X`, additionally requires `speedup >= X`.
 //!
 //! Absolute `wall_fps` values are printed for the record but never gated
@@ -341,6 +348,12 @@ fn main() -> ExitCode {
         candidate.num("speedup"),
         false,
     );
+    check(
+        "kernel_gmacs_vs_reference (selected backend, same-host multiple)",
+        baseline.num("kernel_gmacs_vs_reference"),
+        candidate.num("kernel_gmacs_vs_reference"),
+        false,
+    );
 
     if let Some(floor) = min_speedup {
         match candidate.num("speedup") {
@@ -357,10 +370,16 @@ fn main() -> ExitCode {
     }
 
     // Context lines (informational, never gated).
-    for key in ["serial.wall_fps", "batched.wall_fps"] {
+    for key in ["serial.wall_fps", "batched.wall_fps", "kernel_gmacs"] {
         if let (Some(b), Some(c)) = (baseline.num(key), candidate.num(key)) {
             println!("info {key}: baseline {b:.2}, candidate {c:.2} (not gated)");
         }
+    }
+    if let (Some(Json::Str(b)), Some(Json::Str(c))) = (
+        baseline.path("kernel_backend"),
+        candidate.path("kernel_backend"),
+    ) {
+        println!("info kernel_backend: baseline {b}, candidate {c} (not gated)");
     }
 
     if failures > 0 {
@@ -401,13 +420,22 @@ mod tests {
             r#"{
   "bench": "runtime_batching",
   "schema_version": 1,
-  "serial": {"frames": 32, "wall_fps": 24.0, "p95_service_ms": 3.17},
-  "batched": {"frames": 32, "wall_fps": 35.0, "p95_service_ms": 3.17},
+  "serial": {"frames": 32, "wall_fps": 24.0, "p95_service_ms": 3.17, "kernel_backend": "reference"},
+  "batched": {"frames": 32, "wall_fps": 35.0, "p95_service_ms": 3.17, "kernel_backend": "avx2"},
+  "kernel_backend": "avx2",
+  "kernel_gmacs": 21.7,
+  "kernel_gmacs_vs_reference": 2.6,
   "speedup": 1.45
 }"#,
         )
         .unwrap();
         assert_eq!(j.num("speedup"), Some(1.45));
         assert_eq!(j.num("batched.p95_service_ms"), Some(3.17));
+        assert_eq!(j.num("kernel_gmacs"), Some(21.7));
+        assert_eq!(j.num("kernel_gmacs_vs_reference"), Some(2.6));
+        assert_eq!(
+            j.path("kernel_backend"),
+            Some(&Json::Str("avx2".to_owned()))
+        );
     }
 }
