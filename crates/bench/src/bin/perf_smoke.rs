@@ -6,15 +6,21 @@
 //!            [--seed N] [--out PATH]
 //! ```
 //!
-//! Runs the same synthetic fleet through the serving runtime twice — once
-//! with the **legacy yardstick**: the serial inference path
-//! (`max_batch = 1`) pinned to the reference scalar kernel, and once
-//! with the **modern path**: SoA micro-batching (`max_batch = N`,
-//! default 8) on the dispatched kernel backend (AVX2 under
-//! `--features simd`, otherwise the blocked scalar kernel; the
-//! `HGPCN_KERNEL` env override is honoured) — on the **same** worker
-//! count. It asserts the per-frame modeled results are bit-identical
-//! (all kernel backends are, by contract) and writes throughput,
+//! Runs the same synthetic fleet through the serving runtime at three
+//! sweep points — the **legacy yardstick**: the serial inference path
+//! (`max_batch = 1`) pinned to the reference scalar kernel at f32; the
+//! **modern f32 path**: SoA micro-batching (`max_batch = N`, default 8)
+//! on the dispatched kernel backend (AVX2 under `--features simd`,
+//! otherwise the blocked scalar kernel; the `HGPCN_KERNEL` env override
+//! is honoured); and the **int8 throughput tier**: the same batched
+//! configuration with every dense layer running the calibrated i8 GEMM
+//! — all on the **same** worker count. The sweep loop is
+//! precision-parameterized ([`run`] takes the `Precision` alongside
+//! `max_batch`), so further tiers slot in without new plumbing. It
+//! asserts the f32 per-frame modeled results are bit-identical across
+//! serial/batched (all kernel backends are, by contract), that the
+//! int8 tier leaves every modeled latency and op count untouched (the
+//! cost models are precision-independent), and writes throughput,
 //! speedup and latency percentiles as JSON.
 //!
 //! Three kinds of numbers land in the JSON:
@@ -34,12 +40,19 @@
 //!   absolute GMAC/s is machine dependent and never gated; the
 //!   vs-reference multiple is machine-relative (like `speedup`) and is
 //!   what CI gates — it collapses if dispatch silently stops selecting
-//!   the fast backend.
+//!   the fast backend. `int8_gmacs` / `int8_gmacs_vs_f32_blocked`
+//!   mirror the pair for the int8 GEMM, the latter holding the
+//!   acceptance claim that the quantized path out-runs the f32
+//!   `blocked` kernel on dense GEMM throughput.
 
 use std::time::Instant;
 
+use hgpcn_geometry::{Point3, PointCloud};
 use hgpcn_memsim::Latency;
-use hgpcn_pcn::{LinearKernel, PointNet, PointNetConfig};
+use hgpcn_pcn::{
+    BruteKnnGatherer, Calibrator, CenterPolicy, Int8Kernel, LinearKernel, PointNet, PointNetConfig,
+    Precision, QuantLayer,
+};
 use hgpcn_runtime::{
     ArrivalModel, LatencySummary, Runtime, RuntimeConfig, RuntimeReport, StreamSpec,
     SyntheticSource,
@@ -115,10 +128,17 @@ fn fleet(args: &Args) -> Vec<StreamSpec> {
         .collect()
 }
 
-/// Runs the fleet `repeats` times and keeps the fastest wall time (the
-/// modeled report is identical across repeats; best-of-N filters out
-/// co-tenant noise on shared CI runners).
-fn run(args: &Args, max_batch: usize, net: &PointNet, repeats: usize) -> (RuntimeReport, f64) {
+/// Runs the fleet `repeats` times at one `(max_batch, precision)`
+/// sweep point and keeps the fastest wall time (the modeled report is
+/// identical across repeats; best-of-N filters out co-tenant noise on
+/// shared CI runners).
+fn run(
+    args: &Args,
+    max_batch: usize,
+    net: &PointNet,
+    precision: Precision,
+    repeats: usize,
+) -> (RuntimeReport, f64) {
     let config = RuntimeConfig::default()
         .preproc_workers(args.workers)
         .inference_workers(args.workers)
@@ -126,7 +146,8 @@ fn run(args: &Args, max_batch: usize, net: &PointNet, repeats: usize) -> (Runtim
         .arrival(ArrivalModel::Backlogged)
         .target_points(TARGET)
         .seed(args.seed)
-        .max_batch(max_batch);
+        .max_batch(max_batch)
+        .precision(precision);
     let runtime = Runtime::new(config).expect("valid config");
     let mut best: Option<(RuntimeReport, f64)> = None;
     for _ in 0..repeats.max(1) {
@@ -159,6 +180,7 @@ fn side_json(label: &str, report: &RuntimeReport, wall_s: f64) -> String {
             "    \"p95_service_ms\": {:.6},\n",
             "    \"modeled_pipelined_fps\": {:.4},\n",
             "    \"kernel_backend\": \"{}\",\n",
+            "    \"precision\": \"{}\",\n",
             "    \"batches\": {},\n",
             "    \"mean_batch_size\": {:.3},\n",
             "    \"largest_batch\": {}\n",
@@ -172,6 +194,7 @@ fn side_json(label: &str, report: &RuntimeReport, wall_s: f64) -> String {
         service.p95.ms(),
         report.modeled_pipelined_fps,
         report.kernel_backend,
+        report.precision,
         report.batching.batches,
         report.batching.mean_batch_size,
         report.batching.largest_batch,
@@ -200,6 +223,68 @@ fn kernel_gmacs(kernel: LinearKernel) -> f64 {
     macs / best.max(1e-12) / 1e9
 }
 
+/// Dense int8 GEMM throughput (GMAC/s) of `kernel` on the *same*
+/// representative layer shape as [`kernel_gmacs`], quantized against
+/// the workload's actual activation range. The timing deliberately
+/// includes the per-layer activation quantization — that is what the
+/// serving path pays — so "int8 beats the f32 blocked kernel" is an
+/// end-to-end layer claim, not an inner-loop one.
+fn int8_gmacs(kernel: Int8Kernel) -> f64 {
+    const ROWS: usize = 1024;
+    const INS: usize = 131;
+    const OUTS: usize = 128;
+    let x = hgpcn_bench::dense_matrix(ROWS, INS, 0.0);
+    let w = hgpcn_bench::dense_matrix(INS, OUTS, 1.0);
+    let bias: Vec<f32> = (0..OUTS).map(|j| j as f32 * 0.01 - 0.2).collect();
+    let amax = (0..ROWS)
+        .flat_map(|r| x.row(r).iter().copied())
+        .fold(0.0f32, |a, v| a.max(v.abs()));
+    let layer = QuantLayer::quantize(&w, &bias, amax);
+    let macs = (ROWS * INS * OUTS) as f64;
+    let mut best = f64::INFINITY;
+    for _ in 0..6 {
+        let started = Instant::now();
+        std::hint::black_box(layer.forward_with(kernel, &x, true));
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    macs / best.max(1e-12) / 1e9
+}
+
+/// Deterministic ~`TARGET`-point calibration cloud `c` (the same
+/// quasi-random generator the unit tests use, salted per cloud).
+fn calib_cloud(c: usize) -> PointCloud {
+    (0..TARGET)
+        .map(|i| {
+            let f = (i + c * 131) as f32;
+            Point3::new(
+                (f * 0.618).fract() * 2.0,
+                (f * 0.414).fract() * 2.0,
+                (f * 0.732).fract() * 2.0,
+            )
+        })
+        .collect()
+}
+
+/// Freezes calibrated int8 weights into `net`: eight deterministic
+/// sample clouds through the standard calibration workflow.
+fn quantized(net: PointNet) -> PointNet {
+    let mut calibrator = Calibrator::new();
+    for c in 0..8 {
+        let mut gatherer = BruteKnnGatherer::new();
+        calibrator
+            .observe(
+                &net,
+                &calib_cloud(c),
+                &mut gatherer,
+                CenterPolicy::Random { seed: c as u64 },
+            )
+            .expect("calibration pass succeeds");
+    }
+    let calibration = calibrator.finish().expect("clouds were observed");
+    net.with_int8(&calibration)
+        .expect("calibration matches the network")
+}
+
 fn main() {
     let args = parse_args();
     // The yardstick: the legacy serial engine, pinned to the reference
@@ -210,19 +295,33 @@ fn main() {
     // two nets produce identical per-frame results.
     let config = PointNetConfig::semantic_segmentation(TARGET);
     let net_serial = PointNet::new(config.clone(), 1).with_kernel(LinearKernel::Reference);
-    let net_batched = PointNet::new(config, 1);
+    // The modern net serves both tiers: f32 weights plus calibrated
+    // int8 weights frozen from the same seed-1 parameters.
+    let net_modern = quantized(PointNet::new(config, 1));
 
-    // One warm-up pass so first-touch costs (page faults, lazy init)
-    // don't land on whichever side runs first.
-    let _ = run(&args, 1, &net_serial, 1);
-    let _ = run(&args, args.batch, &net_batched, 1);
+    // One warm-up pass per sweep point so first-touch costs (page
+    // faults, lazy init) don't land on whichever side runs first.
+    let _ = run(&args, 1, &net_serial, Precision::F32, 1);
+    let _ = run(&args, args.batch, &net_modern, Precision::F32, 1);
+    let _ = run(&args, args.batch, &net_modern, Precision::Int8, 1);
 
-    let (serial, serial_s) = run(&args, 1, &net_serial, args.repeats);
-    let (batched, batched_s) = run(&args, args.batch, &net_batched, args.repeats);
+    let (serial, serial_s) = run(&args, 1, &net_serial, Precision::F32, args.repeats);
+    let (batched, batched_s) = run(&args, args.batch, &net_modern, Precision::F32, args.repeats);
+    let (int8, int8_s) = run(
+        &args,
+        args.batch,
+        &net_modern,
+        Precision::Int8,
+        args.repeats,
+    );
 
-    // The batched path must not perturb results: identical per-frame
-    // modeled inference latencies and op counts.
+    // Neither the batched path nor the precision tier may perturb the
+    // modeled results: identical per-frame modeled inference latencies
+    // and op counts across all three sweep points (the cost models are
+    // precision-independent — only logits and host speed differ at
+    // int8).
     assert_eq!(serial.total_frames, batched.total_frames);
+    assert_eq!(serial.total_frames, int8.total_frames);
     for (a, b) in serial.records.iter().zip(&batched.records) {
         assert_eq!((a.stream_id, a.frame_index), (b.stream_id, b.frame_index));
         assert_eq!(
@@ -232,23 +331,41 @@ fn main() {
         );
         assert_eq!(a.modeled.inference.counts, b.modeled.inference.counts);
     }
+    for (a, q) in serial.records.iter().zip(&int8.records) {
+        assert_eq!((a.stream_id, a.frame_index), (q.stream_id, q.frame_index));
+        assert_eq!(
+            a.modeled.inference.latency, q.modeled.inference.latency,
+            "the int8 tier perturbed the modeled latency of frame ({}, {})",
+            a.stream_id, a.frame_index
+        );
+        assert_eq!(a.modeled.inference.counts, q.modeled.inference.counts);
+    }
 
     let serial_fps = serial.total_frames as f64 / serial_s.max(1e-12);
     let batched_fps = batched.total_frames as f64 / batched_s.max(1e-12);
+    let int8_fps = int8.total_frames as f64 / int8_s.max(1e-12);
     let speedup = batched_fps / serial_fps.max(1e-12);
-    let active = net_batched.kernel();
+    let int8_speedup = int8_fps / serial_fps.max(1e-12);
+    let int8_vs_f32_batched = int8_fps / batched_fps.max(1e-12);
+    let active = net_modern.kernel();
     let gmacs = kernel_gmacs(active);
     // Same-host ratio of the dispatched backend over the reference
     // kernel: machine-relative like `speedup`, so the gate can hold it
     // to a tight tolerance across runner generations. A dispatch that
     // silently stops selecting AVX2 drops this by ~30%.
     let gmacs_vs_reference = gmacs / kernel_gmacs(LinearKernel::Reference).max(1e-12);
+    // The int8 acceptance pair: absolute GMAC/s for the record, and the
+    // machine-relative multiple over the f32 *blocked* kernel (the best
+    // scalar f32 backend) that CI gates.
+    let int8_kernel = Int8Kernel::for_linear(active);
+    let i8_gmacs = int8_gmacs(int8_kernel);
+    let int8_vs_blocked = i8_gmacs / kernel_gmacs(LinearKernel::Blocked).max(1e-12);
 
     let json = format!(
         concat!(
             "{{\n",
             "  \"bench\": \"runtime_batching\",\n",
-            "  \"schema_version\": 2,\n",
+            "  \"schema_version\": 3,\n",
             "  \"config\": {{\n",
             "    \"streams\": {},\n",
             "    \"frames_per_stream\": {},\n",
@@ -259,10 +376,16 @@ fn main() {
             "  }},\n",
             "{},\n",
             "{},\n",
+            "{},\n",
             "  \"kernel_backend\": \"{}\",\n",
             "  \"kernel_gmacs\": {:.4},\n",
             "  \"kernel_gmacs_vs_reference\": {:.4},\n",
-            "  \"speedup\": {:.4}\n",
+            "  \"int8_kernel_backend\": \"{}\",\n",
+            "  \"int8_gmacs\": {:.4},\n",
+            "  \"int8_gmacs_vs_f32_blocked\": {:.4},\n",
+            "  \"speedup\": {:.4},\n",
+            "  \"int8_speedup\": {:.4},\n",
+            "  \"int8_vs_f32_batched\": {:.4}\n",
             "}}\n"
         ),
         args.streams,
@@ -273,10 +396,16 @@ fn main() {
         args.seed,
         side_json("serial", &serial, serial_s),
         side_json("batched", &batched, batched_s),
+        side_json("int8", &int8, int8_s),
         active.name(),
         gmacs,
         gmacs_vs_reference,
+        int8_kernel.name(),
+        i8_gmacs,
+        int8_vs_blocked,
         speedup,
+        int8_speedup,
+        int8_vs_f32_batched,
     );
     std::fs::write(&args.out, &json).unwrap_or_else(|e| {
         eprintln!("cannot write {}: {e}", args.out);
@@ -295,8 +424,21 @@ fn main() {
         batched.kernel_backend
     );
     println!(
+        "  int8   : {int8_s:.3} s wall, {int8_fps:.2} frames/s (max_batch {}, mean batch {:.2}, kernel {})",
+        args.batch,
+        int8.batching.mean_batch_size,
+        int8_kernel.name()
+    );
+    println!(
         "  kernel : {} at {gmacs:.2} GMAC/s dense ({gmacs_vs_reference:.2}x the reference kernel)",
         active.name()
     );
-    println!("  speedup: {speedup:.2}x  -> {}", args.out);
+    println!(
+        "  int8   : {} at {i8_gmacs:.2} GMAC/s dense ({int8_vs_blocked:.2}x the f32 blocked kernel)",
+        int8_kernel.name()
+    );
+    println!(
+        "  speedup: {speedup:.2}x f32 batched, {int8_speedup:.2}x int8 ({int8_vs_f32_batched:.2}x over f32 batched)  -> {}",
+        args.out
+    );
 }

@@ -35,8 +35,18 @@ pub mod test_runner {
     }
 
     impl Default for ProptestConfig {
+        /// 64 cases, overridable through the `PROPTEST_CASES`
+        /// environment variable — the same knob upstream proptest
+        /// honours, used by the scheduled CI run to sweep the kernel
+        /// and quantization equivalence properties much deeper than a
+        /// per-PR run can afford. (Tests pinning an explicit
+        /// `with_cases(..)` are unaffected.)
         fn default() -> ProptestConfig {
-            ProptestConfig { cases: 64 }
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(64);
+            ProptestConfig { cases }
         }
     }
 

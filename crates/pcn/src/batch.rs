@@ -170,6 +170,28 @@ impl Batch {
         out.segments.clone_from(&self.segments);
     }
 
+    /// The int8 sibling of [`Batch::linear_fused_into`]: quantizes the
+    /// stacked rows with `layer`'s calibrated activation scale, runs
+    /// the i8 GEMM on `kernel`, and writes the requantized (+ optional
+    /// ReLU) f32 rows into `out`, keeping the segment table. `xq` is
+    /// the caller's quantization scratch, reused across layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch, or if `kernel` is unsupported on the
+    /// running CPU.
+    pub(crate) fn quant_forward_into(
+        &self,
+        kernel: crate::kernel::Int8Kernel,
+        layer: &crate::quant::QuantLayer,
+        relu: bool,
+        xq: &mut Vec<i8>,
+        out: &mut Batch,
+    ) {
+        layer.forward_into(kernel, &self.data, relu, &mut out.data, xq);
+        out.segments.clone_from(&self.segments);
+    }
+
     /// Per-segment column-wise max (the PointNet max-pool applied to each
     /// group independently). Returns a `segment_count × cols` matrix whose
     /// row `s` pools segment `s`.

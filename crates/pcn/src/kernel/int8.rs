@@ -1,0 +1,111 @@
+//! The scalar int8 GEMM backend — the semantic anchor of the quantized
+//! path, exactly as [`super::scalar::reference`] anchors the f32 path.
+//!
+//! Arithmetic contract (every int8 backend must match it bit-for-bit):
+//!
+//! * each output element accumulates `xq[i] · wq[i, j]` products in a
+//!   **wrapping `i32`** accumulator. Integer addition modulo 2³² is
+//!   associative and commutative, so — unlike the f32 kernels — the
+//!   accumulation *order* is free and bit-equality costs nothing: this
+//!   backend may tile for registers and the SIMD backend may reorder
+//!   at will, and the accumulators still land on identical bits. (For
+//!   every shape in this workspace the accumulator never actually
+//!   wraps: `|product| ≤ 127² = 16129` and layer inputs stay well
+//!   below the ~133 000 inputs that could reach `i32::MAX`.)
+//! * quantized zeros may be skipped: `0 · w` contributes exactly `0`,
+//!   so the ReLU-sparsity shortcut stays a pure speed choice.
+//! * the store requantizes with **one** f32 expression per element —
+//!   `acc as f32 * scale[j] + bias[j]`, then the scalar ReLU clamp
+//!   (`if y < 0.0 { 0.0 }`). Each step rounds once, so any backend
+//!   computing the same expression element-wise lands on identical
+//!   bits.
+//!
+//! The schedule mirrors the f32 `blocked` kernel: 16 output columns
+//! accumulate in a register tile while the input index streams
+//! innermost (zero-skip included), then an 8-wide tier for narrow
+//! heads, then a scalar tail — each output is written to memory exactly
+//! once, fused with the requantize+ReLU. (16, not the f32 kernel's 32:
+//! baseline `x86_64` has no SSE4.1 `pmulld`, so the integer MACs stay
+//! scalar and a wider tile only spills — the int8 *speed* story lives
+//! in the AVX2 backend; this one is the always-available anchor.)
+
+use super::QuantTask;
+
+/// Requantizes one accumulator: the contract's single-rounded store
+/// expression.
+#[inline]
+fn requant(acc: i32, scale: f32, bias: f32, relu: bool) -> f32 {
+    let v = acc as f32 * scale + bias;
+    if relu && v < 0.0 {
+        0.0
+    } else {
+        v
+    }
+}
+
+/// The blocked scalar int8 schedule (see the [module docs](self)).
+pub(super) fn scalar(task: &QuantTask<'_>, y: &mut [f32]) {
+    const TILE: usize = 16;
+    let &QuantTask {
+        x,
+        rows,
+        ins,
+        w,
+        outs,
+        scale,
+        bias,
+        relu,
+    } = task;
+    for r in 0..rows {
+        let xr = &x[r * ins..(r + 1) * ins];
+        let yr = &mut y[r * outs..(r + 1) * outs];
+        let mut jt = 0usize;
+        // Full tiles: the accumulator array stays in registers across
+        // the whole input stream.
+        while jt + TILE <= outs {
+            let mut acc = [0i32; TILE];
+            for (i, &xi) in xr.iter().enumerate() {
+                if xi == 0 {
+                    continue;
+                }
+                let xi = i32::from(xi);
+                let wr = &w[i * outs + jt..i * outs + jt + TILE];
+                for (a, &wij) in acc.iter_mut().zip(wr) {
+                    *a = a.wrapping_add(xi * i32::from(wij));
+                }
+            }
+            for (l, &a) in acc.iter().enumerate() {
+                yr[jt + l] = requant(a, scale[jt + l], bias[jt + l], relu);
+            }
+            jt += TILE;
+        }
+        // Remainder columns: an 8-wide tier, then scalar.
+        while jt + 8 <= outs {
+            let mut acc = [0i32; 8];
+            for (i, &xi) in xr.iter().enumerate() {
+                if xi == 0 {
+                    continue;
+                }
+                let xi = i32::from(xi);
+                let wr = &w[i * outs + jt..i * outs + jt + 8];
+                for (a, &wij) in acc.iter_mut().zip(wr) {
+                    *a = a.wrapping_add(xi * i32::from(wij));
+                }
+            }
+            for (l, &a) in acc.iter().enumerate() {
+                yr[jt + l] = requant(a, scale[jt + l], bias[jt + l], relu);
+            }
+            jt += 8;
+        }
+        for j in jt..outs {
+            let mut a = 0i32;
+            for (i, &xi) in xr.iter().enumerate() {
+                if xi == 0 {
+                    continue;
+                }
+                a = a.wrapping_add(i32::from(xi) * i32::from(w[i * outs + j]));
+            }
+            yr[j] = requant(a, scale[j], bias[j], relu);
+        }
+    }
+}

@@ -25,6 +25,13 @@
 //! or [`PointNet::with_kernel`]. All backends are bit-identical by
 //! contract, so the kernel choice moves host speed, never results — see
 //! the [`kernel`] module docs.
+//!
+//! And the *precision* is pluggable through the same seam: the
+//! [`quant`] module adds a post-training-quantized int8 tier — a
+//! [`Calibrator`] observes activation ranges, [`PointNet::with_int8`]
+//! freezes per-channel i8 weights next to the f32 ones, and
+//! [`Precision`] selects the tier per forward pass (the i8 GEMM runs
+//! on a [`kernel::Int8Kernel`] riding the same backend dispatch).
 
 // `deny` rather than `forbid`: the explicit-SIMD backend in
 // `kernel::avx2` (compiled only under the `simd` feature) carries the
@@ -39,12 +46,14 @@ mod error;
 mod gatherer;
 pub mod kernel;
 mod network;
+pub mod quant;
 mod tensor;
 
 pub use batch::Batch;
 pub use config::{PointNetConfig, Stage, StageWorkload, TaskKind};
 pub use error::PcnError;
 pub use gatherer::{BruteKnnGatherer, Gatherer, IndexedGatherer};
-pub use kernel::LinearKernel;
+pub use kernel::{Int8Kernel, LinearKernel};
 pub use network::{CenterPolicy, InferenceOutput, PointNet};
+pub use quant::{Calibration, Calibrator, Precision, QuantLayer};
 pub use tensor::Matrix;

@@ -5,8 +5,11 @@ use hgpcn_dla::MlpSpec;
 use hgpcn_geometry::{Point3, PointCloud};
 use hgpcn_memsim::OpCounts;
 
+use crate::kernel::Int8Kernel;
+use crate::quant::{AmaxStats, Calibration, MlpGroup, QuantizedModel};
 use crate::{
-    kernel, Batch, Gatherer, LinearKernel, Matrix, PcnError, PointNetConfig, Stage, TaskKind,
+    kernel, Batch, Gatherer, LinearKernel, Matrix, PcnError, PointNetConfig, Precision, Stage,
+    TaskKind,
 };
 
 /// How set-abstraction centers are chosen.
@@ -36,6 +39,8 @@ pub struct InferenceOutput {
     pub gather_counts: OpCounts,
     /// Multiply-accumulates actually executed in feature computation.
     pub macs: u64,
+    /// The arithmetic precision the dense layers ran at.
+    pub precision: Precision,
 }
 
 impl InferenceOutput {
@@ -97,6 +102,27 @@ pub struct PointNet {
     fp_weights: Vec<Vec<LayerWeights>>,
     head_weights: Vec<LayerWeights>,
     kernel: LinearKernel,
+    quant: Option<QuantizedModel>,
+}
+
+/// How one forward pass executes its dense layers.
+enum PassMode<'a> {
+    /// Full-precision f32 (the bit-exact reference tier).
+    F32,
+    /// Calibrated int8 GEMMs with fused f32 requantize+ReLU.
+    Int8(&'a QuantizedModel),
+    /// f32, additionally folding every layer input's range into the
+    /// calibration observations.
+    Observe(&'a mut AmaxStats),
+}
+
+impl PassMode<'_> {
+    fn precision(&self) -> Precision {
+        match self {
+            PassMode::Int8(_) => Precision::Int8,
+            _ => Precision::F32,
+        }
+    }
 }
 
 fn init_mlp(rng: &mut StdRng, spec: &MlpSpec) -> Vec<LayerWeights> {
@@ -135,6 +161,7 @@ impl PointNet {
             fp_weights,
             head_weights,
             kernel: kernel::active(),
+            quant: None,
         }
     }
 
@@ -170,15 +197,82 @@ impl PointNet {
         &self.config
     }
 
+    /// Freezes calibrated int8 weights into the network, enabling
+    /// [`Precision::Int8`] forward passes alongside the f32 tier (the
+    /// f32 weights stay untouched; precision is chosen per call).
+    ///
+    /// # Errors
+    ///
+    /// [`PcnError::CalibrationMismatch`] when `calibration` was
+    /// observed on a network with a different layer structure.
+    pub fn with_int8(mut self, calibration: &Calibration) -> Result<PointNet, PcnError> {
+        self.quant = Some(QuantizedModel::build(
+            &self.stage_weights,
+            &self.fp_weights,
+            &self.head_weights,
+            calibration,
+        )?);
+        Ok(self)
+    }
+
+    /// Whether the network carries calibrated int8 weights (i.e.
+    /// whether [`Precision::Int8`] passes can run).
+    pub fn is_quantized(&self) -> bool {
+        self.quant.is_some()
+    }
+
+    /// Empty calibration slots shaped like this network's layers.
+    pub(crate) fn amax_slots(&self) -> AmaxStats {
+        AmaxStats {
+            stages: self
+                .stage_weights
+                .iter()
+                .map(|g| vec![0.0; g.len()])
+                .collect(),
+            fps: self.fp_weights.iter().map(|g| vec![0.0; g.len()]).collect(),
+            head: vec![0.0; self.head_weights.len()],
+        }
+    }
+
+    fn group_weights(&self, group: MlpGroup) -> &[LayerWeights] {
+        match group {
+            MlpGroup::Stage(i) => &self.stage_weights[i],
+            MlpGroup::Fp(i) => &self.fp_weights[i],
+            MlpGroup::Head => &self.head_weights,
+        }
+    }
+
     fn apply_mlp(
         &self,
-        weights: &[LayerWeights],
+        group: MlpGroup,
         mut x: Matrix,
         macs: &mut u64,
         relu_last: bool,
+        mode: &mut PassMode<'_>,
     ) -> Matrix {
+        let weights = self.group_weights(group);
         let n_layers = weights.len();
+        if let PassMode::Int8(model) = mode {
+            // The quantized tier: each layer quantizes its input with
+            // the calibrated scale, runs the i8 GEMM and requantizes
+            // (+ ReLU) in the store. MAC accounting is unchanged — the
+            // executed multiply-accumulate count does not depend on
+            // operand width.
+            let layers = model.group(group);
+            let int8 = Int8Kernel::for_linear(self.kernel);
+            let mut xq = Vec::new();
+            let mut out = Matrix::zeros(0, 0);
+            for (i, ql) in layers.iter().enumerate() {
+                *macs += (x.rows() * x.cols() * ql.outs()) as u64;
+                ql.forward_into(int8, &x, relu_last || i + 1 < n_layers, &mut out, &mut xq);
+                std::mem::swap(&mut x, &mut out);
+            }
+            return x;
+        }
         for (i, (w, b)) in weights.iter().enumerate() {
+            if let PassMode::Observe(stats) = mode {
+                AmaxStats::record(stats.group_slot(group, i), &x);
+            }
             *macs += (x.rows() * x.cols() * w.cols()) as u64;
             x = self.kernel.apply(&x, w, b, false);
             if relu_last || i + 1 < n_layers {
@@ -206,8 +300,8 @@ impl PointNet {
         }
     }
 
-    /// Runs one inference over `cloud` using `gatherer` for the data
-    /// structuring step.
+    /// Runs one f32 inference over `cloud` using `gatherer` for the
+    /// data structuring step.
     ///
     /// # Errors
     ///
@@ -220,6 +314,57 @@ impl PointNet {
         gatherer: &mut dyn Gatherer,
         policy: CenterPolicy,
     ) -> Result<InferenceOutput, PcnError> {
+        self.infer_with_precision(cloud, gatherer, policy, Precision::F32)
+    }
+
+    /// [`PointNet::infer`] at a chosen arithmetic precision — the
+    /// serving-tier entry point. [`Precision::F32`] is the bit-exact
+    /// reference tier; [`Precision::Int8`] runs every dense layer as a
+    /// calibrated i8 GEMM (requires [`PointNet::with_int8`]). Data
+    /// structuring (gathering, interpolation searches) is identical in
+    /// both tiers, so gather counts never depend on precision.
+    ///
+    /// # Errors
+    ///
+    /// As [`PointNet::infer`], plus [`PcnError::NotQuantized`] when
+    /// int8 is requested on an unquantized network.
+    pub fn infer_with_precision(
+        &self,
+        cloud: &PointCloud,
+        gatherer: &mut dyn Gatherer,
+        policy: CenterPolicy,
+        precision: Precision,
+    ) -> Result<InferenceOutput, PcnError> {
+        let mut mode = match precision {
+            Precision::F32 => PassMode::F32,
+            Precision::Int8 => PassMode::Int8(self.quant.as_ref().ok_or(PcnError::NotQuantized)?),
+        };
+        self.infer_mode(cloud, gatherer, policy, &mut mode)
+    }
+
+    /// One f32 forward pass with range hooks on every dense-layer
+    /// input — the calibration observation primitive behind
+    /// [`crate::Calibrator::observe`].
+    pub(crate) fn observe_ranges(
+        &self,
+        cloud: &PointCloud,
+        gatherer: &mut dyn Gatherer,
+        policy: CenterPolicy,
+        stats: &mut AmaxStats,
+    ) -> Result<(), PcnError> {
+        let mut mode = PassMode::Observe(stats);
+        self.infer_mode(cloud, gatherer, policy, &mut mode)?;
+        Ok(())
+    }
+
+    fn infer_mode(
+        &self,
+        cloud: &PointCloud,
+        gatherer: &mut dyn Gatherer,
+        policy: CenterPolicy,
+        mode: &mut PassMode<'_>,
+    ) -> Result<InferenceOutput, PcnError> {
+        let precision = mode.precision();
         let mut macs = 0u64;
         let mut interp_counts = OpCounts::default();
 
@@ -264,7 +409,7 @@ impl PointNet {
                                 row[3..].copy_from_slice(f.row(ni));
                             }
                         }
-                        let out = self.apply_mlp(&self.stage_weights[si], rows, &mut macs, true);
+                        let out = self.apply_mlp(MlpGroup::Stage(si), rows, &mut macs, true, mode);
                         pooled.row_mut(gi).copy_from_slice(out.max_pool().row(0));
                     }
                     level_points.push(centers.iter().map(|&c| cur_pts[c]).collect());
@@ -285,7 +430,7 @@ impl PointNet {
                             row[3..].copy_from_slice(f.row(r));
                         }
                     }
-                    let out = self.apply_mlp(&self.stage_weights[si], rows, &mut macs, true);
+                    let out = self.apply_mlp(MlpGroup::Stage(si), rows, &mut macs, true, mode);
                     level_points.push(vec![centroid]);
                     level_feats.push(Some(out.max_pool()));
                 }
@@ -299,13 +444,13 @@ impl PointNet {
                     .expect("global level")
                     .clone()
                     .expect("features");
-                self.apply_mlp(&self.head_weights, global, &mut macs, false)
+                self.apply_mlp(MlpGroup::Head, global, &mut macs, false, mode)
             }
             TaskKind::Segmentation { .. } => {
                 // Feature propagation: coarsest -> finest.
                 let top = level_points.len() - 1;
                 let mut carried = level_feats[top].clone().expect("coarsest features");
-                for (j, fp) in self.fp_weights.iter().enumerate() {
+                for j in 0..self.fp_weights.len() {
                     let coarse = top - j;
                     let fine = coarse - 1;
                     let interpolated = interpolate(
@@ -318,9 +463,9 @@ impl PointNet {
                         Some(skip) => interpolated.hcat(skip),
                         None => interpolated,
                     };
-                    carried = self.apply_mlp(fp, x, &mut macs, true);
+                    carried = self.apply_mlp(MlpGroup::Fp(j), x, &mut macs, true, mode);
                 }
-                self.apply_mlp(&self.head_weights, carried, &mut macs, false)
+                self.apply_mlp(MlpGroup::Head, carried, &mut macs, false, mode)
             }
         };
 
@@ -329,6 +474,7 @@ impl PointNet {
             logits,
             gather_counts,
             macs,
+            precision,
         })
     }
 
@@ -381,8 +527,40 @@ impl PointNet {
         gatherers: &mut [&mut dyn Gatherer],
         policies: &[CenterPolicy],
     ) -> Result<Vec<InferenceOutput>, PcnError> {
+        self.infer_batch_with_precision(clouds, gatherers, policies, Precision::F32)
+    }
+
+    /// [`PointNet::infer_batch`] at a chosen arithmetic precision. The
+    /// whole micro-batch runs at one precision (a serving runtime
+    /// mixing tiers partitions its batches by precision first); int8
+    /// batched results are **bit-identical** to serial
+    /// [`PointNet::infer_with_precision`] calls, exactly as in the f32
+    /// tier — quantization is element-wise and the i8 GEMM accumulates
+    /// exact integers, so stacking rows changes nothing.
+    ///
+    /// # Errors
+    ///
+    /// As [`PointNet::infer_batch`], plus [`PcnError::NotQuantized`]
+    /// when int8 is requested on an unquantized network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clouds`, `gatherers` and `policies` have different
+    /// lengths.
+    pub fn infer_batch_with_precision(
+        &self,
+        clouds: &[&PointCloud],
+        gatherers: &mut [&mut dyn Gatherer],
+        policies: &[CenterPolicy],
+        precision: Precision,
+    ) -> Result<Vec<InferenceOutput>, PcnError> {
         assert_eq!(clouds.len(), gatherers.len(), "one gatherer per cloud");
         assert_eq!(clouds.len(), policies.len(), "one policy per cloud");
+        let int8 = match precision {
+            Precision::F32 => None,
+            Precision::Int8 => Some(self.quant.as_ref().ok_or(PcnError::NotQuantized)?),
+        };
+        let mut xq: Vec<i8> = Vec::new();
         let b = clouds.len();
         if b == 0 {
             return Ok(Vec::new());
@@ -465,12 +643,14 @@ impl PointNet {
                     }
 
                     let out = self.apply_mlp_batched(
-                        &self.stage_weights[si],
+                        MlpGroup::Stage(si),
                         batch,
                         &seg_cloud,
                         &mut macs,
                         true,
                         &mut scratch,
+                        int8,
+                        &mut xq,
                     );
                     let pooled_all = out.max_pool_segments();
                     let out_dim = stage.mlp().output_width();
@@ -515,12 +695,14 @@ impl PointNet {
                         centroids.push(centroid);
                     }
                     let out = self.apply_mlp_batched(
-                        &self.stage_weights[si],
+                        MlpGroup::Stage(si),
                         batch,
                         &all_clouds,
                         &mut macs,
                         true,
                         &mut scratch,
+                        int8,
+                        &mut xq,
                     );
                     let pooled = out.max_pool_segments();
                     for (bi, &centroid) in centroids.iter().enumerate() {
@@ -543,12 +725,14 @@ impl PointNet {
                     .map(|lf| lf.last().expect("global level").clone().expect("features"))
                     .collect();
                 let out = self.apply_mlp_batched(
-                    &self.head_weights,
+                    MlpGroup::Head,
                     Batch::from_matrices(&parts),
                     &all_clouds,
                     &mut macs,
                     false,
                     &mut scratch,
+                    int8,
+                    &mut xq,
                 );
                 (0..b).map(|bi| out.segment_matrix(bi)).collect()
             }
@@ -558,7 +742,7 @@ impl PointNet {
                     .iter()
                     .map(|lf| lf[top].clone().expect("coarsest features"))
                     .collect();
-                for (j, fp) in self.fp_weights.iter().enumerate() {
+                for j in 0..self.fp_weights.len() {
                     let coarse = top - j;
                     let fine = coarse - 1;
                     let interps: Vec<Matrix> = (0..b)
@@ -590,23 +774,27 @@ impl PointNet {
                         }
                     }
                     let out = self.apply_mlp_batched(
-                        fp,
+                        MlpGroup::Fp(j),
                         batch,
                         &all_clouds,
                         &mut macs,
                         true,
                         &mut scratch,
+                        int8,
+                        &mut xq,
                     );
                     carried = (0..b).map(|bi| out.segment_matrix(bi)).collect();
                     pool = out;
                 }
                 let out = self.apply_mlp_batched(
-                    &self.head_weights,
+                    MlpGroup::Head,
                     Batch::from_matrices(&carried),
                     &all_clouds,
                     &mut macs,
                     false,
                     &mut scratch,
+                    int8,
+                    &mut xq,
                 );
                 (0..b).map(|bi| out.segment_matrix(bi)).collect()
             }
@@ -619,22 +807,31 @@ impl PointNet {
                 logits,
                 gather_counts: gatherers[bi].counts() + interp_counts[bi],
                 macs: macs[bi],
+                precision,
             })
             .collect())
     }
 
-    /// One fused pass of `weights` over the whole batch: a single weight
-    /// traversal per layer, with executed MACs attributed to each cloud
-    /// through the segment-to-cloud map.
+    /// One fused pass of an MLP group over the whole batch: a single
+    /// weight traversal per layer, with executed MACs attributed to each
+    /// cloud through the segment-to-cloud map. With `int8` set, each
+    /// layer runs the quantized GEMM instead of the f32 kernel — the
+    /// stacked-rows structure and MAC accounting are identical.
+    // One parameter per pass ingredient; bundling them would only move
+    // the argument list into a single-use struct.
+    #[allow(clippy::too_many_arguments)]
     fn apply_mlp_batched(
         &self,
-        weights: &[LayerWeights],
+        group: MlpGroup,
         mut x: Batch,
         seg_cloud: &[usize],
         macs: &mut [u64],
         relu_last: bool,
         scratch: &mut Batch,
+        int8: Option<&QuantizedModel>,
+        xq: &mut Vec<i8>,
     ) -> Batch {
+        let weights = self.group_weights(group);
         let mut cloud_rows = vec![0usize; macs.len()];
         for (range, &c) in x.segments().iter().zip(seg_cloud) {
             cloud_rows[c] += range.len();
@@ -648,7 +845,17 @@ impl PointNet {
             for (m, &r) in macs.iter_mut().zip(&cloud_rows) {
                 *m += (r * in_cols * w.cols()) as u64;
             }
-            x.linear_fused_into(self.kernel, w, bias, relu_last || i + 1 < n_layers, scratch);
+            let relu = relu_last || i + 1 < n_layers;
+            match int8 {
+                None => x.linear_fused_into(self.kernel, w, bias, relu, scratch),
+                Some(model) => x.quant_forward_into(
+                    Int8Kernel::for_linear(self.kernel),
+                    &model.group(group)[i],
+                    relu,
+                    xq,
+                    scratch,
+                ),
+            }
             std::mem::swap(&mut x, scratch);
         }
         x

@@ -1,5 +1,7 @@
 //! Runtime configuration: worker pools, queue sizing and policies.
 
+use hgpcn_pcn::Precision;
+
 use crate::RuntimeError;
 
 /// How the scheduler interleaves frames from multiple streams.
@@ -76,6 +78,17 @@ pub struct RuntimeConfig {
     /// to smaller batches instead of head-of-line blocking the oldest
     /// frame. `f64::INFINITY` (the default) disables the cap.
     pub batch_deadline_s: f64,
+    /// Default arithmetic precision of the inference stage
+    /// ([`Precision::F32`] unless overridden). Individual streams can
+    /// override it via
+    /// [`StreamSpec::precision`](crate::StreamSpec::precision), so one
+    /// fleet can mix accuracy-tier (f32) and throughput-tier (int8)
+    /// tenants; inference workers partition micro-batches by effective
+    /// precision. [`Precision::Int8`] requires the served network to
+    /// carry calibrated quantized weights
+    /// ([`PointNet::with_int8`](hgpcn_pcn::PointNet::with_int8)) —
+    /// serving an unquantized network at int8 fails on the first frame.
+    pub precision: Precision,
 }
 
 impl Default for RuntimeConfig {
@@ -91,6 +104,7 @@ impl Default for RuntimeConfig {
             seed: 0x5EED,
             max_batch: 1,
             batch_deadline_s: f64::INFINITY,
+            precision: Precision::F32,
         }
     }
 }
@@ -157,6 +171,13 @@ impl RuntimeConfig {
         self
     }
 
+    /// Sets the default inference precision (streams may override it
+    /// per [`StreamSpec`](crate::StreamSpec)).
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
     /// Checks the configuration is runnable.
     ///
     /// # Errors
@@ -217,7 +238,8 @@ mod tests {
             .target_points(256)
             .seed(42)
             .max_batch(8)
-            .batch_deadline_s(0.25);
+            .batch_deadline_s(0.25)
+            .precision(Precision::Int8);
         assert_eq!(cfg.preproc_workers, 3);
         assert_eq!(cfg.inference_workers, 2);
         assert_eq!(cfg.queue_capacity, 5);
@@ -228,6 +250,8 @@ mod tests {
         assert_eq!(cfg.seed, 42);
         assert_eq!(cfg.max_batch, 8);
         assert_eq!(cfg.batch_deadline_s, 0.25);
+        assert_eq!(cfg.precision, Precision::Int8);
+        assert_eq!(RuntimeConfig::default().precision, Precision::F32);
     }
 
     #[test]

@@ -27,7 +27,7 @@ use std::thread;
 use std::time::Instant;
 
 use hgpcn_geometry::PointCloud;
-use hgpcn_pcn::PointNet;
+use hgpcn_pcn::{PointNet, Precision};
 use hgpcn_system::{E2ePipeline, E2eReport, InferenceReport, PhaseReport, SystemError};
 
 use crate::config::{ArrivalModel, BackpressurePolicy, RuntimeConfig};
@@ -143,6 +143,13 @@ impl Runtime {
         }
         let stream_count = streams.len();
         let config = &self.config;
+        // Effective per-stream inference tier: the stream's override,
+        // or the runtime default. Resolved once — workers index it by
+        // stream id.
+        let precisions: Vec<Precision> = streams
+            .iter()
+            .map(|s| s.precision.unwrap_or(config.precision))
+            .collect();
 
         let ingress: BoundedQueue<PreprocJob> = BoundedQueue::new(config.queue_capacity);
         let stage: BoundedQueue<StageJob> = BoundedQueue::new(config.queue_capacity);
@@ -277,7 +284,12 @@ impl Runtime {
                                 while let Some((job, ticket)) = stage.pop() {
                                     let seed =
                                         frame_seed(config.seed, job.stream_id, job.frame_index);
-                                    match pipeline.inference.run(&job.sampled, net, seed) {
+                                    match pipeline.inference.run_with_precision(
+                                        &job.sampled,
+                                        net,
+                                        seed,
+                                        precisions[job.stream_id],
+                                    ) {
                                         Ok(inf) => {
                                             let record = finish_frame(
                                                 job,
@@ -329,72 +341,104 @@ impl Runtime {
                                     }
                                 }
 
-                                let inputs: Vec<&PointCloud> =
-                                    batch.iter().map(|(j, _)| &j.sampled).collect();
-                                let seeds: Vec<u64> = batch
-                                    .iter()
-                                    .map(|(j, _)| {
-                                        frame_seed(config.seed, j.stream_id, j.frame_index)
-                                    })
-                                    .collect();
-                                match pipeline.inference.run_batch(&inputs, net, &seeds) {
-                                    Ok(reports) => {
-                                        batch_sizes
-                                            .lock()
-                                            .expect("batch stats poisoned")
-                                            .push(batch.len());
-                                        let mut sink =
-                                            records.lock().expect("record sink poisoned");
-                                        for ((job, ticket), inf) in batch.into_iter().zip(&reports)
-                                        {
-                                            let lat = inf.total_latency().secs();
-                                            est_latency_s = if est_latency_s <= 0.0 {
-                                                lat
-                                            } else {
-                                                0.5 * (est_latency_s + lat)
-                                            };
-                                            sink.push(finish_frame(
-                                                job,
-                                                ticket,
-                                                inf,
-                                                &mut vclock,
-                                                started,
-                                            ));
+                                // Partition the drained micro-batch by
+                                // effective precision: each engine call
+                                // is single-tier (the SoA GEMMs cannot
+                                // mix operand widths), but frames still
+                                // finish — and advance the virtual
+                                // clock — in dequeue order, so mixing
+                                // tiers never reorders a stream.
+                                let mut reports: Vec<Option<InferenceReport>> =
+                                    batch.iter().map(|_| None).collect();
+                                let mut tier_failed = false;
+                                for tier in [Precision::F32, Precision::Int8] {
+                                    let idxs: Vec<usize> = (0..batch.len())
+                                        .filter(|&i| precisions[batch[i].0.stream_id] == tier)
+                                        .collect();
+                                    if idxs.is_empty() {
+                                        continue;
+                                    }
+                                    let inputs: Vec<&PointCloud> =
+                                        idxs.iter().map(|&i| &batch[i].0.sampled).collect();
+                                    let seeds: Vec<u64> = idxs
+                                        .iter()
+                                        .map(|&i| {
+                                            let j = &batch[i].0;
+                                            frame_seed(config.seed, j.stream_id, j.frame_index)
+                                        })
+                                        .collect();
+                                    match pipeline
+                                        .inference
+                                        .run_batch_with_precision(&inputs, net, &seeds, tier)
+                                    {
+                                        Ok(rs) => {
+                                            batch_sizes
+                                                .lock()
+                                                .expect("batch stats poisoned")
+                                                .push(idxs.len());
+                                            for (slot, r) in idxs.into_iter().zip(rs) {
+                                                reports[slot] = Some(r);
+                                            }
+                                        }
+                                        Err(_) => {
+                                            tier_failed = true;
+                                            break;
                                         }
                                     }
-                                    Err(_) => {
-                                        // Attribute the failure: re-run the
-                                        // batch serially (deterministic, so
-                                        // healthy frames reproduce exactly)
-                                        // and fail on the culprit.
-                                        for (job, ticket) in batch {
-                                            let seed = frame_seed(
-                                                config.seed,
-                                                job.stream_id,
-                                                job.frame_index,
-                                            );
-                                            match pipeline.inference.run(&job.sampled, net, seed) {
-                                                Ok(inf) => {
-                                                    let record = finish_frame(
-                                                        job,
-                                                        ticket,
-                                                        &inf,
-                                                        &mut vclock,
-                                                        started,
-                                                    );
-                                                    records
-                                                        .lock()
-                                                        .expect("record sink poisoned")
-                                                        .push(record);
-                                                }
-                                                Err(err) => {
-                                                    fail(RuntimeError::Frame {
-                                                        stream_id: job.stream_id,
-                                                        frame_index: job.frame_index,
-                                                        source: err,
-                                                    });
-                                                    break 'work;
-                                                }
+                                }
+                                if !tier_failed {
+                                    let mut sink = records.lock().expect("record sink poisoned");
+                                    for ((job, ticket), inf) in batch.into_iter().zip(&reports) {
+                                        let inf =
+                                            inf.as_ref().expect("every tier ran or we bailed");
+                                        let lat = inf.total_latency().secs();
+                                        est_latency_s = if est_latency_s <= 0.0 {
+                                            lat
+                                        } else {
+                                            0.5 * (est_latency_s + lat)
+                                        };
+                                        sink.push(finish_frame(
+                                            job,
+                                            ticket,
+                                            inf,
+                                            &mut vclock,
+                                            started,
+                                        ));
+                                    }
+                                } else {
+                                    // Attribute the failure: re-run the
+                                    // batch serially (deterministic, so
+                                    // healthy frames reproduce exactly)
+                                    // and fail on the culprit.
+                                    for (job, ticket) in batch {
+                                        let seed =
+                                            frame_seed(config.seed, job.stream_id, job.frame_index);
+                                        match pipeline.inference.run_with_precision(
+                                            &job.sampled,
+                                            net,
+                                            seed,
+                                            precisions[job.stream_id],
+                                        ) {
+                                            Ok(inf) => {
+                                                let record = finish_frame(
+                                                    job,
+                                                    ticket,
+                                                    &inf,
+                                                    &mut vclock,
+                                                    started,
+                                                );
+                                                records
+                                                    .lock()
+                                                    .expect("record sink poisoned")
+                                                    .push(record);
+                                            }
+                                            Err(err) => {
+                                                fail(RuntimeError::Frame {
+                                                    stream_id: job.stream_id,
+                                                    frame_index: job.frame_index,
+                                                    source: err,
+                                                });
+                                                break 'work;
                                             }
                                         }
                                     }
@@ -426,6 +470,7 @@ impl Runtime {
         Ok(assemble_report(
             config,
             net.kernel().name(),
+            &precisions,
             &outcome,
             records,
             QueueStats {
@@ -491,6 +536,7 @@ fn frame_error(frame: &TimedFrame, source: SystemError) -> RuntimeError {
 fn assemble_report(
     config: &RuntimeConfig,
     kernel_backend: &'static str,
+    precisions: &[Precision],
     outcome: &AdmissionOutcome,
     records: Vec<FrameRecord>,
     ingress_queue: QueueStats,
@@ -502,7 +548,7 @@ fn assemble_report(
 
     let stream_count = outcome.stream_info.len();
     let mut streams = Vec::with_capacity(stream_count);
-    for id in 0..stream_count {
+    for (id, precision) in precisions.iter().enumerate().take(stream_count) {
         let mine: Vec<&FrameRecord> = records.iter().filter(|r| r.stream_id == id).collect();
         let service: Vec<Latency> = mine.iter().map(|r| r.modeled.total()).collect();
         let sojourn: Vec<Latency> = mine
@@ -532,6 +578,7 @@ fn assemble_report(
             completed: mine.len(),
             dropped: outcome.dropped[id],
             sensor_fps,
+            precision: precision.name(),
             achieved_fps,
             service: LatencySummary::from_samples(&service),
             sojourn: LatencySummary::from_samples(&sojourn),
@@ -557,6 +604,12 @@ fn assemble_report(
         0.0
     };
 
+    let precision = match precisions {
+        [] => Precision::F32.name(),
+        [first, rest @ ..] if rest.iter().all(|p| p == first) => first.name(),
+        _ => "mixed",
+    };
+
     RuntimeReport {
         streams,
         total_frames: records.len(),
@@ -569,6 +622,7 @@ fn assemble_report(
         modeled_pipelined_fps,
         wall_elapsed,
         kernel_backend,
+        precision,
         batching,
         records,
     }

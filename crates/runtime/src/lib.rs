@@ -86,6 +86,10 @@ pub use queue::{BoundedQueue, Closed};
 pub use scheduler::Scheduler;
 pub use stream::{FrameSource, KittiSource, StreamSpec, SyntheticSource, TimedFrame};
 
+// Re-exported so serving code can pick precision tiers without a
+// direct `hgpcn_pcn` dependency.
+pub use hgpcn_pcn::Precision;
+
 use std::error::Error;
 use std::fmt;
 

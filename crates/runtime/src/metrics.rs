@@ -109,6 +109,11 @@ pub struct StreamReport {
     pub dropped: usize,
     /// The sensor's nominal generation rate.
     pub sensor_fps: f64,
+    /// The arithmetic precision this stream's inference ran at
+    /// (`hgpcn_pcn::Precision::name`: `f32` or `int8`) — the effective
+    /// tier after applying the stream's override to the runtime
+    /// default.
+    pub precision: &'static str,
     /// Completed frames per virtual second, over this stream's span of
     /// virtual time (arrival of first frame to completion of last).
     pub achieved_fps: f64,
@@ -207,6 +212,12 @@ pub struct RuntimeReport {
     /// across backends, so this is host-speed provenance, not a result
     /// qualifier.
     pub kernel_backend: &'static str,
+    /// The fleet's inference precision: `f32` or `int8` when every
+    /// stream ran one tier, `mixed` when stream overrides differed.
+    /// Unlike `kernel_backend` this **is** a result qualifier — int8
+    /// logits are quantized approximations of the f32 reference
+    /// (per-stream tiers are in [`StreamReport::precision`]).
+    pub precision: &'static str,
     /// Micro-batching behaviour of the inference stage.
     pub batching: BatchingStats,
     /// Every completed frame's journey, sorted by `(stream, frame)`.
@@ -294,12 +305,13 @@ impl fmt::Display for RuntimeReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "RuntimeReport: {} frames ({} dropped) | {}+{} workers | kernel {} | virtual makespan {:.3} s | {:.2} modeled FPS | wall {:.2?} ({:.1} frames/s host)",
+            "RuntimeReport: {} frames ({} dropped) | {}+{} workers | kernel {} | precision {} | virtual makespan {:.3} s | {:.2} modeled FPS | wall {:.2?} ({:.1} frames/s host)",
             self.total_frames,
             self.total_dropped,
             self.preproc_workers,
             self.inference_workers,
             self.kernel_backend,
+            self.precision,
             self.virtual_makespan_s,
             self.modeled_pipelined_fps,
             self.wall_elapsed,
@@ -327,9 +339,10 @@ impl fmt::Display for RuntimeReport {
         for s in &self.streams {
             writeln!(
                 f,
-                "  [{}] {}: {}/{} frames (dropped {}), sensor {:.1} FPS, achieved {:.2} FPS",
+                "  [{}] {} ({}): {}/{} frames (dropped {}), sensor {:.1} FPS, achieved {:.2} FPS",
                 s.stream_id,
                 s.name,
+                s.precision,
                 s.completed,
                 s.offered,
                 s.dropped,

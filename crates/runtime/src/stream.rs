@@ -8,6 +8,7 @@
 
 use hgpcn_datasets::kitti::{KittiConfig, KittiStream};
 use hgpcn_geometry::{Point3, PointCloud};
+use hgpcn_pcn::Precision;
 
 /// One frame traveling through the runtime.
 #[derive(Clone, Debug)]
@@ -39,6 +40,12 @@ pub struct StreamSpec {
     /// [`AdmissionPolicy::WeightedFair`](crate::AdmissionPolicy::WeightedFair);
     /// ignored by round-robin. Must be at least 1.
     pub weight: u32,
+    /// Per-stream inference precision override; `None` (the default)
+    /// inherits [`RuntimeConfig::precision`](crate::RuntimeConfig::precision).
+    /// Lets one fleet mix accuracy-tier (f32) and throughput-tier
+    /// (int8) tenants — inference workers partition micro-batches by
+    /// effective precision, preserving per-stream FIFO and determinism.
+    pub precision: Option<Precision>,
     /// The frame producer.
     pub source: Box<dyn FrameSource>,
 }
@@ -48,16 +55,18 @@ impl std::fmt::Debug for StreamSpec {
         f.debug_struct("StreamSpec")
             .field("name", &self.name)
             .field("weight", &self.weight)
+            .field("precision", &self.precision)
             .finish_non_exhaustive()
     }
 }
 
 impl StreamSpec {
-    /// A stream of unit weight.
+    /// A stream of unit weight at the runtime's default precision.
     pub fn new(name: impl Into<String>, source: impl FrameSource + 'static) -> StreamSpec {
         StreamSpec {
             name: name.into(),
             weight: 1,
+            precision: None,
             source: Box::new(source),
         }
     }
@@ -65,6 +74,13 @@ impl StreamSpec {
     /// Sets the weighted-fair share.
     pub fn weight(mut self, weight: u32) -> StreamSpec {
         self.weight = weight.max(1);
+        self
+    }
+
+    /// Pins this stream to a specific inference precision, overriding
+    /// the runtime default.
+    pub fn precision(mut self, precision: Precision) -> StreamSpec {
+        self.precision = Some(precision);
         self
     }
 }

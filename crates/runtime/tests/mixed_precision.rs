@@ -1,0 +1,178 @@
+//! Mixed f32/int8 serving: a fleet whose streams pin different
+//! precision tiers must keep every existing runtime guarantee — losless
+//! delivery, per-stream FIFO admission, and per-frame determinism —
+//! while the report labels each stream's effective tier.
+//!
+//! The inference workers partition each coalesced micro-batch by
+//! precision (one engine call per tier), so these tests drive the
+//! batched path with both tiers present in the same batch window and
+//! cross-check it against the serial (`max_batch = 1`) execution of the
+//! identical fleet: the modeled per-frame results must be bit-identical
+//! — batching and tier-partitioning move host time, never results.
+
+use hgpcn_geometry::{Point3, PointCloud};
+use hgpcn_pcn::{BruteKnnGatherer, Calibrator, CenterPolicy, PointNet, PointNetConfig, Precision};
+use hgpcn_runtime::{
+    ArrivalModel, Runtime, RuntimeConfig, RuntimeError, RuntimeReport, StreamSpec, SyntheticSource,
+};
+
+const TARGET: usize = 512;
+
+fn calib_cloud(c: usize) -> PointCloud {
+    (0..TARGET)
+        .map(|i| {
+            let f = (i + c * 131) as f32;
+            Point3::new(
+                (f * 0.618).fract() * 2.0,
+                (f * 0.414).fract() * 2.0,
+                (f * 0.732).fract() * 2.0,
+            )
+        })
+        .collect()
+}
+
+fn quantized_net() -> PointNet {
+    let net = PointNet::new(PointNetConfig::semantic_segmentation(TARGET), 1);
+    let mut calibrator = Calibrator::new();
+    for c in 0..4 {
+        let mut g = BruteKnnGatherer::new();
+        calibrator
+            .observe(&net, &calib_cloud(c), &mut g, CenterPolicy::FirstN)
+            .expect("calibration pass");
+    }
+    net.with_int8(&calibrator.finish().expect("observed clouds"))
+        .expect("matching calibration")
+}
+
+/// Two f32 streams and two int8 streams, interleaved round-robin.
+fn mixed_fleet(frames: usize) -> Vec<StreamSpec> {
+    (0..4)
+        .map(|i| {
+            let spec = StreamSpec::new(
+                format!("s{i}"),
+                SyntheticSource::new(1200 + 150 * i, 10.0, frames, i as u64),
+            );
+            if i % 2 == 1 {
+                spec.precision(Precision::Int8)
+            } else {
+                spec
+            }
+        })
+        .collect()
+}
+
+fn run_mixed(net: &PointNet, max_batch: usize) -> RuntimeReport {
+    let runtime = Runtime::new(
+        RuntimeConfig::default()
+            .preproc_workers(2)
+            .inference_workers(2)
+            .queue_capacity(16)
+            .arrival(ArrivalModel::Backlogged)
+            .target_points(TARGET)
+            .max_batch(max_batch),
+    )
+    .unwrap();
+    runtime.run(mixed_fleet(5), net).unwrap()
+}
+
+#[test]
+fn mixed_fleet_preserves_fifo_and_determinism() {
+    let net = quantized_net();
+    let batched = run_mixed(&net, 4);
+    let serial = run_mixed(&net, 1);
+
+    // Labeling: the report is tier-accurate per stream and flags the
+    // aggregate as mixed.
+    assert_eq!(batched.precision, "mixed");
+    for s in &batched.streams {
+        let want = if s.stream_id % 2 == 1 { "int8" } else { "f32" };
+        assert_eq!(s.precision, want, "stream {}", s.name);
+    }
+
+    // Lossless delivery: every offered frame completed exactly once.
+    assert_eq!(batched.total_frames, 20);
+    assert_eq!(batched.total_dropped, 0);
+
+    // Per-stream FIFO: ingress tickets increase with frame index inside
+    // every stream, tiers notwithstanding.
+    for id in 0..4 {
+        let mine: Vec<_> = batched
+            .records
+            .iter()
+            .filter(|r| r.stream_id == id)
+            .collect();
+        assert_eq!(mine.len(), 5);
+        for pair in mine.windows(2) {
+            assert_eq!(pair[1].frame_index, pair[0].frame_index + 1);
+            assert!(
+                pair[1].preproc_ticket > pair[0].preproc_ticket,
+                "stream {id}: FIFO admission violated"
+            );
+        }
+    }
+
+    // Determinism: the tier-partitioned batched execution reproduces
+    // the serial execution's modeled per-frame results bit-for-bit
+    // (both runs sort records by (stream, frame)).
+    assert_eq!(serial.total_frames, batched.total_frames);
+    for (a, b) in serial.records.iter().zip(&batched.records) {
+        assert_eq!((a.stream_id, a.frame_index), (b.stream_id, b.frame_index));
+        assert_eq!(
+            a.modeled.inference.latency, b.modeled.inference.latency,
+            "tier partitioning perturbed frame ({}, {})",
+            a.stream_id, a.frame_index
+        );
+        assert_eq!(a.modeled.inference.counts, b.modeled.inference.counts);
+        assert_eq!(a.modeled.preprocess.latency, b.modeled.preprocess.latency);
+    }
+
+    // And a re-run of the batched configuration is reproducible.
+    let again = run_mixed(&net, 4);
+    for (a, b) in again.records.iter().zip(&batched.records) {
+        assert_eq!((a.stream_id, a.frame_index), (b.stream_id, b.frame_index));
+        assert_eq!(a.modeled.inference.latency, b.modeled.inference.latency);
+        assert_eq!(a.modeled.inference.counts, b.modeled.inference.counts);
+    }
+}
+
+#[test]
+fn uniform_int8_fleet_is_labeled_int8() {
+    let net = quantized_net();
+    let runtime = Runtime::new(
+        RuntimeConfig::default()
+            .arrival(ArrivalModel::Backlogged)
+            .target_points(TARGET)
+            .max_batch(2)
+            .precision(Precision::Int8),
+    )
+    .unwrap();
+    let streams = vec![
+        StreamSpec::new("a", SyntheticSource::new(1200, 10.0, 3, 1)),
+        StreamSpec::new("b", SyntheticSource::new(1300, 10.0, 3, 2)),
+    ];
+    let report = runtime.run(streams, &net).unwrap();
+    assert_eq!(report.precision, "int8");
+    assert_eq!(report.total_frames, 6);
+    for s in &report.streams {
+        assert_eq!(s.precision, "int8");
+    }
+}
+
+#[test]
+fn int8_stream_on_unquantized_net_fails_cleanly() {
+    // No calibrated weights: the int8 stream's first frame must surface
+    // a Frame error instead of hanging or silently serving f32.
+    let net = PointNet::new(PointNetConfig::semantic_segmentation(TARGET), 1);
+    let runtime = Runtime::new(
+        RuntimeConfig::default()
+            .arrival(ArrivalModel::Backlogged)
+            .target_points(TARGET)
+            .precision(Precision::Int8),
+    )
+    .unwrap();
+    let streams = vec![StreamSpec::new("q", SyntheticSource::new(1200, 10.0, 2, 1))];
+    match runtime.run(streams, &net) {
+        Err(RuntimeError::Frame { stream_id: 0, .. }) => {}
+        other => panic!("expected a frame error, got {other:?}"),
+    }
+}

@@ -3,7 +3,7 @@ use hgpcn_gather::dsu::{DataStructuringUnit, StageCycles};
 use hgpcn_gather::veg::VegConfig;
 use hgpcn_geometry::PointCloud;
 use hgpcn_memsim::{Latency, OpCounts};
-use hgpcn_pcn::{CenterPolicy, Gatherer, InferenceOutput, PointNet};
+use hgpcn_pcn::{CenterPolicy, Gatherer, InferenceOutput, PointNet, Precision};
 
 use crate::{SystemError, VegGatherer};
 
@@ -80,8 +80,34 @@ impl InferenceEngine {
         net: &PointNet,
         seed: u64,
     ) -> Result<InferenceReport, SystemError> {
+        self.run_with_precision(input, net, seed, Precision::F32)
+    }
+
+    /// [`InferenceEngine::run`] at a chosen arithmetic precision — the
+    /// serving-tier knob. The DLA-style cost models are
+    /// precision-independent (the systolic array executes the same MAC
+    /// schedule either way), so modeled latencies and op counts are
+    /// identical across tiers; only the logits (and host speed) change.
+    ///
+    /// # Errors
+    ///
+    /// As [`InferenceEngine::run`], plus
+    /// [`hgpcn_pcn::PcnError::NotQuantized`] (as [`SystemError::Pcn`])
+    /// when int8 is requested on an unquantized network.
+    pub fn run_with_precision(
+        &self,
+        input: &PointCloud,
+        net: &PointNet,
+        seed: u64,
+        precision: Precision,
+    ) -> Result<InferenceReport, SystemError> {
         let mut gatherer = VegGatherer::new(self.veg);
-        let output = net.infer(input, &mut gatherer, CenterPolicy::Random { seed })?;
+        let output = net.infer_with_precision(
+            input,
+            &mut gatherer,
+            CenterPolicy::Random { seed },
+            precision,
+        )?;
         Ok(self.price(&gatherer, output, net))
     }
 
@@ -106,6 +132,31 @@ impl InferenceEngine {
         net: &PointNet,
         seeds: &[u64],
     ) -> Result<Vec<InferenceReport>, SystemError> {
+        self.run_batch_with_precision(inputs, net, seeds, Precision::F32)
+    }
+
+    /// [`InferenceEngine::run_batch`] at a chosen arithmetic precision.
+    /// The whole micro-batch runs at one tier — a runtime serving a
+    /// mixed-precision fleet partitions its batches by precision first
+    /// (per-frame results are unaffected: both tiers are bit-identical
+    /// between serial and batched execution).
+    ///
+    /// # Errors
+    ///
+    /// As [`InferenceEngine::run_batch`], plus
+    /// [`hgpcn_pcn::PcnError::NotQuantized`] (as [`SystemError::Pcn`])
+    /// when int8 is requested on an unquantized network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` and `seeds` have different lengths.
+    pub fn run_batch_with_precision(
+        &self,
+        inputs: &[&PointCloud],
+        net: &PointNet,
+        seeds: &[u64],
+        precision: Precision,
+    ) -> Result<Vec<InferenceReport>, SystemError> {
         assert_eq!(inputs.len(), seeds.len(), "one seed per frame");
         let mut gatherers: Vec<VegGatherer> =
             inputs.iter().map(|_| VegGatherer::new(self.veg)).collect();
@@ -118,7 +169,7 @@ impl InferenceEngine {
                 .iter()
                 .map(|&seed| CenterPolicy::Random { seed })
                 .collect();
-            net.infer_batch(inputs, &mut grefs, &policies)?
+            net.infer_batch_with_precision(inputs, &mut grefs, &policies, precision)?
         };
         Ok(outputs
             .into_iter()

@@ -1,0 +1,93 @@
+//! Mixed-precision serving: calibrate a network post-training, freeze
+//! int8 weights next to the f32 ones, and serve a fleet where latency-
+//! tolerant accuracy tenants ride the f32 tier while throughput tenants
+//! ride int8 — in the same runtime, through the same batched engine.
+//!
+//! ```bash
+//! cargo run --release --example quantized_serving            # scalar kernels
+//! cargo run --release --features simd --example quantized_serving
+//! ```
+
+use hgpcn::prelude::*;
+use hgpcn_geometry::{Point3, PointCloud};
+use hgpcn_pcn::{BruteKnnGatherer, Calibrator, CenterPolicy, Precision};
+use hgpcn_runtime::{ArrivalModel, Runtime, RuntimeConfig, StreamSpec, SyntheticSource};
+use hgpcn_system::E2ePipeline;
+
+const TARGET: usize = 512;
+
+/// Deterministic sample clouds standing in for a recorded calibration
+/// set (in production these would be held-out sensor frames).
+fn calib_cloud(c: usize) -> PointCloud {
+    (0..TARGET)
+        .map(|i| {
+            let f = (i + c * 131) as f32;
+            Point3::new(
+                (f * 0.618).fract() * 2.0,
+                (f * 0.414).fract() * 2.0,
+                (f * 0.732).fract() * 2.0,
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    // 1. A trained (here: seeded) network.
+    let net = PointNet::new(PointNetConfig::semantic_segmentation(TARGET), 7);
+
+    // 2. Post-training calibration: observe each dense layer's
+    //    activation range over representative clouds.
+    let mut calibrator = Calibrator::new();
+    for c in 0..8 {
+        let mut gatherer = BruteKnnGatherer::new();
+        calibrator
+            .observe(&net, &calib_cloud(c), &mut gatherer, CenterPolicy::FirstN)
+            .expect("calibration pass");
+    }
+    let calibration = calibrator.finish().expect("observed clouds");
+    println!(
+        "calibrated over {} clouds; freezing per-channel int8 weights",
+        calibration.observed_clouds()
+    );
+
+    // 3. Freeze the int8 tier next to the f32 weights.
+    let net = net.with_int8(&calibration).expect("matching calibration");
+    assert!(net.is_quantized());
+
+    // 4. Serve a mixed fleet: the mapping stream needs reference
+    //    accuracy (f32), the two telemetry streams trade logit
+    //    exactness for throughput (int8). The runtime partitions each
+    //    coalesced micro-batch by tier; FIFO order and per-frame
+    //    determinism are preserved (see runtime/tests/mixed_precision.rs).
+    let streams = vec![
+        StreamSpec::new("mapping", SyntheticSource::new(1600, 10.0, 4, 1)),
+        StreamSpec::new("telemetry-a", SyntheticSource::new(1400, 20.0, 4, 2))
+            .precision(Precision::Int8),
+        StreamSpec::new("telemetry-b", SyntheticSource::new(1300, 20.0, 4, 3))
+            .precision(Precision::Int8),
+    ];
+    let runtime = Runtime::new(
+        RuntimeConfig::default()
+            .preproc_workers(2)
+            .inference_workers(2)
+            .arrival(ArrivalModel::Backlogged)
+            .target_points(TARGET)
+            .max_batch(4),
+    )
+    .expect("valid config");
+    let report = runtime
+        .run_with_pipeline(&E2ePipeline::prototype(), streams, &net)
+        .expect("fleet serves");
+
+    println!("{report}");
+    assert_eq!(report.precision, "mixed");
+    assert_eq!(report.total_frames, 12);
+    for s in &report.streams {
+        let want = if s.name == "mapping" { "f32" } else { "int8" };
+        assert_eq!(s.precision, want);
+    }
+    println!(
+        "mixed f32/int8 fleet served: {} frames",
+        report.total_frames
+    );
+}

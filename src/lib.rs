@@ -16,7 +16,11 @@
 //! * [`dla`] — the 16×16 systolic Feature Computation Unit;
 //! * [`pcn`] — a real PointNet++ forward pass with pluggable gathering,
 //!   plus the SoA `Batch` tile layer and `infer_batch` (B clouds per
-//!   call, one weight traversal per MLP layer, bit-identical results);
+//!   call, one weight traversal per MLP layer, bit-identical results),
+//!   and the `quant` post-training-int8 subsystem: a `Calibrator`
+//!   observing activation ranges, per-channel symmetric weight
+//!   quantization, and an i32-accumulating i8 GEMM behind the
+//!   `Precision` serving-tier knob;
 //! * [`system`] — both HgPCN engines, the baseline platforms, the E2E
 //!   pipeline and the real-time experiment;
 //! * [`runtime`] — the concurrent multi-stream serving runtime: stage-
@@ -68,7 +72,10 @@ pub mod prelude {
     pub use hgpcn_geometry::{Aabb, MortonCode, Point3, PointCloud};
     pub use hgpcn_memsim::{DeviceProfile, HostMemory, Latency, OnChipMemory, OpCounts};
     pub use hgpcn_octree::{Octree, OctreeConfig, OctreeTable};
-    pub use hgpcn_pcn::{Batch, CenterPolicy, IndexedGatherer, PointNet, PointNetConfig};
+    pub use hgpcn_pcn::{
+        Batch, Calibration, Calibrator, CenterPolicy, IndexedGatherer, PointNet, PointNetConfig,
+        Precision,
+    };
     pub use hgpcn_runtime::{
         AdmissionPolicy, ArrivalModel, BackpressurePolicy, BatchingStats, KittiSource, Runtime,
         RuntimeConfig, RuntimeReport, StreamSpec, SyntheticSource,

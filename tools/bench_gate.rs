@@ -1,7 +1,8 @@
 //! `bench_gate` — the CI perf-regression comparator.
 //!
 //! ```text
-//! bench_gate <baseline.json> <candidate.json> [--tolerance 0.15] [--min-speedup X]
+//! bench_gate <baseline.json> <candidate.json> [--tolerance 0.15]
+//!            [--min-speedup X] [--min-int8-vs-f32 X]
 //! ```
 //!
 //! Reads two `BENCH_runtime.json` files (the committed baseline and the
@@ -21,7 +22,17 @@
 //!   regressed or the dispatch silently fell back to a scalar backend.
 //!   The absolute `kernel_gmacs` is printed for the record but — like
 //!   `wall_fps` — never gated across runner generations.
-//! * with `--min-speedup X`, additionally requires `speedup >= X`.
+//! * `int8.p95_service_ms` / `int8_speedup` /
+//!   `int8_gmacs_vs_f32_blocked` — the int8 serving tier's modeled p95
+//!   (deterministic), its batched-over-serial host ratio, and the int8
+//!   GEMM's dense throughput as a same-host multiple of the f32
+//!   `blocked` kernel — the acceptance claim that quantized inference
+//!   out-runs the best scalar f32 path. All gated exactly like their
+//!   f32 counterparts.
+//! * with `--min-speedup X`, additionally requires `speedup >= X`;
+//!   with `--min-int8-vs-f32 X`, requires
+//!   `int8_gmacs_vs_f32_blocked >= X` (the absolute floor behind the
+//!   "int8 beats the f32 blocked kernel" acceptance criterion).
 //!
 //! Absolute `wall_fps` values are printed for the record but never gated
 //! (a faster or slower runner generation would otherwise break CI).
@@ -276,6 +287,7 @@ fn main() -> ExitCode {
     let mut paths: Vec<String> = Vec::new();
     let mut tolerance = 0.15f64;
     let mut min_speedup: Option<f64> = None;
+    let mut min_int8_vs_f32: Option<f64> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--tolerance" => {
@@ -290,11 +302,21 @@ fn main() -> ExitCode {
                     std::process::exit(2);
                 }))
             }
+            "--min-int8-vs-f32" => {
+                min_int8_vs_f32 =
+                    Some(args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--min-int8-vs-f32 needs a number");
+                        std::process::exit(2);
+                    }))
+            }
             other => paths.push(other.to_owned()),
         }
     }
     if paths.len() != 2 {
-        eprintln!("usage: bench_gate <baseline.json> <candidate.json> [--tolerance 0.15] [--min-speedup X]");
+        eprintln!(
+            "usage: bench_gate <baseline.json> <candidate.json> [--tolerance 0.15] \
+             [--min-speedup X] [--min-int8-vs-f32 X]"
+        );
         return ExitCode::from(2);
     }
     let (baseline, candidate) = match (load(&paths[0]), load(&paths[1])) {
@@ -354,6 +376,38 @@ fn main() -> ExitCode {
         candidate.num("kernel_gmacs_vs_reference"),
         false,
     );
+    check(
+        "int8.p95_service_ms (modeled, deterministic)",
+        baseline.num("int8.p95_service_ms"),
+        candidate.num("int8.p95_service_ms"),
+        true,
+    );
+    check(
+        "int8_speedup (int8 batched over serial, machine-relative)",
+        baseline.num("int8_speedup"),
+        candidate.num("int8_speedup"),
+        false,
+    );
+    check(
+        "int8_gmacs_vs_f32_blocked (int8 GEMM over the f32 blocked kernel)",
+        baseline.num("int8_gmacs_vs_f32_blocked"),
+        candidate.num("int8_gmacs_vs_f32_blocked"),
+        false,
+    );
+
+    if let Some(floor) = min_int8_vs_f32 {
+        match candidate.num("int8_gmacs_vs_f32_blocked") {
+            Some(v) if v >= floor => println!("ok   int8-vs-f32 floor: {v:.3} >= {floor:.3}"),
+            Some(v) => {
+                eprintln!("FAIL int8-vs-f32 floor: {v:.3} < {floor:.3}");
+                failures += 1;
+            }
+            None => {
+                eprintln!("FAIL int8-vs-f32 floor: candidate has no int8_gmacs_vs_f32_blocked");
+                failures += 1;
+            }
+        }
+    }
 
     if let Some(floor) = min_speedup {
         match candidate.num("speedup") {
@@ -370,7 +424,14 @@ fn main() -> ExitCode {
     }
 
     // Context lines (informational, never gated).
-    for key in ["serial.wall_fps", "batched.wall_fps", "kernel_gmacs"] {
+    for key in [
+        "serial.wall_fps",
+        "batched.wall_fps",
+        "int8.wall_fps",
+        "kernel_gmacs",
+        "int8_gmacs",
+        "int8_vs_f32_batched",
+    ] {
         if let (Some(b), Some(c)) = (baseline.num(key), candidate.num(key)) {
             println!("info {key}: baseline {b:.2}, candidate {c:.2} (not gated)");
         }
