@@ -1,6 +1,7 @@
 //! Runtime configuration: worker pools, queue sizing and policies.
 
 use hgpcn_pcn::Precision;
+use hgpcn_telemetry::TelemetryMode;
 
 use crate::RuntimeError;
 
@@ -89,6 +90,12 @@ pub struct RuntimeConfig {
     /// ([`PointNet::with_int8`](hgpcn_pcn::PointNet::with_int8)) —
     /// serving an unquantized network at int8 fails on the first frame.
     pub precision: Precision,
+    /// Whether the run records frame-lifecycle telemetry (trace +
+    /// metrics registry into [`RuntimeReport::telemetry`](crate::RuntimeReport::telemetry)).
+    /// The default, [`TelemetryMode::Auto`], defers to the
+    /// `HGPCN_TELEMETRY` environment variable; when resolved off the
+    /// recorders are no-op sinks and the hot path never touches them.
+    pub telemetry: TelemetryMode,
 }
 
 impl Default for RuntimeConfig {
@@ -105,6 +112,7 @@ impl Default for RuntimeConfig {
             max_batch: 1,
             batch_deadline_s: f64::INFINITY,
             precision: Precision::F32,
+            telemetry: TelemetryMode::Auto,
         }
     }
 }
@@ -178,6 +186,12 @@ impl RuntimeConfig {
         self
     }
 
+    /// Sets whether the run records telemetry.
+    pub fn telemetry(mut self, mode: TelemetryMode) -> Self {
+        self.telemetry = mode;
+        self
+    }
+
     /// Checks the configuration is runnable.
     ///
     /// # Errors
@@ -239,7 +253,8 @@ mod tests {
             .seed(42)
             .max_batch(8)
             .batch_deadline_s(0.25)
-            .precision(Precision::Int8);
+            .precision(Precision::Int8)
+            .telemetry(TelemetryMode::On);
         assert_eq!(cfg.preproc_workers, 3);
         assert_eq!(cfg.inference_workers, 2);
         assert_eq!(cfg.queue_capacity, 5);
@@ -251,7 +266,9 @@ mod tests {
         assert_eq!(cfg.max_batch, 8);
         assert_eq!(cfg.batch_deadline_s, 0.25);
         assert_eq!(cfg.precision, Precision::Int8);
+        assert_eq!(cfg.telemetry, TelemetryMode::On);
         assert_eq!(RuntimeConfig::default().precision, Precision::F32);
+        assert_eq!(RuntimeConfig::default().telemetry, TelemetryMode::Auto);
     }
 
     #[test]

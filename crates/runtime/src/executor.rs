@@ -29,10 +29,12 @@ use std::time::Instant;
 use hgpcn_geometry::PointCloud;
 use hgpcn_pcn::{PointNet, Precision};
 use hgpcn_system::{E2ePipeline, E2eReport, InferenceReport, PhaseReport, SystemError};
+use hgpcn_telemetry::{EventKind, Registry, SpanRecorder, TraceCollector, WorkerId};
 
 use crate::config::{ArrivalModel, BackpressurePolicy, RuntimeConfig};
 use crate::metrics::{
-    BatchingStats, FrameRecord, LatencySummary, QueueStats, RuntimeReport, StreamReport,
+    BatchingStats, FrameRecord, LatencySummary, QueueDepthStats, QueueStats, RuntimeReport,
+    StageBreakdown, StreamReport, TelemetrySnapshot, WorkerUtilization,
 };
 use crate::queue::BoundedQueue;
 use crate::scheduler::Scheduler;
@@ -53,8 +55,10 @@ struct StageJob {
     frame_index: usize,
     sensor_ts_s: f64,
     virtual_arrival_s: f64,
+    virtual_preproc_start_s: f64,
     virtual_preproc_done_s: f64,
     preproc_ticket: u64,
+    wall_preproc_s: f64,
     sampled: PointCloud,
     pre_phase: PhaseReport,
 }
@@ -158,6 +162,10 @@ impl Runtime {
         let first_error: Mutex<Option<RuntimeError>> = Mutex::new(None);
         let preproc_live = AtomicUsize::new(config.preproc_workers);
         let started = Instant::now();
+        // Resolved once per run: `Auto` reads the environment here, not
+        // per event. When off, every SpanRecorder is a no-op sink.
+        let traced = config.telemetry.is_enabled();
+        let collector = TraceCollector::new();
 
         let fail = |err: RuntimeError| {
             let mut slot = first_error.lock().expect("error slot poisoned");
@@ -180,6 +188,7 @@ impl Runtime {
                         ingress: &ingress,
                         stage: &stage,
                     };
+                    let mut recorder = SpanRecorder::new(WorkerId::admission(), started, traced);
                     let mut offered = vec![0usize; stream_count];
                     let mut dropped = vec![0usize; stream_count];
                     while let Some(frame) = scheduler.next_frame() {
@@ -188,26 +197,57 @@ impl Runtime {
                             ArrivalModel::Sensor => frame.sensor_ts_s,
                             ArrivalModel::Backlogged => 0.0,
                         };
+                        recorder.record(
+                            EventKind::Admit,
+                            frame.stream_id,
+                            frame.frame_index,
+                            virtual_arrival_s,
+                        );
                         let job = PreprocJob {
                             frame,
                             virtual_arrival_s,
                         };
                         match config.backpressure {
                             BackpressurePolicy::Block => {
+                                let (sid, fidx) = (job.frame.stream_id, job.frame.frame_index);
                                 if ingress.push_blocking(job).is_err() {
                                     break; // shutdown under way
                                 }
+                                recorder.record(EventKind::Enqueue, sid, fidx, virtual_arrival_s);
                             }
-                            BackpressurePolicy::DropOldest => match ingress.push_drop_oldest(job) {
-                                Ok(Some(evicted)) => {
-                                    dropped[evicted.frame.stream_id] += 1;
+                            BackpressurePolicy::DropOldest => {
+                                let (sid, fidx) = (job.frame.stream_id, job.frame.frame_index);
+                                match ingress.push_drop_oldest(job) {
+                                    Ok(Some(evicted)) => {
+                                        dropped[evicted.frame.stream_id] += 1;
+                                        recorder.record(
+                                            EventKind::Drop,
+                                            evicted.frame.stream_id,
+                                            evicted.frame.frame_index,
+                                            evicted.virtual_arrival_s,
+                                        );
+                                        recorder.record(
+                                            EventKind::Enqueue,
+                                            sid,
+                                            fidx,
+                                            virtual_arrival_s,
+                                        );
+                                    }
+                                    Ok(None) => {
+                                        recorder.record(
+                                            EventKind::Enqueue,
+                                            sid,
+                                            fidx,
+                                            virtual_arrival_s,
+                                        );
+                                    }
+                                    Err(_) => break,
                                 }
-                                Ok(None) => {}
-                                Err(_) => break,
-                            },
+                            }
                         }
                     }
                     ingress.close();
+                    collector.submit(recorder);
                     AdmissionOutcome {
                         offered,
                         dropped,
@@ -217,43 +257,72 @@ impl Runtime {
 
                 // --- Pre-processing pool: ingress → stage queue. ---
                 let preproc_handles: Vec<_> = (0..config.preproc_workers)
-                    .map(|_| {
-                        s.spawn(|| {
-                            let _guard = PanicGuard {
-                                ingress: &ingress,
-                                stage: &stage,
-                            };
+                    .map(|w| {
+                        // Re-borrow shared state so the `move` closure
+                        // (needed for the worker index) captures
+                        // references, not the values themselves.
+                        let (ingress, stage) = (&ingress, &stage);
+                        let (collector, fail) = (&collector, &fail);
+                        let preproc_live = &preproc_live;
+                        s.spawn(move || {
+                            let _guard = PanicGuard { ingress, stage };
+                            let mut recorder =
+                                SpanRecorder::new(WorkerId::preproc(w), started, traced);
                             let mut vclock = 0.0f64;
                             while let Some((job, ticket)) = ingress.pop() {
                                 let PreprocJob {
                                     frame,
                                     virtual_arrival_s,
                                 } = job;
+                                recorder.record(
+                                    EventKind::Dequeue,
+                                    frame.stream_id,
+                                    frame.frame_index,
+                                    virtual_arrival_s,
+                                );
                                 let seed =
                                     frame_seed(config.seed, frame.stream_id, frame.frame_index);
+                                let wall0 = Instant::now();
                                 match pipeline
                                     .preproc
                                     .run(&frame.cloud, config.target_points, seed)
                                 {
                                     Ok(out) => {
+                                        let wall_preproc_s = wall0.elapsed().as_secs_f64();
                                         let latency = out.total_latency();
                                         let counts = out.total_counts();
                                         let start = vclock.max(virtual_arrival_s);
                                         let done = start + latency.secs();
                                         vclock = done;
+                                        recorder.record(
+                                            EventKind::PreprocStart,
+                                            frame.stream_id,
+                                            frame.frame_index,
+                                            start,
+                                        );
+                                        recorder.record(
+                                            EventKind::PreprocEnd,
+                                            frame.stream_id,
+                                            frame.frame_index,
+                                            done,
+                                        );
                                         let stage_job = StageJob {
                                             stream_id: frame.stream_id,
                                             frame_index: frame.frame_index,
                                             sensor_ts_s: frame.sensor_ts_s,
                                             virtual_arrival_s,
+                                            virtual_preproc_start_s: start,
                                             virtual_preproc_done_s: done,
                                             preproc_ticket: ticket,
+                                            wall_preproc_s,
                                             sampled: out.sampled,
                                             pre_phase: PhaseReport { latency, counts },
                                         };
+                                        let (sid, fidx) = (frame.stream_id, frame.frame_index);
                                         if stage.push_blocking(stage_job).is_err() {
                                             break; // shutdown under way
                                         }
+                                        recorder.record(EventKind::Enqueue, sid, fidx, done);
                                     }
                                     Err(err) => {
                                         fail(frame_error(&frame, err));
@@ -264,6 +333,7 @@ impl Runtime {
                             if preproc_live.fetch_sub(1, Ordering::AcqRel) == 1 {
                                 stage.close();
                             }
+                            collector.submit(recorder);
                         })
                     })
                     .collect();
@@ -273,17 +343,27 @@ impl Runtime {
                 // `>= 2` coalesces micro-batches into the SoA path, whose
                 // per-frame results are bit-identical by construction.
                 let inference_handles: Vec<_> = (0..config.inference_workers)
-                    .map(|_| {
-                        s.spawn(|| {
-                            let _guard = PanicGuard {
-                                ingress: &ingress,
-                                stage: &stage,
-                            };
+                    .map(|w| {
+                        let (ingress, stage) = (&ingress, &stage);
+                        let (collector, fail) = (&collector, &fail);
+                        let (records, batch_sizes) = (&records, &batch_sizes);
+                        let precisions = &precisions;
+                        s.spawn(move || {
+                            let _guard = PanicGuard { ingress, stage };
+                            let mut recorder =
+                                SpanRecorder::new(WorkerId::inference(w), started, traced);
                             let mut vclock = 0.0f64;
                             if config.max_batch <= 1 {
                                 while let Some((job, ticket)) = stage.pop() {
+                                    recorder.record(
+                                        EventKind::Dequeue,
+                                        job.stream_id,
+                                        job.frame_index,
+                                        job.virtual_preproc_done_s,
+                                    );
                                     let seed =
                                         frame_seed(config.seed, job.stream_id, job.frame_index);
+                                    let wall0 = Instant::now();
                                     match pipeline.inference.run_with_precision(
                                         &job.sampled,
                                         net,
@@ -297,6 +377,8 @@ impl Runtime {
                                                 &inf,
                                                 &mut vclock,
                                                 started,
+                                                wall0.elapsed().as_secs_f64(),
+                                                &mut recorder,
                                             );
                                             records
                                                 .lock()
@@ -313,6 +395,7 @@ impl Runtime {
                                         }
                                     }
                                 }
+                                collector.submit(recorder);
                                 return;
                             }
 
@@ -320,6 +403,12 @@ impl Runtime {
                             // inference latency, for the deadline cap.
                             let mut est_latency_s = 0.0f64;
                             'work: while let Some(first) = stage.pop() {
+                                recorder.record(
+                                    EventKind::Dequeue,
+                                    first.0.stream_id,
+                                    first.0.frame_index,
+                                    first.0.virtual_preproc_done_s,
+                                );
                                 // The first frame is taken blocking; the
                                 // rest of the micro-batch only drains
                                 // whatever is already queued, up to the
@@ -336,10 +425,25 @@ impl Runtime {
                                 let mut batch = vec![first];
                                 while batch.len() < allowed {
                                     match stage.try_pop() {
-                                        Some(next) => batch.push(next),
+                                        Some(next) => {
+                                            recorder.record(
+                                                EventKind::Dequeue,
+                                                next.0.stream_id,
+                                                next.0.frame_index,
+                                                next.0.virtual_preproc_done_s,
+                                            );
+                                            batch.push(next);
+                                        }
                                         None => break,
                                     }
                                 }
+                                recorder.record_detail(
+                                    EventKind::BatchCoalesce,
+                                    batch[0].0.stream_id,
+                                    batch[0].0.frame_index,
+                                    batch[0].0.virtual_preproc_done_s,
+                                    batch.len() as u32,
+                                );
 
                                 // Partition the drained micro-batch by
                                 // effective precision: each engine call
@@ -350,6 +454,10 @@ impl Runtime {
                                 // tiers never reorders a stream.
                                 let mut reports: Vec<Option<InferenceReport>> =
                                     batch.iter().map(|_| None).collect();
+                                // Per-frame share of the tier call's host
+                                // wall time (split evenly — the SoA path
+                                // serves the whole sub-batch in one pass).
+                                let mut walls: Vec<f64> = vec![0.0; batch.len()];
                                 let mut tier_failed = false;
                                 for tier in [Precision::F32, Precision::Int8] {
                                     let idxs: Vec<usize> = (0..batch.len())
@@ -367,16 +475,20 @@ impl Runtime {
                                             frame_seed(config.seed, j.stream_id, j.frame_index)
                                         })
                                         .collect();
+                                    let wall0 = Instant::now();
                                     match pipeline
                                         .inference
                                         .run_batch_with_precision(&inputs, net, &seeds, tier)
                                     {
                                         Ok(rs) => {
+                                            let share =
+                                                wall0.elapsed().as_secs_f64() / idxs.len() as f64;
                                             batch_sizes
                                                 .lock()
                                                 .expect("batch stats poisoned")
                                                 .push(idxs.len());
                                             for (slot, r) in idxs.into_iter().zip(rs) {
+                                                walls[slot] = share;
                                                 reports[slot] = Some(r);
                                             }
                                         }
@@ -388,7 +500,9 @@ impl Runtime {
                                 }
                                 if !tier_failed {
                                     let mut sink = records.lock().expect("record sink poisoned");
-                                    for ((job, ticket), inf) in batch.into_iter().zip(&reports) {
+                                    for (i, ((job, ticket), inf)) in
+                                        batch.into_iter().zip(&reports).enumerate()
+                                    {
                                         let inf =
                                             inf.as_ref().expect("every tier ran or we bailed");
                                         let lat = inf.total_latency().secs();
@@ -403,6 +517,8 @@ impl Runtime {
                                             inf,
                                             &mut vclock,
                                             started,
+                                            walls[i],
+                                            &mut recorder,
                                         ));
                                     }
                                 } else {
@@ -413,6 +529,7 @@ impl Runtime {
                                     for (job, ticket) in batch {
                                         let seed =
                                             frame_seed(config.seed, job.stream_id, job.frame_index);
+                                        let wall0 = Instant::now();
                                         match pipeline.inference.run_with_precision(
                                             &job.sampled,
                                             net,
@@ -426,6 +543,8 @@ impl Runtime {
                                                     &inf,
                                                     &mut vclock,
                                                     started,
+                                                    wall0.elapsed().as_secs_f64(),
+                                                    &mut recorder,
                                                 );
                                                 records
                                                     .lock()
@@ -444,6 +563,7 @@ impl Runtime {
                                     }
                                 }
                             }
+                            collector.submit(recorder);
                         })
                     })
                     .collect();
@@ -467,7 +587,7 @@ impl Runtime {
         records.sort_by_key(|r| (r.stream_id, r.frame_index));
 
         let sizes = batch_sizes.into_inner().expect("batch stats poisoned");
-        Ok(assemble_report(
+        let mut report = assemble_report(
             config,
             net.kernel().name(),
             &precisions,
@@ -483,7 +603,14 @@ impl Runtime {
             },
             BatchingStats::from_sizes(config.max_batch, &sizes),
             started.elapsed(),
-        ))
+        );
+        if traced {
+            report.telemetry = Some(TelemetrySnapshot {
+                trace: collector.finish(),
+                metrics: build_registry(&report),
+            });
+        }
+        Ok(report)
     }
 }
 
@@ -497,17 +624,24 @@ fn finish_frame(
     inf: &InferenceReport,
     vclock: &mut f64,
     started: Instant,
+    wall_infer_s: f64,
+    recorder: &mut SpanRecorder,
 ) -> FrameRecord {
     let latency = inf.total_latency();
     let start = vclock.max(job.virtual_preproc_done_s);
     let done = start + latency.secs();
     *vclock = done;
+    recorder.record(EventKind::InferStart, job.stream_id, job.frame_index, start);
+    recorder.record(EventKind::InferEnd, job.stream_id, job.frame_index, done);
+    recorder.record(EventKind::Complete, job.stream_id, job.frame_index, done);
     FrameRecord {
         stream_id: job.stream_id,
         frame_index: job.frame_index,
         sensor_ts_s: job.sensor_ts_s,
         virtual_arrival_s: job.virtual_arrival_s,
+        virtual_preproc_start_s: job.virtual_preproc_start_s,
         virtual_preproc_done_s: job.virtual_preproc_done_s,
+        virtual_infer_start_s: start,
         virtual_done_s: done,
         modeled: E2eReport {
             preprocess: job.pre_phase,
@@ -518,6 +652,8 @@ fn finish_frame(
         },
         preproc_ticket: job.preproc_ticket,
         inference_ticket,
+        wall_preproc_s: job.wall_preproc_s,
+        wall_infer_s,
         wall_done: started.elapsed(),
     }
 }
@@ -582,6 +718,7 @@ fn assemble_report(
             achieved_fps,
             service: LatencySummary::from_samples(&service),
             sojourn: LatencySummary::from_samples(&sojourn),
+            breakdown: StageBreakdown::from_records(mine.iter().copied()),
         });
     }
 
@@ -610,6 +747,30 @@ fn assemble_report(
         _ => "mixed",
     };
 
+    let breakdown = StageBreakdown::from_records(&records);
+    let utilization = if virtual_makespan_s > 1e-12 {
+        WorkerUtilization {
+            preproc_busy: breakdown.virtual_preproc_busy_s
+                / (virtual_makespan_s * config.preproc_workers as f64),
+            infer_busy: breakdown.virtual_infer_busy_s
+                / (virtual_makespan_s * config.inference_workers as f64),
+        }
+    } else {
+        WorkerUtilization::default()
+    };
+    let ingress_depth = QueueDepthStats::from_deltas(
+        records
+            .iter()
+            .flat_map(|r| [(r.virtual_arrival_s, 1), (r.virtual_preproc_start_s, -1)])
+            .collect(),
+    );
+    let stage_depth = QueueDepthStats::from_deltas(
+        records
+            .iter()
+            .flat_map(|r| [(r.virtual_preproc_done_s, 1), (r.virtual_infer_start_s, -1)])
+            .collect(),
+    );
+
     RuntimeReport {
         streams,
         total_frames: records.len(),
@@ -624,8 +785,138 @@ fn assemble_report(
         kernel_backend,
         precision,
         batching,
+        breakdown,
+        utilization,
+        ingress_depth,
+        stage_depth,
+        telemetry: None,
         records,
     }
+}
+
+/// Populates the metrics registry from a finished report: frame
+/// counters and achieved-FPS gauges per stream, run-level throughput
+/// and utilization gauges, and per-stage service / queue-wait /
+/// sojourn / queue-depth histograms. Everything here derives from the
+/// deterministic virtual timeline except the two `wall` gauges.
+fn build_registry(report: &RuntimeReport) -> Registry {
+    let mut reg = Registry::new();
+    for s in &report.streams {
+        let labels = [("stream", s.name.as_str())];
+        reg.counter_add(
+            "hgpcn_frames_offered_total",
+            "Frames offered by stream sources",
+            &labels,
+            s.offered as u64,
+        );
+        reg.counter_add(
+            "hgpcn_frames_completed_total",
+            "Frames completing inference",
+            &labels,
+            s.completed as u64,
+        );
+        reg.counter_add(
+            "hgpcn_frames_dropped_total",
+            "Frames evicted by backpressure",
+            &labels,
+            s.dropped as u64,
+        );
+        reg.gauge_set(
+            "hgpcn_stream_achieved_fps",
+            "Per-stream achieved virtual-clock throughput",
+            &labels,
+            s.achieved_fps,
+        );
+    }
+    reg.gauge_set(
+        "hgpcn_modeled_fps",
+        "Achieved virtual-clock throughput of the run",
+        &[],
+        report.modeled_pipelined_fps,
+    );
+    reg.gauge_set(
+        "hgpcn_wall_fps",
+        "Host wall-clock throughput of the run",
+        &[],
+        report.wall_fps(),
+    );
+    reg.gauge_set(
+        "hgpcn_virtual_makespan_seconds",
+        "Virtual time from first arrival to last completion",
+        &[],
+        report.virtual_makespan_s,
+    );
+    for (stage, busy) in [
+        ("preproc", report.utilization.preproc_busy),
+        ("infer", report.utilization.infer_busy),
+    ] {
+        reg.gauge_set(
+            "hgpcn_worker_busy_ratio",
+            "Worker-pool busy fraction over the virtual makespan",
+            &[("stage", stage)],
+            busy,
+        );
+    }
+    for r in &report.records {
+        reg.histogram_record(
+            "hgpcn_stage_service_seconds",
+            "Modeled per-stage service time",
+            &[("stage", "preproc")],
+            r.virtual_preproc_done_s - r.virtual_preproc_start_s,
+        );
+        reg.histogram_record(
+            "hgpcn_stage_service_seconds",
+            "Modeled per-stage service time",
+            &[("stage", "infer")],
+            r.virtual_done_s - r.virtual_infer_start_s,
+        );
+        reg.histogram_record(
+            "hgpcn_queue_wait_seconds",
+            "Modeled time queued between stages",
+            &[("queue", "ingress")],
+            r.virtual_preproc_start_s - r.virtual_arrival_s,
+        );
+        reg.histogram_record(
+            "hgpcn_queue_wait_seconds",
+            "Modeled time queued between stages",
+            &[("queue", "stage")],
+            r.virtual_infer_start_s - r.virtual_preproc_done_s,
+        );
+        reg.histogram_record(
+            "hgpcn_sojourn_seconds",
+            "Modeled end-to-end frame sojourn",
+            &[],
+            r.virtual_done_s - r.virtual_arrival_s,
+        );
+    }
+    for (queue, depth) in [
+        ("ingress", &report.ingress_depth),
+        ("stage", &report.stage_depth),
+    ] {
+        for &(_, d) in &depth.samples {
+            reg.histogram_record(
+                "hgpcn_queue_depth",
+                "Modeled queue occupancy after each change",
+                &[("queue", queue)],
+                d as f64,
+            );
+        }
+    }
+    if report.batching.batches > 0 {
+        reg.counter_add(
+            "hgpcn_micro_batches_total",
+            "Micro-batches the inference pool executed",
+            &[],
+            report.batching.batches as u64,
+        );
+        reg.gauge_set(
+            "hgpcn_mean_batch_size",
+            "Mean frames per micro-batch",
+            &[],
+            report.batching.mean_batch_size,
+        );
+    }
+    reg
 }
 
 #[cfg(test)]

@@ -79,8 +79,9 @@ mod stream;
 pub use config::{AdmissionPolicy, ArrivalModel, BackpressurePolicy, RuntimeConfig};
 pub use executor::Runtime;
 pub use metrics::{
-    BatchingStats, CrossValidation, FrameRecord, LatencySummary, QueueStats, RuntimeReport,
-    StreamReport, DEFAULT_VALIDATION_TOLERANCE,
+    BatchingStats, CrossValidation, FrameRecord, LatencySummary, QueueDepthStats, QueueStats,
+    RuntimeReport, StageBreakdown, StreamReport, TelemetrySnapshot, WorkerUtilization,
+    DEFAULT_VALIDATION_TOLERANCE,
 };
 pub use queue::{BoundedQueue, Closed};
 pub use scheduler::Scheduler;
@@ -89,6 +90,10 @@ pub use stream::{FrameSource, KittiSource, StreamSpec, SyntheticSource, TimedFra
 // Re-exported so serving code can pick precision tiers without a
 // direct `hgpcn_pcn` dependency.
 pub use hgpcn_pcn::Precision;
+
+// Re-exported so serving code can configure and consume telemetry
+// without a direct `hgpcn_telemetry` dependency.
+pub use hgpcn_telemetry::{Registry, TelemetryMode, Trace};
 
 use std::error::Error;
 use std::fmt;

@@ -25,8 +25,14 @@ pub struct FrameRecord {
     pub sensor_ts_s: f64,
     /// Virtual arrival time (sensor timestamp, or 0 when backlogged).
     pub virtual_arrival_s: f64,
+    /// Virtual time the pre-processing stage began serving the frame
+    /// (`>= virtual_arrival_s`; the gap is ingress queue wait).
+    pub virtual_preproc_start_s: f64,
     /// Virtual time the pre-processing stage finished the frame.
     pub virtual_preproc_done_s: f64,
+    /// Virtual time the inference stage began serving the frame
+    /// (`>= virtual_preproc_done_s`; the gap is stage queue wait).
+    pub virtual_infer_start_s: f64,
     /// Virtual time the inference stage finished the frame.
     pub virtual_done_s: f64,
     /// Modeled per-phase latencies and op counts.
@@ -35,6 +41,11 @@ pub struct FrameRecord {
     pub preproc_ticket: u64,
     /// Stage-queue dequeue ticket.
     pub inference_ticket: u64,
+    /// Host wall-clock seconds the pre-processing engine call took.
+    pub wall_preproc_s: f64,
+    /// Host wall-clock seconds of this frame's share of its inference
+    /// engine call (a micro-batch's wall time is split evenly).
+    pub wall_infer_s: f64,
     /// Wall-clock instant (relative to run start) the frame completed.
     pub wall_done: Duration,
 }
@@ -56,9 +67,16 @@ pub struct LatencySummary {
 
 impl LatencySummary {
     /// Summarizes `samples` (need not be sorted). Returns zeros for an
-    /// empty population.
+    /// empty population. Non-finite samples (degenerate cost-model
+    /// arithmetic, e.g. `∞ × 0`) are excluded from the population
+    /// instead of panicking mid-report.
     pub fn from_samples(samples: &[Latency]) -> LatencySummary {
-        if samples.is_empty() {
+        let mut ns: Vec<f64> = samples
+            .iter()
+            .map(|l| l.ns())
+            .filter(|n| n.is_finite())
+            .collect();
+        if ns.is_empty() {
             let z = Latency::ZERO;
             return LatencySummary {
                 p50: z,
@@ -68,8 +86,10 @@ impl LatencySummary {
                 mean: z,
             };
         }
-        let mut ns: Vec<f64> = samples.iter().map(|l| l.ns()).collect();
-        ns.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        // total_cmp, not partial_cmp().expect("finite latencies"): even
+        // if the filter above ever changes, sorting must not be the
+        // thing that aborts a finished run's report.
+        ns.sort_by(|a, b| a.total_cmp(b));
         let pick = |q: f64| -> Latency {
             let idx = ((ns.len() - 1) as f64 * q).round() as usize;
             Latency::from_ns(ns[idx])
@@ -122,6 +142,9 @@ pub struct StreamReport {
     /// Modeled sojourn per frame (virtual completion − virtual arrival;
     /// includes pipeline queueing).
     pub sojourn: LatencySummary,
+    /// Where this stream's sojourn went: queue wait vs service, per
+    /// stage (the components telescope back to `sojourn`).
+    pub breakdown: StageBreakdown,
 }
 
 impl StreamReport {
@@ -141,6 +164,183 @@ pub struct QueueStats {
     pub high_water: usize,
     /// Frames evicted (drop-oldest only; zero under `Block`).
     pub dropped: u64,
+}
+
+/// Virtual-time queue-depth reconstruction for one inter-stage queue.
+///
+/// [`QueueStats::high_water`] is the *live* occupancy the real queue
+/// observed, which depends on host thread interleaving. This is the
+/// **modeled** occupancy on the virtual clock, reconstructed post-hoc
+/// from frame records (a frame occupies the queue from the moment it
+/// becomes available until its next stage starts serving it) — fully
+/// deterministic, and timestamped.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QueueDepthStats {
+    /// Deepest modeled occupancy.
+    pub high_water: usize,
+    /// Virtual time at which the high-water mark was first reached.
+    pub high_water_vts_s: f64,
+    /// `(virtual_time, depth)` after every occupancy change, in time
+    /// order — the queue-depth time series.
+    pub samples: Vec<(f64, usize)>,
+}
+
+impl QueueDepthStats {
+    /// Reconstructs the series from `(virtual_time, +1 | -1)` occupancy
+    /// deltas. At equal timestamps departures apply before arrivals, so
+    /// a frame handed straight to an idle worker never counts as queued.
+    pub fn from_deltas(mut deltas: Vec<(f64, i64)>) -> QueueDepthStats {
+        deltas.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut depth = 0i64;
+        let mut stats = QueueDepthStats::default();
+        for (t, d) in deltas {
+            depth += d;
+            let depth_u = depth.max(0) as usize;
+            stats.samples.push((t, depth_u));
+            if depth_u > stats.high_water {
+                stats.high_water = depth_u;
+                stats.high_water_vts_s = t;
+            }
+        }
+        stats
+    }
+}
+
+/// Per-stage latency attribution for a set of frames: where each
+/// frame's sojourn went, split into queue wait and service per stage.
+///
+/// Built from [`FrameRecord`]s for every run (telemetry on or off).
+/// The four components telescope exactly:
+/// `preproc_wait + preproc_service + infer_wait + infer_service =
+/// sojourn` per frame, so the component means sum to the sojourn mean
+/// (asserted in the runtime's telemetry tests).
+#[derive(Clone, Debug, PartialEq)]
+pub struct StageBreakdown {
+    /// Frames attributed.
+    pub frames: usize,
+    /// Ingress queue wait (`virtual_preproc_start − virtual_arrival`).
+    pub preproc_wait: LatencySummary,
+    /// Pre-processing service (`virtual_preproc_done − virtual_preproc_start`).
+    pub preproc_service: LatencySummary,
+    /// Stage queue wait (`virtual_infer_start − virtual_preproc_done`).
+    pub infer_wait: LatencySummary,
+    /// Inference service (`virtual_done − virtual_infer_start`).
+    pub infer_service: LatencySummary,
+    /// Total virtual seconds of pre-processing service.
+    pub virtual_preproc_busy_s: f64,
+    /// Total virtual seconds of inference service.
+    pub virtual_infer_busy_s: f64,
+    /// Total virtual seconds spent waiting in queues (both stages).
+    pub virtual_wait_s: f64,
+    /// Total host wall seconds of pre-processing engine calls.
+    pub wall_preproc_s: f64,
+    /// Total host wall seconds of inference engine calls.
+    pub wall_infer_s: f64,
+}
+
+impl StageBreakdown {
+    /// Attributes every record in `records`.
+    pub fn from_records<'a, I>(records: I) -> StageBreakdown
+    where
+        I: IntoIterator<Item = &'a FrameRecord>,
+    {
+        let mut pre_wait = Vec::new();
+        let mut pre_service = Vec::new();
+        let mut inf_wait = Vec::new();
+        let mut inf_service = Vec::new();
+        let mut wall_preproc_s = 0.0;
+        let mut wall_infer_s = 0.0;
+        for r in records {
+            pre_wait.push(Latency::from_secs(
+                r.virtual_preproc_start_s - r.virtual_arrival_s,
+            ));
+            pre_service.push(Latency::from_secs(
+                r.virtual_preproc_done_s - r.virtual_preproc_start_s,
+            ));
+            inf_wait.push(Latency::from_secs(
+                r.virtual_infer_start_s - r.virtual_preproc_done_s,
+            ));
+            inf_service.push(Latency::from_secs(
+                r.virtual_done_s - r.virtual_infer_start_s,
+            ));
+            wall_preproc_s += r.wall_preproc_s;
+            wall_infer_s += r.wall_infer_s;
+        }
+        let sum_s = |v: &[Latency]| v.iter().map(|l| l.secs()).sum::<f64>();
+        StageBreakdown {
+            frames: pre_wait.len(),
+            virtual_preproc_busy_s: sum_s(&pre_service),
+            virtual_infer_busy_s: sum_s(&inf_service),
+            virtual_wait_s: sum_s(&pre_wait) + sum_s(&inf_wait),
+            wall_preproc_s,
+            wall_infer_s,
+            preproc_wait: LatencySummary::from_samples(&pre_wait),
+            preproc_service: LatencySummary::from_samples(&pre_service),
+            infer_wait: LatencySummary::from_samples(&inf_wait),
+            infer_service: LatencySummary::from_samples(&inf_service),
+        }
+    }
+
+    /// Sum of the four component means — equals the sojourn mean of the
+    /// same records, up to floating-point rounding.
+    pub fn mean_sojourn(&self) -> Latency {
+        Latency::from_ns(
+            self.preproc_wait.mean.ns()
+                + self.preproc_service.mean.ns()
+                + self.infer_wait.mean.ns()
+                + self.infer_service.mean.ns(),
+        )
+    }
+}
+
+impl fmt::Display for StageBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "preproc: wait {} | service {}",
+            self.preproc_wait, self.preproc_service
+        )?;
+        write!(
+            f,
+            "infer:   wait {} | service {}",
+            self.infer_wait, self.infer_service
+        )
+    }
+}
+
+/// Worker-pool busy fractions over the run's virtual makespan.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WorkerUtilization {
+    /// Pre-processing pool: busy virtual time / (makespan × workers).
+    pub preproc_busy: f64,
+    /// Inference pool: busy virtual time / (makespan × workers).
+    pub infer_busy: f64,
+}
+
+impl WorkerUtilization {
+    /// Idle fraction of the pre-processing pool.
+    pub fn preproc_idle(&self) -> f64 {
+        (1.0 - self.preproc_busy).max(0.0)
+    }
+
+    /// Idle fraction of the inference pool.
+    pub fn infer_idle(&self) -> f64 {
+        (1.0 - self.infer_busy).max(0.0)
+    }
+}
+
+/// The optional telemetry payload of a traced run: the merged frame
+/// lifecycle trace and the populated metrics registry.
+#[derive(Clone, Debug)]
+pub struct TelemetrySnapshot {
+    /// Merged, time-ordered lifecycle events
+    /// ([`Trace::chrome_trace_json`](hgpcn_telemetry::Trace::chrome_trace_json)
+    /// exports them for `chrome://tracing` / Perfetto).
+    pub trace: hgpcn_telemetry::Trace,
+    /// Counters, gauges and histograms
+    /// ([`Registry::prometheus_text`](hgpcn_telemetry::Registry::prometheus_text)
+    /// is the `/metrics` payload).
+    pub metrics: hgpcn_telemetry::Registry,
 }
 
 /// Micro-batching behaviour of one run's inference stage.
@@ -220,6 +420,18 @@ pub struct RuntimeReport {
     pub precision: &'static str,
     /// Micro-batching behaviour of the inference stage.
     pub batching: BatchingStats,
+    /// Aggregate per-stage attribution across all streams.
+    pub breakdown: StageBreakdown,
+    /// Worker-pool busy fractions over the virtual makespan.
+    pub utilization: WorkerUtilization,
+    /// Modeled ingress-queue occupancy time series (virtual clock).
+    pub ingress_depth: QueueDepthStats,
+    /// Modeled stage-queue occupancy time series (virtual clock).
+    pub stage_depth: QueueDepthStats,
+    /// Trace and metrics of the run, when telemetry was enabled
+    /// ([`RuntimeConfig::telemetry`](crate::RuntimeConfig::telemetry));
+    /// `None` for an untraced run.
+    pub telemetry: Option<TelemetrySnapshot>,
     /// Every completed frame's journey, sorted by `(stream, frame)`.
     pub records: Vec<FrameRecord>,
 }
@@ -325,6 +537,22 @@ impl fmt::Display for RuntimeReport {
             self.stage_queue.high_water,
             self.stage_queue.dropped,
         )?;
+        writeln!(
+            f,
+            "  modeled depth: ingress high-water {} @ {:.3} s, stage high-water {} @ {:.3} s",
+            self.ingress_depth.high_water,
+            self.ingress_depth.high_water_vts_s,
+            self.stage_depth.high_water,
+            self.stage_depth.high_water_vts_s,
+        )?;
+        writeln!(
+            f,
+            "  utilization: preproc {:.1}% busy / {:.1}% idle, infer {:.1}% busy / {:.1}% idle",
+            self.utilization.preproc_busy * 100.0,
+            self.utilization.preproc_idle() * 100.0,
+            self.utilization.infer_busy * 100.0,
+            self.utilization.infer_idle() * 100.0,
+        )?;
         if self.batching.batches > 0 {
             writeln!(
                 f,
@@ -351,6 +579,14 @@ impl fmt::Display for RuntimeReport {
             )?;
             writeln!(f, "      service: {}", s.service)?;
             writeln!(f, "      sojourn: {}", s.sojourn)?;
+            writeln!(
+                f,
+                "      stages:  preproc wait {} / service {}, infer wait {} / service {}",
+                s.breakdown.preproc_wait.mean,
+                s.breakdown.preproc_service.mean,
+                s.breakdown.infer_wait.mean,
+                s.breakdown.infer_service.mean,
+            )?;
         }
         Ok(())
     }
@@ -381,6 +617,105 @@ mod tests {
         let s = LatencySummary::from_samples(&[]);
         assert_eq!(s.max, Latency::ZERO);
         assert_eq!(s.mean, Latency::ZERO);
+    }
+
+    #[test]
+    fn summary_survives_nonfinite_samples() {
+        // Regression: summarization used partial_cmp().expect("finite
+        // latencies"), so a non-finite sample aborted the whole run's
+        // report. (`Latency::from_ns` rejects NaN at construction, so ∞
+        // — which it does admit — is the representative non-finite
+        // input; the internal f64 path is additionally NaN-safe via the
+        // filter + total_cmp.)
+        let samples = vec![ms(1.0), Latency::from_ns(f64::INFINITY), ms(2.0)];
+        let s = LatencySummary::from_samples(&samples);
+        assert_eq!(s.max, ms(2.0), "non-finite samples are excluded");
+        assert_eq!(s.p50, ms(2.0));
+        assert!((s.mean.ms() - 1.5).abs() < 1e-12);
+
+        let all_bad = vec![Latency::from_ns(f64::INFINITY)];
+        assert_eq!(
+            LatencySummary::from_samples(&all_bad).max,
+            Latency::ZERO,
+            "an all-non-finite population degrades to the empty summary"
+        );
+    }
+
+    #[test]
+    fn queue_depth_reconstruction() {
+        // Frames available at t=0,1,2; drained at t=1.5, 2.5, 3.5.
+        let stats = QueueDepthStats::from_deltas(vec![
+            (0.0, 1),
+            (1.0, 1),
+            (2.0, 1),
+            (1.5, -1),
+            (2.5, -1),
+            (3.5, -1),
+        ]);
+        assert_eq!(stats.high_water, 2);
+        assert_eq!(stats.high_water_vts_s, 1.0);
+        assert_eq!(stats.samples.last(), Some(&(3.5, 0)));
+    }
+
+    #[test]
+    fn queue_depth_ties_apply_departures_first() {
+        // Arrival and departure at the same instant: the frame went
+        // straight to an idle worker and never queued.
+        let stats = QueueDepthStats::from_deltas(vec![(1.0, 1), (1.0, -1), (1.0, 1)]);
+        assert_eq!(stats.high_water, 1);
+    }
+
+    fn record(arrival: f64, waits: [f64; 2], services: [f64; 2]) -> FrameRecord {
+        use hgpcn_memsim::OpCounts;
+        use hgpcn_system::PhaseReport;
+        let phase = |s: f64| PhaseReport {
+            latency: Latency::from_secs(s),
+            counts: OpCounts::default(),
+        };
+        let pre_start = arrival + waits[0];
+        let pre_done = pre_start + services[0];
+        let inf_start = pre_done + waits[1];
+        FrameRecord {
+            stream_id: 0,
+            frame_index: 0,
+            sensor_ts_s: arrival,
+            virtual_arrival_s: arrival,
+            virtual_preproc_start_s: pre_start,
+            virtual_preproc_done_s: pre_done,
+            virtual_infer_start_s: inf_start,
+            virtual_done_s: inf_start + services[1],
+            modeled: hgpcn_system::E2eReport {
+                preprocess: phase(services[0]),
+                inference: phase(services[1]),
+            },
+            preproc_ticket: 0,
+            inference_ticket: 0,
+            wall_preproc_s: 0.0,
+            wall_infer_s: 0.0,
+            wall_done: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn breakdown_telescopes_to_sojourn() {
+        let records = vec![
+            record(0.0, [0.1, 0.2], [0.3, 0.4]),
+            record(1.0, [0.0, 0.5], [0.25, 0.25]),
+        ];
+        let b = StageBreakdown::from_records(&records);
+        assert_eq!(b.frames, 2);
+        let sojourns: Vec<Latency> = records
+            .iter()
+            .map(|r| Latency::from_secs(r.virtual_done_s - r.virtual_arrival_s))
+            .collect();
+        let sojourn = LatencySummary::from_samples(&sojourns);
+        assert!(
+            (b.mean_sojourn().secs() - sojourn.mean.secs()).abs() < 1e-9,
+            "component means must telescope to the sojourn mean"
+        );
+        assert!((b.virtual_preproc_busy_s - 0.55).abs() < 1e-12);
+        assert!((b.virtual_infer_busy_s - 0.65).abs() < 1e-12);
+        assert!((b.virtual_wait_s - 0.8).abs() < 1e-12);
     }
 
     #[test]

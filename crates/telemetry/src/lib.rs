@@ -1,0 +1,84 @@
+//! `hgpcn-telemetry` — observability primitives for the serving stack.
+//!
+//! Three std-only layers, designed as a first-class seam every backend
+//! and pipeline stage reports through (the microkernel separation:
+//! instrumentation mechanism here, recording policy in the runtime):
+//!
+//! * **Frame-lifecycle tracing** ([`trace`]): per-worker
+//!   [`SpanRecorder`]s capture admit / enqueue / dequeue / preproc /
+//!   batch-coalesce / infer / complete / drop events on both the
+//!   *virtual* (modeled) and *wall* clocks. The hot path is mutex-free —
+//!   each worker owns its buffer — and buffers are merged into one
+//!   [`Trace`] at run end, exportable as Chrome trace-event JSON
+//!   loadable in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+//! * **Metrics** ([`registry`], [`histogram`]): a [`Registry`] of named
+//!   counters, gauges and log-bucketed streaming [`LogHistogram`]s with
+//!   Prometheus text-format and JSON snapshot exporters — the payload a
+//!   `/metrics` endpoint serves.
+//! * **Selection** ([`TelemetryMode`]): a zero-cost-when-off switch.
+//!   `Off` recorders drop every event before touching the wall clock;
+//!   `Auto` defers to the `HGPCN_TELEMETRY` environment variable.
+//!
+//! Everything recorded on the virtual clock is deterministic: two runs
+//! of the same deterministic workload with one worker per stage produce
+//! byte-identical virtual-clock trace JSON (see
+//! [`Trace::chrome_trace_json`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod registry;
+pub mod trace;
+
+pub use histogram::LogHistogram;
+pub use registry::{MetricKind, Registry};
+pub use trace::{EventKind, SpanRecorder, StageId, Trace, TraceCollector, TraceEvent, WorkerId};
+
+/// Whether the runtime records telemetry for a run.
+///
+/// `Auto` (the default) defers to the `HGPCN_TELEMETRY` environment
+/// variable: `1`, `on` or `true` (case-insensitive) enable recording,
+/// anything else — including an unset variable — disables it. `Off`
+/// and `On` pin the decision in config, overriding the environment.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TelemetryMode {
+    /// Read `HGPCN_TELEMETRY` at run start.
+    #[default]
+    Auto,
+    /// Never record (the no-op sink; zero cost on the hot path).
+    Off,
+    /// Always record.
+    On,
+}
+
+/// Name of the environment variable [`TelemetryMode::Auto`] reads.
+pub const TELEMETRY_ENV: &str = "HGPCN_TELEMETRY";
+
+impl TelemetryMode {
+    /// Resolves the mode to a concrete on/off decision.
+    pub fn is_enabled(self) -> bool {
+        match self {
+            TelemetryMode::Off => false,
+            TelemetryMode::On => true,
+            TelemetryMode::Auto => match std::env::var(TELEMETRY_ENV) {
+                Ok(v) => {
+                    let v = v.trim().to_ascii_lowercase();
+                    v == "1" || v == "on" || v == "true"
+                }
+                Err(_) => false,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinned_modes_ignore_environment() {
+        assert!(TelemetryMode::On.is_enabled());
+        assert!(!TelemetryMode::Off.is_enabled());
+    }
+}

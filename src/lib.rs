@@ -27,6 +27,10 @@
 //!   pipelined worker pools, multi-tenant admission, backpressure,
 //!   micro-batch coalescing into the SoA engine path, and per-stream
 //!   latency metrics over real threads;
+//! * [`telemetry`] — frame-lifecycle tracing (Chrome trace-event JSON
+//!   for Perfetto), a streaming metrics registry with Prometheus and
+//!   JSON exporters, and log-bucketed histograms — wired through the
+//!   runtime behind a zero-cost-when-off switch;
 //! * [`bench`](mod@bench) — regenerators for every table and figure of
 //!   the paper.
 //!
@@ -65,6 +69,7 @@ pub use hgpcn_pcn as pcn;
 pub use hgpcn_runtime as runtime;
 pub use hgpcn_sampling as sampling;
 pub use hgpcn_system as system;
+pub use hgpcn_telemetry as telemetry;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
@@ -78,7 +83,9 @@ pub mod prelude {
     };
     pub use hgpcn_runtime::{
         AdmissionPolicy, ArrivalModel, BackpressurePolicy, BatchingStats, KittiSource, Runtime,
-        RuntimeConfig, RuntimeReport, StreamSpec, SyntheticSource,
+        RuntimeConfig, RuntimeReport, StageBreakdown, StreamSpec, SyntheticSource,
+        TelemetrySnapshot,
     };
     pub use hgpcn_system::{E2ePipeline, InferenceEngine, PreprocessingEngine};
+    pub use hgpcn_telemetry::{LogHistogram, Registry, TelemetryMode, Trace};
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! bench_gate <baseline.json> <candidate.json> [--tolerance 0.15]
 //!            [--min-speedup X] [--min-int8-vs-f32 X]
+//!            [--min-telemetry-ratio X]
 //! ```
 //!
 //! Reads two `BENCH_runtime.json` files (the committed baseline and the
@@ -32,250 +33,25 @@
 //! * with `--min-speedup X`, additionally requires `speedup >= X`;
 //!   with `--min-int8-vs-f32 X`, requires
 //!   `int8_gmacs_vs_f32_blocked >= X` (the absolute floor behind the
-//!   "int8 beats the f32 blocked kernel" acceptance criterion).
+//!   "int8 beats the f32 blocked kernel" acceptance criterion);
+//!   with `--min-telemetry-ratio X`, requires `telemetry_on_vs_off >= X`
+//!   — the traced-over-untraced throughput ratio of the same batched
+//!   configuration, same-host like `speedup`, holding the telemetry
+//!   subsystem to its bounded-overhead claim.
 //!
 //! Absolute `wall_fps` values are printed for the record but never gated
 //! (a faster or slower runner generation would otherwise break CI).
 //!
-//! No dependencies: includes a small recursive-descent JSON parser.
+//! No dependencies: JSON parsing comes from the shared `minijson`
+//! module next to this file.
 
-use std::collections::BTreeMap;
-use std::fmt;
+#[path = "minijson.rs"]
+#[allow(dead_code)] // each tool uses a different slice of the parser API
+mod minijson;
+
 use std::process::ExitCode;
 
-/// Minimal JSON value.
-#[derive(Clone, Debug, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(BTreeMap<String, Json>),
-}
-
-impl Json {
-    /// Looks up a dotted path like `"batched.p95_service_ms"`.
-    fn path(&self, path: &str) -> Option<&Json> {
-        let mut cur = self;
-        for key in path.split('.') {
-            match cur {
-                Json::Obj(map) => cur = map.get(key)?,
-                _ => return None,
-            }
-        }
-        Some(cur)
-    }
-
-    fn num(&self, path: &str) -> Option<f64> {
-        match self.path(path)? {
-            Json::Num(v) => Some(*v),
-            _ => None,
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-#[derive(Debug)]
-struct ParseError {
-    pos: usize,
-    what: &'static str,
-}
-
-impl fmt::Display for ParseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON parse error at byte {}: {}", self.pos, self.what)
-    }
-}
-
-impl<'a> Parser<'a> {
-    fn new(s: &'a str) -> Parser<'a> {
-        Parser {
-            bytes: s.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn err(&self, what: &'static str) -> ParseError {
-        ParseError {
-            pos: self.pos,
-            what,
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, c: u8) -> Result<(), ParseError> {
-        self.skip_ws();
-        if self.peek() == Some(c) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err("unexpected character"))
-        }
-    }
-
-    fn parse(&mut self) -> Result<Json, ParseError> {
-        self.skip_ws();
-        match self.peek().ok_or_else(|| self.err("unexpected end"))? {
-            b'{' => self.object(),
-            b'[' => self.array(),
-            b'"' => Ok(Json::Str(self.string()?)),
-            b't' => self.literal("true", Json::Bool(true)),
-            b'f' => self.literal("false", Json::Bool(false)),
-            b'n' => self.literal("null", Json::Null),
-            _ => self.number(),
-        }
-    }
-
-    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(value)
-        } else {
-            Err(self.err("bad literal"))
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, ParseError> {
-        self.expect(b'{')?;
-        let mut map = BTreeMap::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(map));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.expect(b':')?;
-            let value = self.parse()?;
-            map.insert(key, value);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(map));
-                }
-                _ => return Err(self.err("expected ',' or '}'")),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, ParseError> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.parse()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(self.err("expected ',' or ']'")),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, ParseError> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek().ok_or_else(|| self.err("unterminated string"))? {
-                b'"' => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                b'\\' => {
-                    self.pos += 1;
-                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b't' => out.push('\t'),
-                        b'r' => out.push('\r'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or_else(|| self.err("bad \\u escape"))?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
-                                16,
-                            )
-                            .map_err(|_| self.err("bad \\u escape"))?;
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                            self.pos += 4;
-                        }
-                        _ => return Err(self.err("unknown escape")),
-                    }
-                }
-                c => {
-                    // Copy the raw byte run (UTF-8 passes through intact).
-                    let start = self.pos;
-                    while !matches!(self.peek(), None | Some(b'"' | b'\\')) {
-                        self.pos += 1;
-                    }
-                    let _ = c;
-                    out.push_str(
-                        std::str::from_utf8(&self.bytes[start..self.pos])
-                            .map_err(|_| self.err("invalid utf-8"))?,
-                    );
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, ParseError> {
-        let start = self.pos;
-        while matches!(
-            self.peek(),
-            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
-        ) {
-            self.pos += 1;
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
-            .map(Json::Num)
-            .ok_or_else(|| self.err("bad number"))
-    }
-}
-
-fn parse_json(text: &str) -> Result<Json, ParseError> {
-    let mut p = Parser::new(text);
-    let v = p.parse()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(p.err("trailing data"));
-    }
-    Ok(v)
-}
+use minijson::{parse_json, Json};
 
 fn load(path: &str) -> Result<Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -288,6 +64,7 @@ fn main() -> ExitCode {
     let mut tolerance = 0.15f64;
     let mut min_speedup: Option<f64> = None;
     let mut min_int8_vs_f32: Option<f64> = None;
+    let mut min_telemetry_ratio: Option<f64> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--tolerance" => {
@@ -309,13 +86,20 @@ fn main() -> ExitCode {
                         std::process::exit(2);
                     }))
             }
+            "--min-telemetry-ratio" => {
+                min_telemetry_ratio =
+                    Some(args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--min-telemetry-ratio needs a number");
+                        std::process::exit(2);
+                    }))
+            }
             other => paths.push(other.to_owned()),
         }
     }
     if paths.len() != 2 {
         eprintln!(
             "usage: bench_gate <baseline.json> <candidate.json> [--tolerance 0.15] \
-             [--min-speedup X] [--min-int8-vs-f32 X]"
+             [--min-speedup X] [--min-int8-vs-f32 X] [--min-telemetry-ratio X]"
         );
         return ExitCode::from(2);
     }
@@ -409,6 +193,20 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(floor) = min_telemetry_ratio {
+        match candidate.num("telemetry_on_vs_off") {
+            Some(v) if v >= floor => println!("ok   telemetry-ratio floor: {v:.3} >= {floor:.3}"),
+            Some(v) => {
+                eprintln!("FAIL telemetry-ratio floor: {v:.3} < {floor:.3}");
+                failures += 1;
+            }
+            None => {
+                eprintln!("FAIL telemetry-ratio floor: candidate has no telemetry_on_vs_off");
+                failures += 1;
+            }
+        }
+    }
+
     if let Some(floor) = min_speedup {
         match candidate.num("speedup") {
             Some(s) if s >= floor => println!("ok   speedup floor: {s:.3} >= {floor:.3}"),
@@ -431,6 +229,9 @@ fn main() -> ExitCode {
         "kernel_gmacs",
         "int8_gmacs",
         "int8_vs_f32_batched",
+        "telemetry.wall_fps",
+        "telemetry_on_vs_off",
+        "telemetry_events",
     ] {
         if let (Some(b), Some(c)) = (baseline.num(key), candidate.num(key)) {
             println!("info {key}: baseline {b:.2}, candidate {c:.2} (not gated)");
@@ -452,51 +253,5 @@ fn main() -> ExitCode {
     } else {
         println!("bench_gate: no regressions");
         ExitCode::SUCCESS
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn parses_nested_numbers() {
-        let j = parse_json(r#"{"a": {"b": 1.5, "c": [1, 2]}, "d": -3e2, "s": "x\ny"}"#).unwrap();
-        assert_eq!(j.num("a.b"), Some(1.5));
-        assert_eq!(j.num("d"), Some(-300.0));
-        assert_eq!(j.num("a.missing"), None);
-        assert_eq!(j.path("s"), Some(&Json::Str("x\ny".to_owned())));
-    }
-
-    #[test]
-    fn rejects_trailing_garbage() {
-        assert!(parse_json("{} x").is_err());
-        assert!(parse_json("{").is_err());
-        assert!(parse_json(r#"{"a"}"#).is_err());
-    }
-
-    #[test]
-    fn parses_real_schema() {
-        let j = parse_json(
-            r#"{
-  "bench": "runtime_batching",
-  "schema_version": 1,
-  "serial": {"frames": 32, "wall_fps": 24.0, "p95_service_ms": 3.17, "kernel_backend": "reference"},
-  "batched": {"frames": 32, "wall_fps": 35.0, "p95_service_ms": 3.17, "kernel_backend": "avx2"},
-  "kernel_backend": "avx2",
-  "kernel_gmacs": 21.7,
-  "kernel_gmacs_vs_reference": 2.6,
-  "speedup": 1.45
-}"#,
-        )
-        .unwrap();
-        assert_eq!(j.num("speedup"), Some(1.45));
-        assert_eq!(j.num("batched.p95_service_ms"), Some(3.17));
-        assert_eq!(j.num("kernel_gmacs"), Some(21.7));
-        assert_eq!(j.num("kernel_gmacs_vs_reference"), Some(2.6));
-        assert_eq!(
-            j.path("kernel_backend"),
-            Some(&Json::Str("avx2".to_owned()))
-        );
     }
 }

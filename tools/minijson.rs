@@ -1,0 +1,303 @@
+//! A minimal dependency-free JSON parser shared by the repository
+//! tools (`#[path]`-included by each binary). Recursive descent over
+//! the byte slice, everything into a [`Json`] tree with `BTreeMap`
+//! objects so traversal order is deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Minimal JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Looks up a dotted path like `"batched.p95_service_ms"`.
+    pub fn path(&self, path: &str) -> Option<&Json> {
+        let mut cur = self;
+        for key in path.split('.') {
+            match cur {
+                Json::Obj(map) => cur = map.get(key)?,
+                _ => return None,
+            }
+        }
+        Some(cur)
+    }
+
+    pub fn num(&self, path: &str) -> Option<f64> {
+        match self.path(path)? {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn str_at(&self, path: &str) -> Option<&str> {
+        match self.path(path)? {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn arr(&self, path: &str) -> Option<&[Json]> {
+        match self.path(path)? {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+pub struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+#[derive(Debug)]
+pub struct ParseError {
+    pos: usize,
+    what: &'static str,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.pos, self.what)
+    }
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, what: &'static str) -> ParseError {
+        ParseError {
+            pos: self.pos,
+            what,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err("unexpected character"))
+        }
+    }
+
+    fn parse(&mut self) -> Result<Json, ParseError> {
+        self.skip_ws();
+        match self.peek().ok_or_else(|| self.err("unexpected end"))? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("bad literal"))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.parse()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek().ok_or_else(|| self.err("unterminated string"))? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                c => {
+                    // Copy the raw byte run (UTF-8 passes through intact).
+                    let start = self.pos;
+                    while !matches!(self.peek(), None | Some(b'"' | b'\\')) {
+                        self.pos += 1;
+                    }
+                    let _ = c;
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid utf-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("bad number"))
+    }
+}
+
+pub fn parse_json(text: &str) -> Result<Json, ParseError> {
+    let mut p = Parser::new(text);
+    let v = p.parse()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data"));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_numbers() {
+        let j = parse_json(r#"{"a": {"b": 1.5, "c": [1, 2]}, "d": -3e2, "s": "x\ny"}"#).unwrap();
+        assert_eq!(j.num("a.b"), Some(1.5));
+        assert_eq!(j.num("d"), Some(-300.0));
+        assert_eq!(j.num("a.missing"), None);
+        assert_eq!(j.path("s"), Some(&Json::Str("x\ny".to_owned())));
+        assert_eq!(j.str_at("s"), Some("x\ny"));
+        assert_eq!(j.arr("a.c").map(<[Json]>::len), Some(2));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_json("{} x").is_err());
+        assert!(parse_json("{").is_err());
+        assert!(parse_json(r#"{"a"}"#).is_err());
+    }
+
+    #[test]
+    fn parses_real_schema() {
+        let j = parse_json(
+            r#"{
+  "bench": "runtime_batching",
+  "schema_version": 1,
+  "serial": {"frames": 32, "wall_fps": 24.0, "p95_service_ms": 3.17, "kernel_backend": "reference"},
+  "batched": {"frames": 32, "wall_fps": 35.0, "p95_service_ms": 3.17, "kernel_backend": "avx2"},
+  "kernel_backend": "avx2",
+  "kernel_gmacs": 21.7,
+  "kernel_gmacs_vs_reference": 2.6,
+  "speedup": 1.45
+}"#,
+        )
+        .unwrap();
+        assert_eq!(j.num("speedup"), Some(1.45));
+        assert_eq!(j.num("batched.p95_service_ms"), Some(3.17));
+        assert_eq!(j.num("kernel_gmacs"), Some(21.7));
+        assert_eq!(j.num("kernel_gmacs_vs_reference"), Some(2.6));
+        assert_eq!(
+            j.path("kernel_backend"),
+            Some(&Json::Str("avx2".to_owned()))
+        );
+    }
+}
