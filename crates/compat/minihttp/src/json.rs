@@ -1,0 +1,460 @@
+//! JSON tree, strict parser, deterministic serializer.
+//!
+//! Grown from the repository tools' `minijson.rs` parser with the
+//! hardening a network-facing layer needs: a nesting-depth cap (a
+//! `[[[[…` bomb fails with [`ParseError`] instead of overflowing the
+//! stack), strict number validation, and a serializer (`Display`) whose
+//! output is deterministic — objects are `BTreeMap`s, so two equal
+//! trees render byte-identically.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Maximum nesting depth [`parse`] accepts. Deep enough for any sane
+/// payload, shallow enough that the recursive parser cannot be driven
+/// to stack overflow by hostile input.
+pub const MAX_DEPTH: usize = 128;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; `BTreeMap` keeps traversal and render order
+    /// deterministic.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (impl Into<String>, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Looks up a dotted path like `"result.status"`.
+    pub fn path(&self, path: &str) -> Option<&Json> {
+        let mut cur = self;
+        for key in path.split('.') {
+            match cur {
+                Json::Obj(map) => cur = map.get(key)?,
+                _ => return None,
+            }
+        }
+        Some(cur)
+    }
+
+    /// The number at `path`, if present.
+    pub fn num(&self, path: &str) -> Option<f64> {
+        match self.path(path)? {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The number at `path` as a `usize`, if present, non-negative and
+    /// integral.
+    pub fn usize_at(&self, path: &str) -> Option<usize> {
+        let v = self.num(path)?;
+        (v >= 0.0 && v.fract() == 0.0 && v <= usize::MAX as f64).then_some(v as usize)
+    }
+
+    /// The string at `path`, if present.
+    pub fn str_at(&self, path: &str) -> Option<&str> {
+        match self.path(path)? {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean at `path`, if present.
+    pub fn bool_at(&self, path: &str) -> Option<bool> {
+        match self.path(path)? {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array at `path`, if present.
+    pub fn arr(&self, path: &str) -> Option<&[Json]> {
+        match self.path(path)? {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Json {
+        Json::Arr(v)
+    }
+}
+
+fn escape_into(out: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    out.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_fmt(format_args!("{c}"))?,
+        }
+    }
+    out.write_str("\"")
+}
+
+impl fmt::Display for Json {
+    /// Compact, deterministic rendering (no whitespace; object keys in
+    /// `BTreeMap` order). Non-finite numbers render as `null` — JSON
+    /// has no representation for them, and a serving layer must never
+    /// emit unparseable output.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(v) if v.is_finite() => write!(f, "{v}"),
+            Json::Num(_) => f.write_str("null"),
+            Json::Str(s) => escape_into(f, s),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(map) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    escape_into(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Why a parse failed (byte offset + reason).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub pos: usize,
+    /// Static reason.
+    pub what: &'static str,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.pos, self.what)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, what: &'static str) -> ParseError {
+        ParseError {
+            pos: self.pos,
+            what,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err("unexpected character"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.skip_ws();
+        match self.peek().ok_or_else(|| self.err("unexpected end"))? {
+            b'{' => self.object(depth),
+            b'[' => self.array(depth),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("bad literal"))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.value(depth + 1)?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek().ok_or_else(|| self.err("unterminated string"))? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Copy the raw byte run (UTF-8 passes through intact).
+                    let start = self.pos;
+                    while !matches!(self.peek(), None | Some(b'"' | b'\\')) {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid utf-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|v| v.is_finite())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("bad number"))
+    }
+}
+
+/// Parses `text` as one complete JSON document.
+///
+/// # Errors
+///
+/// [`ParseError`] on any syntax violation, trailing data, non-finite
+/// numbers, or nesting deeper than [`MAX_DEPTH`].
+pub fn parse(text: &str) -> Result<Json, ParseError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data"));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_values() {
+        let j =
+            parse(r#"{"a": {"b": 1.5, "c": [1, 2]}, "d": -3e2, "s": "x\ny", "t": true}"#).unwrap();
+        assert_eq!(j.num("a.b"), Some(1.5));
+        assert_eq!(j.num("d"), Some(-300.0));
+        assert_eq!(j.str_at("s"), Some("x\ny"));
+        assert_eq!(j.bool_at("t"), Some(true));
+        assert_eq!(j.arr("a.c").map(<[Json]>::len), Some(2));
+        assert_eq!(j.usize_at("a.b"), None, "1.5 is not integral");
+        assert_eq!(j.num("a.missing"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("{} x").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse(r#"{"a"}"#).is_err());
+        assert!(parse("").is_err());
+        assert!(parse("+-").is_err());
+        assert!(parse("1e999").is_err(), "non-finite numbers are rejected");
+    }
+
+    #[test]
+    fn depth_bomb_is_an_error_not_a_crash() {
+        let bomb = "[".repeat(100_000);
+        assert_eq!(parse(&bomb).unwrap_err().what, "nesting too deep");
+    }
+
+    #[test]
+    fn roundtrips_deterministically() {
+        let j = Json::obj([
+            ("b", Json::from(2.5)),
+            ("a", Json::from("he\"llo\n")),
+            (
+                "c",
+                Json::Arr(vec![Json::Null, Json::from(true), Json::from(3usize)]),
+            ),
+        ]);
+        let text = j.to_string();
+        assert_eq!(text, r#"{"a":"he\"llo\n","b":2.5,"c":[null,true,3]}"#);
+        assert_eq!(parse(&text).unwrap(), j);
+        assert_eq!(parse(&text).unwrap().to_string(), text);
+    }
+
+    #[test]
+    fn nonfinite_numbers_render_as_null() {
+        assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn control_chars_escape_to_unicode() {
+        assert_eq!(Json::str("\u{1}").to_string(), "\"\\u0001\"");
+    }
+}

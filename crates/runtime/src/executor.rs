@@ -1,7 +1,9 @@
-//! The stage-pipelined executor: real threads driving the two HgPCN
-//! engines over bounded queues.
+//! The batch runtime front end: run a pre-registered fleet of
+//! [`FrameSource`](crate::FrameSource) streams to completion.
 //!
-//! Thread topology (all threads are scoped; the run owns everything):
+//! Thread topology (identical for the batch runner and the live
+//! [`ServingRuntime`](crate::ServingRuntime) — both execute the
+//! session core's worker loops):
 //!
 //! ```text
 //! admission ──► [ingress queue] ──► preproc pool ──► [stage queue] ──► inference pool ──► records
@@ -21,75 +23,21 @@
 //! frame-to-worker assignment and may shift virtual queueing times
 //! slightly between runs.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::thread;
-use std::time::Instant;
+use hgpcn_pcn::PointNet;
+use hgpcn_system::E2ePipeline;
 
-use hgpcn_geometry::PointCloud;
-use hgpcn_pcn::{PointNet, Precision};
-use hgpcn_system::{E2ePipeline, E2eReport, InferenceReport, PhaseReport, SystemError};
-use hgpcn_telemetry::{EventKind, Registry, SpanRecorder, TraceCollector, WorkerId};
+use crate::config::RuntimeConfig;
+use crate::metrics::RuntimeReport;
+use crate::stream::StreamSpec;
+use crate::RuntimeError;
 
-use crate::config::{ArrivalModel, BackpressurePolicy, RuntimeConfig};
-use crate::metrics::{
-    BatchingStats, FrameRecord, LatencySummary, QueueDepthStats, QueueStats, RuntimeReport,
-    StageBreakdown, StreamReport, TelemetrySnapshot, WorkerUtilization,
-};
-use crate::queue::BoundedQueue;
-use crate::scheduler::Scheduler;
-use crate::stream::{StreamSpec, TimedFrame};
-use crate::{frame_seed, RuntimeError};
-
-/// A frame admitted to the pre-processing stage.
-#[derive(Debug)]
-struct PreprocJob {
-    frame: TimedFrame,
-    virtual_arrival_s: f64,
-}
-
-/// A pre-processed frame awaiting inference.
-#[derive(Debug)]
-struct StageJob {
-    stream_id: usize,
-    frame_index: usize,
-    sensor_ts_s: f64,
-    virtual_arrival_s: f64,
-    virtual_preproc_start_s: f64,
-    virtual_preproc_done_s: f64,
-    preproc_ticket: u64,
-    wall_preproc_s: f64,
-    sampled: PointCloud,
-    pre_phase: PhaseReport,
-}
-
-/// What the admission thread reports back when it finishes.
-struct AdmissionOutcome {
-    offered: Vec<usize>,
-    dropped: Vec<usize>,
-    stream_info: Vec<(String, f64)>,
-}
-
-/// Closes both queues if the holding thread unwinds, so a panic in any
-/// pipeline thread (e.g. a user-supplied `FrameSource` panicking inside
-/// the admission loop) releases workers blocked on queue condvars
-/// instead of deadlocking `Runtime::run`; the panic then propagates
-/// through the scope joins.
-struct PanicGuard<'a, A, B> {
-    ingress: &'a BoundedQueue<A>,
-    stage: &'a BoundedQueue<B>,
-}
-
-impl<A, B> Drop for PanicGuard<'_, A, B> {
-    fn drop(&mut self) {
-        if thread::panicking() {
-            self.ingress.close_and_clear();
-            self.stage.close_and_clear();
-        }
-    }
-}
-
-/// The concurrent multi-stream serving runtime.
+/// The concurrent multi-stream serving runtime, batch front end.
+///
+/// Drives the session core to completion over a
+/// fixed fleet; for open-ended serving (submit frames one at a time,
+/// poll results, live stats) use
+/// [`ServingRuntime`](crate::ServingRuntime) — the two share the worker
+/// loops, so their per-frame results are bit-identical.
 #[derive(Debug)]
 pub struct Runtime {
     config: RuntimeConfig,
@@ -142,781 +90,16 @@ impl Runtime {
         streams: Vec<StreamSpec>,
         net: &PointNet,
     ) -> Result<RuntimeReport, RuntimeError> {
+        // `new()` already validated, but `run_with_pipeline` is also the
+        // funnel for configs arriving by other roads (e.g. a
+        // deserialized server config) — validating here keeps "reject,
+        // don't panic in a worker" true for every entry point.
+        self.config.validate()?;
         if streams.is_empty() {
             return Err(RuntimeError::NoStreams);
         }
-        let stream_count = streams.len();
-        let config = &self.config;
-        // Effective per-stream inference tier: the stream's override,
-        // or the runtime default. Resolved once — workers index it by
-        // stream id.
-        let precisions: Vec<Precision> = streams
-            .iter()
-            .map(|s| s.precision.unwrap_or(config.precision))
-            .collect();
-
-        let ingress: BoundedQueue<PreprocJob> = BoundedQueue::new(config.queue_capacity);
-        let stage: BoundedQueue<StageJob> = BoundedQueue::new(config.queue_capacity);
-        let records: Mutex<Vec<FrameRecord>> = Mutex::new(Vec::new());
-        let batch_sizes: Mutex<Vec<usize>> = Mutex::new(Vec::new());
-        let first_error: Mutex<Option<RuntimeError>> = Mutex::new(None);
-        let preproc_live = AtomicUsize::new(config.preproc_workers);
-        let started = Instant::now();
-        // Resolved once per run: `Auto` reads the environment here, not
-        // per event. When off, every SpanRecorder is a no-op sink.
-        let traced = config.telemetry.is_enabled();
-        let collector = TraceCollector::new();
-
-        let fail = |err: RuntimeError| {
-            let mut slot = first_error.lock().expect("error slot poisoned");
-            if slot.is_none() {
-                *slot = Some(err);
-            }
-            // Unwind the whole pipeline, discarding backlogged work —
-            // its results would be thrown away with the run anyway.
-            ingress.close_and_clear();
-            stage.close_and_clear();
-        };
-
-        let admission_outcome: Option<AdmissionOutcome>;
-        {
-            let mut scheduler = Scheduler::new(streams, config.admission);
-            admission_outcome = thread::scope(|s| {
-                // --- Admission: scheduler → ingress queue. ---
-                let admission = s.spawn(|| {
-                    let _guard = PanicGuard {
-                        ingress: &ingress,
-                        stage: &stage,
-                    };
-                    let mut recorder = SpanRecorder::new(WorkerId::admission(), started, traced);
-                    let mut offered = vec![0usize; stream_count];
-                    let mut dropped = vec![0usize; stream_count];
-                    while let Some(frame) = scheduler.next_frame() {
-                        offered[frame.stream_id] += 1;
-                        let virtual_arrival_s = match config.arrival {
-                            ArrivalModel::Sensor => frame.sensor_ts_s,
-                            ArrivalModel::Backlogged => 0.0,
-                        };
-                        recorder.record(
-                            EventKind::Admit,
-                            frame.stream_id,
-                            frame.frame_index,
-                            virtual_arrival_s,
-                        );
-                        let job = PreprocJob {
-                            frame,
-                            virtual_arrival_s,
-                        };
-                        match config.backpressure {
-                            BackpressurePolicy::Block => {
-                                let (sid, fidx) = (job.frame.stream_id, job.frame.frame_index);
-                                if ingress.push_blocking(job).is_err() {
-                                    break; // shutdown under way
-                                }
-                                recorder.record(EventKind::Enqueue, sid, fidx, virtual_arrival_s);
-                            }
-                            BackpressurePolicy::DropOldest => {
-                                let (sid, fidx) = (job.frame.stream_id, job.frame.frame_index);
-                                match ingress.push_drop_oldest(job) {
-                                    Ok(Some(evicted)) => {
-                                        dropped[evicted.frame.stream_id] += 1;
-                                        recorder.record(
-                                            EventKind::Drop,
-                                            evicted.frame.stream_id,
-                                            evicted.frame.frame_index,
-                                            evicted.virtual_arrival_s,
-                                        );
-                                        recorder.record(
-                                            EventKind::Enqueue,
-                                            sid,
-                                            fidx,
-                                            virtual_arrival_s,
-                                        );
-                                    }
-                                    Ok(None) => {
-                                        recorder.record(
-                                            EventKind::Enqueue,
-                                            sid,
-                                            fidx,
-                                            virtual_arrival_s,
-                                        );
-                                    }
-                                    Err(_) => break,
-                                }
-                            }
-                        }
-                    }
-                    ingress.close();
-                    collector.submit(recorder);
-                    AdmissionOutcome {
-                        offered,
-                        dropped,
-                        stream_info: scheduler.into_stream_info(),
-                    }
-                });
-
-                // --- Pre-processing pool: ingress → stage queue. ---
-                let preproc_handles: Vec<_> = (0..config.preproc_workers)
-                    .map(|w| {
-                        // Re-borrow shared state so the `move` closure
-                        // (needed for the worker index) captures
-                        // references, not the values themselves.
-                        let (ingress, stage) = (&ingress, &stage);
-                        let (collector, fail) = (&collector, &fail);
-                        let preproc_live = &preproc_live;
-                        s.spawn(move || {
-                            let _guard = PanicGuard { ingress, stage };
-                            let mut recorder =
-                                SpanRecorder::new(WorkerId::preproc(w), started, traced);
-                            let mut vclock = 0.0f64;
-                            while let Some((job, ticket)) = ingress.pop() {
-                                let PreprocJob {
-                                    frame,
-                                    virtual_arrival_s,
-                                } = job;
-                                recorder.record(
-                                    EventKind::Dequeue,
-                                    frame.stream_id,
-                                    frame.frame_index,
-                                    virtual_arrival_s,
-                                );
-                                let seed =
-                                    frame_seed(config.seed, frame.stream_id, frame.frame_index);
-                                let wall0 = Instant::now();
-                                match pipeline
-                                    .preproc
-                                    .run(&frame.cloud, config.target_points, seed)
-                                {
-                                    Ok(out) => {
-                                        let wall_preproc_s = wall0.elapsed().as_secs_f64();
-                                        let latency = out.total_latency();
-                                        let counts = out.total_counts();
-                                        let start = vclock.max(virtual_arrival_s);
-                                        let done = start + latency.secs();
-                                        vclock = done;
-                                        recorder.record(
-                                            EventKind::PreprocStart,
-                                            frame.stream_id,
-                                            frame.frame_index,
-                                            start,
-                                        );
-                                        recorder.record(
-                                            EventKind::PreprocEnd,
-                                            frame.stream_id,
-                                            frame.frame_index,
-                                            done,
-                                        );
-                                        let stage_job = StageJob {
-                                            stream_id: frame.stream_id,
-                                            frame_index: frame.frame_index,
-                                            sensor_ts_s: frame.sensor_ts_s,
-                                            virtual_arrival_s,
-                                            virtual_preproc_start_s: start,
-                                            virtual_preproc_done_s: done,
-                                            preproc_ticket: ticket,
-                                            wall_preproc_s,
-                                            sampled: out.sampled,
-                                            pre_phase: PhaseReport { latency, counts },
-                                        };
-                                        let (sid, fidx) = (frame.stream_id, frame.frame_index);
-                                        if stage.push_blocking(stage_job).is_err() {
-                                            break; // shutdown under way
-                                        }
-                                        recorder.record(EventKind::Enqueue, sid, fidx, done);
-                                    }
-                                    Err(err) => {
-                                        fail(frame_error(&frame, err));
-                                        break;
-                                    }
-                                }
-                            }
-                            if preproc_live.fetch_sub(1, Ordering::AcqRel) == 1 {
-                                stage.close();
-                            }
-                            collector.submit(recorder);
-                        })
-                    })
-                    .collect();
-
-                // --- Inference pool: stage queue → records. ---
-                // `max_batch == 1` runs the legacy per-frame engine call;
-                // `>= 2` coalesces micro-batches into the SoA path, whose
-                // per-frame results are bit-identical by construction.
-                let inference_handles: Vec<_> = (0..config.inference_workers)
-                    .map(|w| {
-                        let (ingress, stage) = (&ingress, &stage);
-                        let (collector, fail) = (&collector, &fail);
-                        let (records, batch_sizes) = (&records, &batch_sizes);
-                        let precisions = &precisions;
-                        s.spawn(move || {
-                            let _guard = PanicGuard { ingress, stage };
-                            let mut recorder =
-                                SpanRecorder::new(WorkerId::inference(w), started, traced);
-                            let mut vclock = 0.0f64;
-                            if config.max_batch <= 1 {
-                                while let Some((job, ticket)) = stage.pop() {
-                                    recorder.record(
-                                        EventKind::Dequeue,
-                                        job.stream_id,
-                                        job.frame_index,
-                                        job.virtual_preproc_done_s,
-                                    );
-                                    let seed =
-                                        frame_seed(config.seed, job.stream_id, job.frame_index);
-                                    let wall0 = Instant::now();
-                                    match pipeline.inference.run_with_precision(
-                                        &job.sampled,
-                                        net,
-                                        seed,
-                                        precisions[job.stream_id],
-                                    ) {
-                                        Ok(inf) => {
-                                            let record = finish_frame(
-                                                job,
-                                                ticket,
-                                                &inf,
-                                                &mut vclock,
-                                                started,
-                                                wall0.elapsed().as_secs_f64(),
-                                                &mut recorder,
-                                            );
-                                            records
-                                                .lock()
-                                                .expect("record sink poisoned")
-                                                .push(record);
-                                        }
-                                        Err(err) => {
-                                            fail(RuntimeError::Frame {
-                                                stream_id: job.stream_id,
-                                                frame_index: job.frame_index,
-                                                source: err,
-                                            });
-                                            break;
-                                        }
-                                    }
-                                }
-                                collector.submit(recorder);
-                                return;
-                            }
-
-                            // Running estimate of per-frame modeled
-                            // inference latency, for the deadline cap.
-                            let mut est_latency_s = 0.0f64;
-                            'work: while let Some(first) = stage.pop() {
-                                recorder.record(
-                                    EventKind::Dequeue,
-                                    first.0.stream_id,
-                                    first.0.frame_index,
-                                    first.0.virtual_preproc_done_s,
-                                );
-                                // The first frame is taken blocking; the
-                                // rest of the micro-batch only drains
-                                // whatever is already queued, up to the
-                                // deadline-aware ceiling — a frame never
-                                // waits for companions.
-                                let allowed = if !config.batch_deadline_s.is_finite() {
-                                    config.max_batch
-                                } else if est_latency_s <= 0.0 {
-                                    1 // prime the estimator on one frame
-                                } else {
-                                    ((config.batch_deadline_s / est_latency_s) as usize)
-                                        .clamp(1, config.max_batch)
-                                };
-                                let mut batch = vec![first];
-                                while batch.len() < allowed {
-                                    match stage.try_pop() {
-                                        Some(next) => {
-                                            recorder.record(
-                                                EventKind::Dequeue,
-                                                next.0.stream_id,
-                                                next.0.frame_index,
-                                                next.0.virtual_preproc_done_s,
-                                            );
-                                            batch.push(next);
-                                        }
-                                        None => break,
-                                    }
-                                }
-                                recorder.record_detail(
-                                    EventKind::BatchCoalesce,
-                                    batch[0].0.stream_id,
-                                    batch[0].0.frame_index,
-                                    batch[0].0.virtual_preproc_done_s,
-                                    batch.len() as u32,
-                                );
-
-                                // Partition the drained micro-batch by
-                                // effective precision: each engine call
-                                // is single-tier (the SoA GEMMs cannot
-                                // mix operand widths), but frames still
-                                // finish — and advance the virtual
-                                // clock — in dequeue order, so mixing
-                                // tiers never reorders a stream.
-                                let mut reports: Vec<Option<InferenceReport>> =
-                                    batch.iter().map(|_| None).collect();
-                                // Per-frame share of the tier call's host
-                                // wall time (split evenly — the SoA path
-                                // serves the whole sub-batch in one pass).
-                                let mut walls: Vec<f64> = vec![0.0; batch.len()];
-                                let mut tier_failed = false;
-                                for tier in [Precision::F32, Precision::Int8] {
-                                    let idxs: Vec<usize> = (0..batch.len())
-                                        .filter(|&i| precisions[batch[i].0.stream_id] == tier)
-                                        .collect();
-                                    if idxs.is_empty() {
-                                        continue;
-                                    }
-                                    let inputs: Vec<&PointCloud> =
-                                        idxs.iter().map(|&i| &batch[i].0.sampled).collect();
-                                    let seeds: Vec<u64> = idxs
-                                        .iter()
-                                        .map(|&i| {
-                                            let j = &batch[i].0;
-                                            frame_seed(config.seed, j.stream_id, j.frame_index)
-                                        })
-                                        .collect();
-                                    let wall0 = Instant::now();
-                                    match pipeline
-                                        .inference
-                                        .run_batch_with_precision(&inputs, net, &seeds, tier)
-                                    {
-                                        Ok(rs) => {
-                                            let share =
-                                                wall0.elapsed().as_secs_f64() / idxs.len() as f64;
-                                            batch_sizes
-                                                .lock()
-                                                .expect("batch stats poisoned")
-                                                .push(idxs.len());
-                                            for (slot, r) in idxs.into_iter().zip(rs) {
-                                                walls[slot] = share;
-                                                reports[slot] = Some(r);
-                                            }
-                                        }
-                                        Err(_) => {
-                                            tier_failed = true;
-                                            break;
-                                        }
-                                    }
-                                }
-                                if !tier_failed {
-                                    let mut sink = records.lock().expect("record sink poisoned");
-                                    for (i, ((job, ticket), inf)) in
-                                        batch.into_iter().zip(&reports).enumerate()
-                                    {
-                                        let inf =
-                                            inf.as_ref().expect("every tier ran or we bailed");
-                                        let lat = inf.total_latency().secs();
-                                        est_latency_s = if est_latency_s <= 0.0 {
-                                            lat
-                                        } else {
-                                            0.5 * (est_latency_s + lat)
-                                        };
-                                        sink.push(finish_frame(
-                                            job,
-                                            ticket,
-                                            inf,
-                                            &mut vclock,
-                                            started,
-                                            walls[i],
-                                            &mut recorder,
-                                        ));
-                                    }
-                                } else {
-                                    // Attribute the failure: re-run the
-                                    // batch serially (deterministic, so
-                                    // healthy frames reproduce exactly)
-                                    // and fail on the culprit.
-                                    for (job, ticket) in batch {
-                                        let seed =
-                                            frame_seed(config.seed, job.stream_id, job.frame_index);
-                                        let wall0 = Instant::now();
-                                        match pipeline.inference.run_with_precision(
-                                            &job.sampled,
-                                            net,
-                                            seed,
-                                            precisions[job.stream_id],
-                                        ) {
-                                            Ok(inf) => {
-                                                let record = finish_frame(
-                                                    job,
-                                                    ticket,
-                                                    &inf,
-                                                    &mut vclock,
-                                                    started,
-                                                    wall0.elapsed().as_secs_f64(),
-                                                    &mut recorder,
-                                                );
-                                                records
-                                                    .lock()
-                                                    .expect("record sink poisoned")
-                                                    .push(record);
-                                            }
-                                            Err(err) => {
-                                                fail(RuntimeError::Frame {
-                                                    stream_id: job.stream_id,
-                                                    frame_index: job.frame_index,
-                                                    source: err,
-                                                });
-                                                break 'work;
-                                            }
-                                        }
-                                    }
-                                }
-                            }
-                            collector.submit(recorder);
-                        })
-                    })
-                    .collect();
-
-                let outcome = admission.join().expect("admission thread panicked");
-                for h in preproc_handles {
-                    h.join().expect("preprocessing worker panicked");
-                }
-                for h in inference_handles {
-                    h.join().expect("inference worker panicked");
-                }
-                Some(outcome)
-            });
-        }
-
-        if let Some(err) = first_error.into_inner().expect("error slot poisoned") {
-            return Err(err);
-        }
-        let outcome = admission_outcome.expect("admission outcome missing");
-        let mut records = records.into_inner().expect("record sink poisoned");
-        records.sort_by_key(|r| (r.stream_id, r.frame_index));
-
-        let sizes = batch_sizes.into_inner().expect("batch stats poisoned");
-        let mut report = assemble_report(
-            config,
-            net.kernel().name(),
-            &precisions,
-            &outcome,
-            records,
-            QueueStats {
-                high_water: ingress.high_water(),
-                dropped: ingress.dropped(),
-            },
-            QueueStats {
-                high_water: stage.high_water(),
-                dropped: stage.dropped(),
-            },
-            BatchingStats::from_sizes(config.max_batch, &sizes),
-            started.elapsed(),
-        );
-        if traced {
-            report.telemetry = Some(TelemetrySnapshot {
-                trace: collector.finish(),
-                metrics: build_registry(&report),
-            });
-        }
-        Ok(report)
+        crate::session::run_batch(&self.config, pipeline, streams, net)
     }
-}
-
-/// Advances the worker's virtual clock past `job` and records its
-/// journey. Shared by the serial and batched inference paths — within a
-/// micro-batch, frames advance the clock in dequeue order, so the
-/// modeled timeline of a batched run matches the serial one exactly.
-fn finish_frame(
-    job: StageJob,
-    inference_ticket: u64,
-    inf: &InferenceReport,
-    vclock: &mut f64,
-    started: Instant,
-    wall_infer_s: f64,
-    recorder: &mut SpanRecorder,
-) -> FrameRecord {
-    let latency = inf.total_latency();
-    let start = vclock.max(job.virtual_preproc_done_s);
-    let done = start + latency.secs();
-    *vclock = done;
-    recorder.record(EventKind::InferStart, job.stream_id, job.frame_index, start);
-    recorder.record(EventKind::InferEnd, job.stream_id, job.frame_index, done);
-    recorder.record(EventKind::Complete, job.stream_id, job.frame_index, done);
-    FrameRecord {
-        stream_id: job.stream_id,
-        frame_index: job.frame_index,
-        sensor_ts_s: job.sensor_ts_s,
-        virtual_arrival_s: job.virtual_arrival_s,
-        virtual_preproc_start_s: job.virtual_preproc_start_s,
-        virtual_preproc_done_s: job.virtual_preproc_done_s,
-        virtual_infer_start_s: start,
-        virtual_done_s: done,
-        modeled: E2eReport {
-            preprocess: job.pre_phase,
-            inference: PhaseReport {
-                latency,
-                counts: inf.total_counts(),
-            },
-        },
-        preproc_ticket: job.preproc_ticket,
-        inference_ticket,
-        wall_preproc_s: job.wall_preproc_s,
-        wall_infer_s,
-        wall_done: started.elapsed(),
-    }
-}
-
-fn frame_error(frame: &TimedFrame, source: SystemError) -> RuntimeError {
-    RuntimeError::Frame {
-        stream_id: frame.stream_id,
-        frame_index: frame.frame_index,
-        source,
-    }
-}
-
-// One parameter per report ingredient; bundling them would only move
-// the argument list into a single-use struct.
-#[allow(clippy::too_many_arguments)]
-fn assemble_report(
-    config: &RuntimeConfig,
-    kernel_backend: &'static str,
-    precisions: &[Precision],
-    outcome: &AdmissionOutcome,
-    records: Vec<FrameRecord>,
-    ingress_queue: QueueStats,
-    stage_queue: QueueStats,
-    batching: BatchingStats,
-    wall_elapsed: std::time::Duration,
-) -> RuntimeReport {
-    use hgpcn_memsim::Latency;
-
-    let stream_count = outcome.stream_info.len();
-    let mut streams = Vec::with_capacity(stream_count);
-    for (id, precision) in precisions.iter().enumerate().take(stream_count) {
-        let mine: Vec<&FrameRecord> = records.iter().filter(|r| r.stream_id == id).collect();
-        let service: Vec<Latency> = mine.iter().map(|r| r.modeled.total()).collect();
-        let sojourn: Vec<Latency> = mine
-            .iter()
-            .map(|r| Latency::from_secs((r.virtual_done_s - r.virtual_arrival_s).max(0.0)))
-            .collect();
-        let achieved_fps = match mine.first() {
-            Some(first) => {
-                let span = mine
-                    .iter()
-                    .map(|r| r.virtual_done_s)
-                    .fold(f64::NEG_INFINITY, f64::max)
-                    - first.virtual_arrival_s;
-                if span > 1e-12 {
-                    mine.len() as f64 / span
-                } else {
-                    0.0
-                }
-            }
-            None => 0.0,
-        };
-        let (name, sensor_fps) = outcome.stream_info[id].clone();
-        streams.push(StreamReport {
-            stream_id: id,
-            name,
-            offered: outcome.offered[id],
-            completed: mine.len(),
-            dropped: outcome.dropped[id],
-            sensor_fps,
-            precision: precision.name(),
-            achieved_fps,
-            service: LatencySummary::from_samples(&service),
-            sojourn: LatencySummary::from_samples(&sojourn),
-            breakdown: StageBreakdown::from_records(mine.iter().copied()),
-        });
-    }
-
-    let earliest_arrival = records
-        .iter()
-        .map(|r| r.virtual_arrival_s)
-        .fold(f64::INFINITY, f64::min);
-    let latest_done = records
-        .iter()
-        .map(|r| r.virtual_done_s)
-        .fold(0.0f64, f64::max);
-    let virtual_makespan_s = if records.is_empty() {
-        0.0
-    } else {
-        (latest_done - earliest_arrival).max(0.0)
-    };
-    let modeled_pipelined_fps = if virtual_makespan_s > 1e-12 {
-        records.len() as f64 / virtual_makespan_s
-    } else {
-        0.0
-    };
-
-    let precision = match precisions {
-        [] => Precision::F32.name(),
-        [first, rest @ ..] if rest.iter().all(|p| p == first) => first.name(),
-        _ => "mixed",
-    };
-
-    let breakdown = StageBreakdown::from_records(&records);
-    let utilization = if virtual_makespan_s > 1e-12 {
-        WorkerUtilization {
-            preproc_busy: breakdown.virtual_preproc_busy_s
-                / (virtual_makespan_s * config.preproc_workers as f64),
-            infer_busy: breakdown.virtual_infer_busy_s
-                / (virtual_makespan_s * config.inference_workers as f64),
-        }
-    } else {
-        WorkerUtilization::default()
-    };
-    let ingress_depth = QueueDepthStats::from_deltas(
-        records
-            .iter()
-            .flat_map(|r| [(r.virtual_arrival_s, 1), (r.virtual_preproc_start_s, -1)])
-            .collect(),
-    );
-    let stage_depth = QueueDepthStats::from_deltas(
-        records
-            .iter()
-            .flat_map(|r| [(r.virtual_preproc_done_s, 1), (r.virtual_infer_start_s, -1)])
-            .collect(),
-    );
-
-    RuntimeReport {
-        streams,
-        total_frames: records.len(),
-        total_dropped: outcome.dropped.iter().sum(),
-        preproc_workers: config.preproc_workers,
-        inference_workers: config.inference_workers,
-        ingress_queue,
-        stage_queue,
-        virtual_makespan_s,
-        modeled_pipelined_fps,
-        wall_elapsed,
-        kernel_backend,
-        precision,
-        batching,
-        breakdown,
-        utilization,
-        ingress_depth,
-        stage_depth,
-        telemetry: None,
-        records,
-    }
-}
-
-/// Populates the metrics registry from a finished report: frame
-/// counters and achieved-FPS gauges per stream, run-level throughput
-/// and utilization gauges, and per-stage service / queue-wait /
-/// sojourn / queue-depth histograms. Everything here derives from the
-/// deterministic virtual timeline except the two `wall` gauges.
-fn build_registry(report: &RuntimeReport) -> Registry {
-    let mut reg = Registry::new();
-    for s in &report.streams {
-        let labels = [("stream", s.name.as_str())];
-        reg.counter_add(
-            "hgpcn_frames_offered_total",
-            "Frames offered by stream sources",
-            &labels,
-            s.offered as u64,
-        );
-        reg.counter_add(
-            "hgpcn_frames_completed_total",
-            "Frames completing inference",
-            &labels,
-            s.completed as u64,
-        );
-        reg.counter_add(
-            "hgpcn_frames_dropped_total",
-            "Frames evicted by backpressure",
-            &labels,
-            s.dropped as u64,
-        );
-        reg.gauge_set(
-            "hgpcn_stream_achieved_fps",
-            "Per-stream achieved virtual-clock throughput",
-            &labels,
-            s.achieved_fps,
-        );
-    }
-    reg.gauge_set(
-        "hgpcn_modeled_fps",
-        "Achieved virtual-clock throughput of the run",
-        &[],
-        report.modeled_pipelined_fps,
-    );
-    reg.gauge_set(
-        "hgpcn_wall_fps",
-        "Host wall-clock throughput of the run",
-        &[],
-        report.wall_fps(),
-    );
-    reg.gauge_set(
-        "hgpcn_virtual_makespan_seconds",
-        "Virtual time from first arrival to last completion",
-        &[],
-        report.virtual_makespan_s,
-    );
-    for (stage, busy) in [
-        ("preproc", report.utilization.preproc_busy),
-        ("infer", report.utilization.infer_busy),
-    ] {
-        reg.gauge_set(
-            "hgpcn_worker_busy_ratio",
-            "Worker-pool busy fraction over the virtual makespan",
-            &[("stage", stage)],
-            busy,
-        );
-    }
-    for r in &report.records {
-        reg.histogram_record(
-            "hgpcn_stage_service_seconds",
-            "Modeled per-stage service time",
-            &[("stage", "preproc")],
-            r.virtual_preproc_done_s - r.virtual_preproc_start_s,
-        );
-        reg.histogram_record(
-            "hgpcn_stage_service_seconds",
-            "Modeled per-stage service time",
-            &[("stage", "infer")],
-            r.virtual_done_s - r.virtual_infer_start_s,
-        );
-        reg.histogram_record(
-            "hgpcn_queue_wait_seconds",
-            "Modeled time queued between stages",
-            &[("queue", "ingress")],
-            r.virtual_preproc_start_s - r.virtual_arrival_s,
-        );
-        reg.histogram_record(
-            "hgpcn_queue_wait_seconds",
-            "Modeled time queued between stages",
-            &[("queue", "stage")],
-            r.virtual_infer_start_s - r.virtual_preproc_done_s,
-        );
-        reg.histogram_record(
-            "hgpcn_sojourn_seconds",
-            "Modeled end-to-end frame sojourn",
-            &[],
-            r.virtual_done_s - r.virtual_arrival_s,
-        );
-    }
-    for (queue, depth) in [
-        ("ingress", &report.ingress_depth),
-        ("stage", &report.stage_depth),
-    ] {
-        for &(_, d) in &depth.samples {
-            reg.histogram_record(
-                "hgpcn_queue_depth",
-                "Modeled queue occupancy after each change",
-                &[("queue", queue)],
-                d as f64,
-            );
-        }
-    }
-    if report.batching.batches > 0 {
-        reg.counter_add(
-            "hgpcn_micro_batches_total",
-            "Micro-batches the inference pool executed",
-            &[],
-            report.batching.batches as u64,
-        );
-        reg.gauge_set(
-            "hgpcn_mean_batch_size",
-            "Mean frames per micro-batch",
-            &[],
-            report.batching.mean_batch_size,
-        );
-    }
-    reg
 }
 
 #[cfg(test)]

@@ -74,6 +74,7 @@ mod executor;
 mod metrics;
 mod queue;
 mod scheduler;
+pub(crate) mod session;
 mod stream;
 
 pub use config::{AdmissionPolicy, ArrivalModel, BackpressurePolicy, RuntimeConfig};
@@ -85,7 +86,10 @@ pub use metrics::{
 };
 pub use queue::{BoundedQueue, Closed};
 pub use scheduler::Scheduler;
-pub use stream::{FrameSource, KittiSource, StreamSpec, SyntheticSource, TimedFrame};
+pub use session::{FrameResult, FrameStatus, FrameTicket, ServingRuntime, StreamHandle};
+pub use stream::{
+    FrameSource, KittiSource, StreamProfile, StreamSpec, SyntheticSource, TimedFrame,
+};
 
 // Re-exported so serving code can pick precision tiers without a
 // direct `hgpcn_pcn` dependency.
@@ -101,6 +105,12 @@ use std::fmt;
 use hgpcn_system::SystemError;
 
 /// Errors produced by the serving runtime.
+///
+/// Every variant maps to a stable machine-readable [`ErrorCode`] via
+/// [`RuntimeError::code`] — the contract network front ends (JSON-RPC
+/// error objects, HTTP statuses) are built on, so matching on codes
+/// stays valid across releases even though the enum itself is
+/// `#[non_exhaustive]`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum RuntimeError {
@@ -108,7 +118,9 @@ pub enum RuntimeError {
     InvalidConfig(String),
     /// `run` was called with an empty stream list.
     NoStreams,
-    /// An engine failed on a frame; the run was aborted.
+    /// An engine failed on a frame. Aborts a batch run; on a
+    /// [`ServingRuntime`] it resolves only that frame's ticket
+    /// ([`FrameStatus::Failed`]).
     Frame {
         /// Stream the failing frame belonged to.
         stream_id: usize,
@@ -117,6 +129,122 @@ pub enum RuntimeError {
         /// The underlying engine failure.
         source: SystemError,
     },
+    /// A frame was evicted by `DropOldest` backpressure before it could
+    /// be served (serving sessions only; a batch run counts drops in its
+    /// report instead).
+    Dropped {
+        /// Stream the evicted frame belonged to.
+        stream_id: usize,
+        /// Per-stream index of the evicted frame.
+        frame_index: usize,
+    },
+    /// The stream id has not been opened on this session.
+    UnknownStream {
+        /// The offending id.
+        stream_id: usize,
+    },
+    /// The ticket was never issued by this session, or its result was
+    /// already consumed by an earlier poll.
+    UnknownTicket {
+        /// Stream of the offending ticket.
+        stream_id: usize,
+        /// Frame index of the offending ticket.
+        frame_index: usize,
+    },
+    /// The session is shutting down and refuses new work.
+    ShuttingDown,
+}
+
+/// Stable machine-readable identity of a [`RuntimeError`].
+///
+/// The string form ([`ErrorCode::as_str`]) and the JSON-RPC numeric
+/// form ([`ErrorCode::json_rpc`]) are wire contract: they never change
+/// for an existing variant, and new variants get new values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ErrorCode {
+    /// `invalid_config` / `-32001`.
+    InvalidConfig,
+    /// `no_streams` / `-32002`.
+    NoStreams,
+    /// `frame_failed` / `-32003`.
+    FrameFailed,
+    /// `frame_dropped` / `-32004`.
+    FrameDropped,
+    /// `unknown_stream` / `-32005`.
+    UnknownStream,
+    /// `unknown_ticket` / `-32006`.
+    UnknownTicket,
+    /// `shutting_down` / `-32007`.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// The stable snake_case identifier.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::InvalidConfig => "invalid_config",
+            ErrorCode::NoStreams => "no_streams",
+            ErrorCode::FrameFailed => "frame_failed",
+            ErrorCode::FrameDropped => "frame_dropped",
+            ErrorCode::UnknownStream => "unknown_stream",
+            ErrorCode::UnknownTicket => "unknown_ticket",
+            ErrorCode::ShuttingDown => "shutting_down",
+        }
+    }
+
+    /// The stable JSON-RPC 2.0 error code (in the server-defined
+    /// `-32000..=-32099` band the spec reserves for implementations).
+    pub fn json_rpc(self) -> i64 {
+        match self {
+            ErrorCode::InvalidConfig => -32001,
+            ErrorCode::NoStreams => -32002,
+            ErrorCode::FrameFailed => -32003,
+            ErrorCode::FrameDropped => -32004,
+            ErrorCode::UnknownStream => -32005,
+            ErrorCode::UnknownTicket => -32006,
+            ErrorCode::ShuttingDown => -32007,
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl RuntimeError {
+    /// This error's stable machine-readable code.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            RuntimeError::InvalidConfig(_) => ErrorCode::InvalidConfig,
+            RuntimeError::NoStreams => ErrorCode::NoStreams,
+            RuntimeError::Frame { .. } => ErrorCode::FrameFailed,
+            RuntimeError::Dropped { .. } => ErrorCode::FrameDropped,
+            RuntimeError::UnknownStream { .. } => ErrorCode::UnknownStream,
+            RuntimeError::UnknownTicket { .. } => ErrorCode::UnknownTicket,
+            RuntimeError::ShuttingDown => ErrorCode::ShuttingDown,
+        }
+    }
+
+    /// For [`RuntimeError::Frame`], the engine stage that failed
+    /// (`octree` / `sampling` / `gather` / `pcn`) — a stable
+    /// sub-code network front ends forward as error data.
+    pub fn frame_stage(&self) -> Option<&'static str> {
+        match self {
+            RuntimeError::Frame { source, .. } => Some(match source {
+                SystemError::Octree(_) => "octree",
+                SystemError::Sampling(_) => "sampling",
+                SystemError::Gather(_) => "gather",
+                SystemError::Pcn(_) => "pcn",
+                // `SystemError` is non-exhaustive; a stage added there
+                // gets a proper name here on the next audit.
+                _ => "system",
+            }),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for RuntimeError {
@@ -132,6 +260,25 @@ impl fmt::Display for RuntimeError {
                 f,
                 "frame {frame_index} of stream {stream_id} failed: {source}"
             ),
+            RuntimeError::Dropped {
+                stream_id,
+                frame_index,
+            } => write!(
+                f,
+                "frame {frame_index} of stream {stream_id} was evicted by backpressure"
+            ),
+            RuntimeError::UnknownStream { stream_id } => {
+                write!(f, "stream {stream_id} is not open on this session")
+            }
+            RuntimeError::UnknownTicket {
+                stream_id,
+                frame_index,
+            } => write!(
+                f,
+                "no pending result for frame {frame_index} of stream {stream_id} \
+                 (never submitted, or already consumed)"
+            ),
+            RuntimeError::ShuttingDown => write!(f, "runtime is shutting down"),
         }
     }
 }

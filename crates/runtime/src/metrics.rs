@@ -451,6 +451,136 @@ impl RuntimeReport {
         self.wall_fps() / baseline.wall_fps().max(1e-12)
     }
 
+    /// Populates a metrics registry from this report: frame counters
+    /// and achieved-FPS gauges per stream, run-level throughput and
+    /// utilization gauges, and per-stage service / queue-wait / sojourn
+    /// / queue-depth histograms. Everything here derives from the
+    /// deterministic virtual timeline except the two `wall` gauges.
+    ///
+    /// This is what a traced run stores in
+    /// [`TelemetrySnapshot::metrics`], and what the HTTP front end
+    /// renders on `/metrics`
+    /// ([`Registry::prometheus_text`](hgpcn_telemetry::Registry::prometheus_text)).
+    pub fn build_metrics(&self) -> hgpcn_telemetry::Registry {
+        let mut reg = hgpcn_telemetry::Registry::new();
+        for s in &self.streams {
+            let labels = [("stream", s.name.as_str())];
+            reg.counter_add(
+                "hgpcn_frames_offered_total",
+                "Frames offered by stream sources",
+                &labels,
+                s.offered as u64,
+            );
+            reg.counter_add(
+                "hgpcn_frames_completed_total",
+                "Frames completing inference",
+                &labels,
+                s.completed as u64,
+            );
+            reg.counter_add(
+                "hgpcn_frames_dropped_total",
+                "Frames evicted by backpressure",
+                &labels,
+                s.dropped as u64,
+            );
+            reg.gauge_set(
+                "hgpcn_stream_achieved_fps",
+                "Per-stream achieved virtual-clock throughput",
+                &labels,
+                s.achieved_fps,
+            );
+        }
+        reg.gauge_set(
+            "hgpcn_modeled_fps",
+            "Achieved virtual-clock throughput of the run",
+            &[],
+            self.modeled_pipelined_fps,
+        );
+        reg.gauge_set(
+            "hgpcn_wall_fps",
+            "Host wall-clock throughput of the run",
+            &[],
+            self.wall_fps(),
+        );
+        reg.gauge_set(
+            "hgpcn_virtual_makespan_seconds",
+            "Virtual time from first arrival to last completion",
+            &[],
+            self.virtual_makespan_s,
+        );
+        for (stage, busy) in [
+            ("preproc", self.utilization.preproc_busy),
+            ("infer", self.utilization.infer_busy),
+        ] {
+            reg.gauge_set(
+                "hgpcn_worker_busy_ratio",
+                "Worker-pool busy fraction over the virtual makespan",
+                &[("stage", stage)],
+                busy,
+            );
+        }
+        for r in &self.records {
+            reg.histogram_record(
+                "hgpcn_stage_service_seconds",
+                "Modeled per-stage service time",
+                &[("stage", "preproc")],
+                r.virtual_preproc_done_s - r.virtual_preproc_start_s,
+            );
+            reg.histogram_record(
+                "hgpcn_stage_service_seconds",
+                "Modeled per-stage service time",
+                &[("stage", "infer")],
+                r.virtual_done_s - r.virtual_infer_start_s,
+            );
+            reg.histogram_record(
+                "hgpcn_queue_wait_seconds",
+                "Modeled time queued between stages",
+                &[("queue", "ingress")],
+                r.virtual_preproc_start_s - r.virtual_arrival_s,
+            );
+            reg.histogram_record(
+                "hgpcn_queue_wait_seconds",
+                "Modeled time queued between stages",
+                &[("queue", "stage")],
+                r.virtual_infer_start_s - r.virtual_preproc_done_s,
+            );
+            reg.histogram_record(
+                "hgpcn_sojourn_seconds",
+                "Modeled end-to-end frame sojourn",
+                &[],
+                r.virtual_done_s - r.virtual_arrival_s,
+            );
+        }
+        for (queue, depth) in [
+            ("ingress", &self.ingress_depth),
+            ("stage", &self.stage_depth),
+        ] {
+            for &(_, d) in &depth.samples {
+                reg.histogram_record(
+                    "hgpcn_queue_depth",
+                    "Modeled queue occupancy after each change",
+                    &[("queue", queue)],
+                    d as f64,
+                );
+            }
+        }
+        if self.batching.batches > 0 {
+            reg.counter_add(
+                "hgpcn_micro_batches_total",
+                "Micro-batches the inference pool executed",
+                &[],
+                self.batching.batches as u64,
+            );
+            reg.gauge_set(
+                "hgpcn_mean_batch_size",
+                "Mean frames per micro-batch",
+                &[],
+                self.batching.mean_batch_size,
+            );
+        }
+        reg
+    }
+
     /// Cross-validates this run against the analytical model.
     ///
     /// See [`CrossValidation`] for the tolerance rationale.

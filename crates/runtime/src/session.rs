@@ -1,0 +1,1304 @@
+//! The session-oriented runtime core.
+//!
+//! This module owns the pipeline machinery — bounded queues, the
+//! pre-processing and inference worker pools, per-frame accounting —
+//! behind two front ends:
+//!
+//! * [`ServingRuntime`]: a **live** runtime. Streams are opened while
+//!   the pools run ([`ServingRuntime::open_stream`]), frames are pushed
+//!   one at a time ([`StreamHandle::submit`] returns a [`FrameTicket`]),
+//!   results are retrieved by polling ([`ServingRuntime::poll`]), stats
+//!   are snapshotted mid-flight ([`ServingRuntime::stats`]), and a
+//!   graceful [`ServingRuntime::shutdown`] drains the backlog and
+//!   returns the final [`RuntimeReport`]. Engine failures resolve the
+//!   failing frame's ticket ([`FrameStatus::Failed`]) without killing
+//!   the runtime — a server keeps serving.
+//! * the batch driver ([`run_batch`], what [`Runtime::run`](crate::Runtime::run)
+//!   calls): admission pulls every frame from pre-registered
+//!   [`FrameSource`](crate::FrameSource)s through the
+//!   [`Scheduler`](crate::Scheduler), the pools drain to completion, and
+//!   the first engine failure aborts the run — the pre-session
+//!   run-to-completion semantics, byte-for-byte. Both front ends execute
+//!   the *same* worker loops, so the batch path's determinism guarantees
+//!   carry over to serving unchanged.
+//!
+//! Frame identity is `(stream_id, frame_index)` in both modes, and the
+//! virtual-clock accounting is identical: a fresh core starts all worker
+//! clocks at zero, so a serving session fed the same frames in the same
+//! order as a batch run produces bit-identical [`FrameRecord`]s.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::thread;
+use std::time::Instant;
+
+use hgpcn_geometry::PointCloud;
+use hgpcn_pcn::{InferenceOutput, PointNet, Precision};
+use hgpcn_system::{E2ePipeline, E2eReport, InferenceReport, PhaseReport, SystemError};
+use hgpcn_telemetry::{EventKind, SpanRecorder, TraceCollector, WorkerId};
+
+use crate::config::{ArrivalModel, BackpressurePolicy, RuntimeConfig};
+use crate::metrics::{
+    BatchingStats, FrameRecord, LatencySummary, QueueDepthStats, QueueStats, RuntimeReport,
+    StageBreakdown, StreamReport, TelemetrySnapshot, WorkerUtilization,
+};
+use crate::queue::BoundedQueue;
+use crate::scheduler::Scheduler;
+use crate::stream::{StreamProfile, StreamSpec, TimedFrame};
+use crate::{frame_seed, RuntimeError};
+
+/// A frame admitted to the pre-processing stage.
+#[derive(Debug)]
+struct PreprocJob {
+    frame: TimedFrame,
+    virtual_arrival_s: f64,
+    /// Effective inference tier, resolved at admission so workers never
+    /// need the stream registry on the hot path.
+    precision: Precision,
+}
+
+/// A pre-processed frame awaiting inference.
+#[derive(Debug)]
+struct StageJob {
+    stream_id: usize,
+    frame_index: usize,
+    sensor_ts_s: f64,
+    virtual_arrival_s: f64,
+    virtual_preproc_start_s: f64,
+    virtual_preproc_done_s: f64,
+    preproc_ticket: u64,
+    wall_preproc_s: f64,
+    precision: Precision,
+    sampled: PointCloud,
+    pre_phase: PhaseReport,
+}
+
+/// Closes both queues if the holding thread unwinds, so a panic in any
+/// pipeline thread (e.g. a user-supplied `FrameSource` panicking inside
+/// the admission loop) releases workers blocked on queue condvars
+/// instead of deadlocking the run; the panic then propagates through
+/// the joins.
+struct PanicGuard<'a, A, B> {
+    ingress: &'a BoundedQueue<A>,
+    stage: &'a BoundedQueue<B>,
+}
+
+impl<A, B> Drop for PanicGuard<'_, A, B> {
+    fn drop(&mut self) {
+        if thread::panicking() {
+            self.ingress.close_and_clear();
+            self.stage.close_and_clear();
+        }
+    }
+}
+
+/// Receipt for one submitted frame: poll it to retrieve the result.
+///
+/// Tickets are deterministic — `(stream_id, frame_index)` — so a client
+/// that replays the same submissions gets the same tickets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FrameTicket {
+    /// The owning stream.
+    pub stream_id: usize,
+    /// Per-stream frame sequence number, assigned at submission.
+    pub frame_index: usize,
+}
+
+/// A completed frame: the network output plus the frame's full journey.
+#[derive(Clone, Debug)]
+pub struct FrameResult {
+    /// The inference output (logits, op counts, precision).
+    pub output: InferenceOutput,
+    /// The frame's modeled/virtual-clock journey through the pipeline.
+    pub record: FrameRecord,
+}
+
+/// Outcome of polling a [`FrameTicket`].
+#[derive(Debug)]
+pub enum FrameStatus {
+    /// Still queued or in flight; poll again.
+    Pending,
+    /// Inference finished. Delivered at most once: the poll that
+    /// observes `Done` consumes the result. (Boxed: a result carries
+    /// the full logits matrix and frame record, far larger than the
+    /// other variants.)
+    Done(Box<FrameResult>),
+    /// The frame failed (engine error, or evicted by backpressure).
+    /// Also delivered at most once.
+    Failed(RuntimeError),
+}
+
+/// One open stream in the registry.
+#[derive(Clone, Debug)]
+struct StreamState {
+    name: String,
+    nominal_fps: f64,
+    precision: Precision,
+    offered: usize,
+    dropped: usize,
+    next_index: usize,
+}
+
+/// Shared state of one runtime session — everything the worker loops,
+/// the submitters and the pollers touch. Lock order (outer first):
+/// `admission` → `streams` → queue internals; `results` and `records`
+/// are leaves.
+struct SessionCore {
+    config: RuntimeConfig,
+    kernel_backend: &'static str,
+    /// Per-frame failure policy: `true` resolves the failing ticket and
+    /// keeps serving; `false` aborts the whole run (batch semantics).
+    serving: bool,
+    started: Instant,
+    traced: bool,
+    ingress: BoundedQueue<PreprocJob>,
+    stage: BoundedQueue<StageJob>,
+    streams: Mutex<Vec<StreamState>>,
+    admission: Mutex<SpanRecorder>,
+    /// Ticket → status. Serving mode only; the batch driver keeps no
+    /// per-ticket state (its results are the report's records).
+    results: Mutex<HashMap<(usize, usize), FrameStatus>>,
+    results_ready: Condvar,
+    records: Mutex<Vec<FrameRecord>>,
+    batch_sizes: Mutex<Vec<usize>>,
+    first_error: Mutex<Option<RuntimeError>>,
+    preproc_live: AtomicUsize,
+    collector: Mutex<Option<TraceCollector>>,
+}
+
+impl SessionCore {
+    fn new(config: RuntimeConfig, net: &PointNet, serving: bool) -> SessionCore {
+        let started = Instant::now();
+        // Resolved once per session: `Auto` reads the environment here,
+        // not per event. When off, every SpanRecorder is a no-op sink.
+        let traced = config.telemetry.is_enabled();
+        SessionCore {
+            kernel_backend: net.kernel().name(),
+            serving,
+            started,
+            traced,
+            ingress: BoundedQueue::new(config.queue_capacity),
+            stage: BoundedQueue::new(config.queue_capacity),
+            streams: Mutex::new(Vec::new()),
+            admission: Mutex::new(SpanRecorder::new(WorkerId::admission(), started, traced)),
+            results: Mutex::new(HashMap::new()),
+            results_ready: Condvar::new(),
+            records: Mutex::new(Vec::new()),
+            batch_sizes: Mutex::new(Vec::new()),
+            first_error: Mutex::new(None),
+            preproc_live: AtomicUsize::new(config.preproc_workers),
+            collector: Mutex::new(Some(TraceCollector::new())),
+            config,
+        }
+    }
+
+    fn open_stream(&self, profile: StreamProfile) -> usize {
+        let mut streams = self.streams.lock().expect("stream registry poisoned");
+        let id = streams.len();
+        streams.push(StreamState {
+            name: profile.name,
+            nominal_fps: profile.nominal_fps,
+            precision: profile.precision.unwrap_or(self.config.precision),
+            offered: 0,
+            dropped: 0,
+            next_index: 0,
+        });
+        id
+    }
+
+    /// Admits one frame under the (held) admission recorder lock —
+    /// the single code path both front ends enqueue through, so the
+    /// event order (`Admit`, then `Drop`/`Enqueue`) and the drop
+    /// accounting are identical in batch and serving mode.
+    fn admit_locked(
+        &self,
+        recorder: &mut SpanRecorder,
+        frame: TimedFrame,
+        precision: Precision,
+    ) -> Result<FrameTicket, RuntimeError> {
+        let ticket = FrameTicket {
+            stream_id: frame.stream_id,
+            frame_index: frame.frame_index,
+        };
+        self.streams.lock().expect("stream registry poisoned")[frame.stream_id].offered += 1;
+        let virtual_arrival_s = match self.config.arrival {
+            ArrivalModel::Sensor => frame.sensor_ts_s,
+            ArrivalModel::Backlogged => 0.0,
+        };
+        if self.serving {
+            // The Pending entry must exist before the frame becomes
+            // visible to workers, or a fast completion could be
+            // overwritten by it.
+            self.results
+                .lock()
+                .expect("result table poisoned")
+                .insert((ticket.stream_id, ticket.frame_index), FrameStatus::Pending);
+        }
+        recorder.record(
+            EventKind::Admit,
+            frame.stream_id,
+            frame.frame_index,
+            virtual_arrival_s,
+        );
+        let job = PreprocJob {
+            frame,
+            virtual_arrival_s,
+            precision,
+        };
+        let refused = |core: &SessionCore| {
+            if core.serving {
+                core.results
+                    .lock()
+                    .expect("result table poisoned")
+                    .remove(&(ticket.stream_id, ticket.frame_index));
+            }
+            Err(RuntimeError::ShuttingDown)
+        };
+        match self.config.backpressure {
+            BackpressurePolicy::Block => {
+                let (sid, fidx) = (job.frame.stream_id, job.frame.frame_index);
+                if self.ingress.push_blocking(job).is_err() {
+                    return refused(self);
+                }
+                recorder.record(EventKind::Enqueue, sid, fidx, virtual_arrival_s);
+            }
+            BackpressurePolicy::DropOldest => {
+                let (sid, fidx) = (job.frame.stream_id, job.frame.frame_index);
+                match self.ingress.push_drop_oldest(job) {
+                    Ok(Some(evicted)) => {
+                        self.streams.lock().expect("stream registry poisoned")
+                            [evicted.frame.stream_id]
+                            .dropped += 1;
+                        recorder.record(
+                            EventKind::Drop,
+                            evicted.frame.stream_id,
+                            evicted.frame.frame_index,
+                            evicted.virtual_arrival_s,
+                        );
+                        if self.serving {
+                            self.publish(
+                                (evicted.frame.stream_id, evicted.frame.frame_index),
+                                FrameStatus::Failed(RuntimeError::Dropped {
+                                    stream_id: evicted.frame.stream_id,
+                                    frame_index: evicted.frame.frame_index,
+                                }),
+                            );
+                        }
+                        recorder.record(EventKind::Enqueue, sid, fidx, virtual_arrival_s);
+                    }
+                    Ok(None) => {
+                        recorder.record(EventKind::Enqueue, sid, fidx, virtual_arrival_s);
+                    }
+                    Err(_) => return refused(self),
+                }
+            }
+        }
+        Ok(ticket)
+    }
+
+    /// Serving-mode submission: assigns the next frame index and admits.
+    fn submit(
+        &self,
+        stream_id: usize,
+        sensor_ts_s: f64,
+        cloud: PointCloud,
+    ) -> Result<FrameTicket, RuntimeError> {
+        // The admission lock is taken for the whole assign+enqueue so
+        // concurrent submitters cannot reorder a stream's indices; a
+        // full ingress queue under `Block` therefore backpressures every
+        // submitter, not just this one.
+        let mut recorder = self.admission.lock().expect("admission recorder poisoned");
+        let (frame_index, precision) = {
+            let mut streams = self.streams.lock().expect("stream registry poisoned");
+            let state = streams
+                .get_mut(stream_id)
+                .ok_or(RuntimeError::UnknownStream { stream_id })?;
+            let index = state.next_index;
+            state.next_index += 1;
+            (index, state.precision)
+        };
+        let frame = TimedFrame {
+            stream_id,
+            frame_index,
+            sensor_ts_s,
+            cloud,
+        };
+        self.admit_locked(&mut recorder, frame, precision)
+    }
+
+    fn publish(&self, key: (usize, usize), status: FrameStatus) {
+        let mut results = self.results.lock().expect("result table poisoned");
+        results.insert(key, status);
+        self.results_ready.notify_all();
+    }
+
+    /// Non-blocking poll. `Done`/`Failed` are consumed by the observing
+    /// poll; a consumed (or never-issued) ticket is `UnknownTicket`.
+    fn poll(&self, ticket: FrameTicket) -> Result<FrameStatus, RuntimeError> {
+        let key = (ticket.stream_id, ticket.frame_index);
+        let mut results = self.results.lock().expect("result table poisoned");
+        match results.get(&key) {
+            Some(FrameStatus::Pending) => Ok(FrameStatus::Pending),
+            Some(_) => Ok(results.remove(&key).expect("entry just observed")),
+            None => Err(RuntimeError::UnknownTicket {
+                stream_id: ticket.stream_id,
+                frame_index: ticket.frame_index,
+            }),
+        }
+    }
+
+    /// Blocking poll: parks until the ticket resolves.
+    fn wait(&self, ticket: FrameTicket) -> Result<FrameStatus, RuntimeError> {
+        let key = (ticket.stream_id, ticket.frame_index);
+        let mut results = self.results.lock().expect("result table poisoned");
+        loop {
+            match results.get(&key) {
+                Some(FrameStatus::Pending) => {
+                    results = self
+                        .results_ready
+                        .wait(results)
+                        .expect("result table poisoned");
+                }
+                Some(_) => return Ok(results.remove(&key).expect("entry just observed")),
+                None => {
+                    return Err(RuntimeError::UnknownTicket {
+                        stream_id: ticket.stream_id,
+                        frame_index: ticket.frame_index,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Resolves a frame failure per the session's policy. Returns `true`
+    /// when the worker must abort its loop (batch semantics).
+    fn frame_failed(&self, stream_id: usize, frame_index: usize, source: SystemError) -> bool {
+        let err = RuntimeError::Frame {
+            stream_id,
+            frame_index,
+            source,
+        };
+        if self.serving {
+            self.publish((stream_id, frame_index), FrameStatus::Failed(err));
+            false
+        } else {
+            let mut slot = self.first_error.lock().expect("error slot poisoned");
+            if slot.is_none() {
+                *slot = Some(err);
+            }
+            // Unwind the whole pipeline, discarding backlogged work —
+            // its results would be thrown away with the run anyway.
+            self.ingress.close_and_clear();
+            self.stage.close_and_clear();
+            true
+        }
+    }
+
+    fn submit_recorder(&self, recorder: SpanRecorder) {
+        if let Some(collector) = self
+            .collector
+            .lock()
+            .expect("trace collector poisoned")
+            .as_ref()
+        {
+            collector.submit(recorder);
+        }
+    }
+
+    /// A live snapshot report over everything completed so far. The
+    /// `telemetry` field stays `None` — the trace is only merged once,
+    /// at shutdown.
+    fn snapshot(&self) -> RuntimeReport {
+        let streams = self
+            .streams
+            .lock()
+            .expect("stream registry poisoned")
+            .clone();
+        let mut records = self.records.lock().expect("record sink poisoned").clone();
+        records.sort_by_key(|r| (r.stream_id, r.frame_index));
+        let sizes = self
+            .batch_sizes
+            .lock()
+            .expect("batch stats poisoned")
+            .clone();
+        assemble_report(
+            &self.config,
+            self.kernel_backend,
+            &streams,
+            records,
+            QueueStats {
+                high_water: self.ingress.high_water(),
+                dropped: self.ingress.dropped(),
+            },
+            QueueStats {
+                high_water: self.stage.high_water(),
+                dropped: self.stage.dropped(),
+            },
+            BatchingStats::from_sizes(self.config.max_batch, &sizes),
+            self.started.elapsed(),
+        )
+    }
+
+    /// Assembles the final report after every worker has exited. Called
+    /// exactly once per session.
+    fn finalize(&self) -> Result<RuntimeReport, RuntimeError> {
+        if let Some(err) = self.first_error.lock().expect("error slot poisoned").take() {
+            return Err(err);
+        }
+        let recorder = {
+            let mut guard = self.admission.lock().expect("admission recorder poisoned");
+            std::mem::replace(
+                &mut *guard,
+                SpanRecorder::new(WorkerId::admission(), self.started, false),
+            )
+        };
+        self.submit_recorder(recorder);
+        let streams = self
+            .streams
+            .lock()
+            .expect("stream registry poisoned")
+            .clone();
+        let mut records = std::mem::take(&mut *self.records.lock().expect("record sink poisoned"));
+        records.sort_by_key(|r| (r.stream_id, r.frame_index));
+        let sizes = std::mem::take(&mut *self.batch_sizes.lock().expect("batch stats poisoned"));
+        let mut report = assemble_report(
+            &self.config,
+            self.kernel_backend,
+            &streams,
+            records,
+            QueueStats {
+                high_water: self.ingress.high_water(),
+                dropped: self.ingress.dropped(),
+            },
+            QueueStats {
+                high_water: self.stage.high_water(),
+                dropped: self.stage.dropped(),
+            },
+            BatchingStats::from_sizes(self.config.max_batch, &sizes),
+            self.started.elapsed(),
+        );
+        if self.traced {
+            let collector = self
+                .collector
+                .lock()
+                .expect("trace collector poisoned")
+                .take()
+                .expect("finalize runs once");
+            let trace = collector.finish();
+            let metrics = report.build_metrics();
+            report.telemetry = Some(TelemetrySnapshot { trace, metrics });
+        }
+        Ok(report)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker loops — shared verbatim by the batch driver and the live
+// serving runtime. Latency accounting runs on the virtual clock: each
+// worker advances its own virtual time by the modeled latency of the
+// work it actually executed.
+// ---------------------------------------------------------------------
+
+fn preproc_worker(core: &SessionCore, pipeline: &E2ePipeline, w: usize) {
+    let _guard = PanicGuard {
+        ingress: &core.ingress,
+        stage: &core.stage,
+    };
+    let mut recorder = SpanRecorder::new(WorkerId::preproc(w), core.started, core.traced);
+    let mut vclock = 0.0f64;
+    while let Some((job, ticket)) = core.ingress.pop() {
+        let PreprocJob {
+            frame,
+            virtual_arrival_s,
+            precision,
+        } = job;
+        recorder.record(
+            EventKind::Dequeue,
+            frame.stream_id,
+            frame.frame_index,
+            virtual_arrival_s,
+        );
+        let seed = frame_seed(core.config.seed, frame.stream_id, frame.frame_index);
+        let wall0 = Instant::now();
+        match pipeline
+            .preproc
+            .run(&frame.cloud, core.config.target_points, seed)
+        {
+            Ok(out) => {
+                let wall_preproc_s = wall0.elapsed().as_secs_f64();
+                let latency = out.total_latency();
+                let counts = out.total_counts();
+                let start = vclock.max(virtual_arrival_s);
+                let done = start + latency.secs();
+                vclock = done;
+                recorder.record(
+                    EventKind::PreprocStart,
+                    frame.stream_id,
+                    frame.frame_index,
+                    start,
+                );
+                recorder.record(
+                    EventKind::PreprocEnd,
+                    frame.stream_id,
+                    frame.frame_index,
+                    done,
+                );
+                let stage_job = StageJob {
+                    stream_id: frame.stream_id,
+                    frame_index: frame.frame_index,
+                    sensor_ts_s: frame.sensor_ts_s,
+                    virtual_arrival_s,
+                    virtual_preproc_start_s: start,
+                    virtual_preproc_done_s: done,
+                    preproc_ticket: ticket,
+                    wall_preproc_s,
+                    precision,
+                    sampled: out.sampled,
+                    pre_phase: PhaseReport { latency, counts },
+                };
+                let (sid, fidx) = (frame.stream_id, frame.frame_index);
+                if core.stage.push_blocking(stage_job).is_err() {
+                    break; // shutdown under way
+                }
+                recorder.record(EventKind::Enqueue, sid, fidx, done);
+            }
+            Err(err) => {
+                if core.frame_failed(frame.stream_id, frame.frame_index, err) {
+                    break;
+                }
+            }
+        }
+    }
+    if core.preproc_live.fetch_sub(1, Ordering::AcqRel) == 1 {
+        core.stage.close();
+    }
+    core.submit_recorder(recorder);
+}
+
+// `max_batch == 1` runs the legacy per-frame engine call; `>= 2`
+// coalesces micro-batches into the SoA path, whose per-frame results
+// are bit-identical by construction.
+fn inference_worker(core: &SessionCore, pipeline: &E2ePipeline, net: &PointNet, w: usize) {
+    let _guard = PanicGuard {
+        ingress: &core.ingress,
+        stage: &core.stage,
+    };
+    let mut recorder = SpanRecorder::new(WorkerId::inference(w), core.started, core.traced);
+    let mut vclock = 0.0f64;
+    if core.config.max_batch <= 1 {
+        while let Some((job, ticket)) = core.stage.pop() {
+            recorder.record(
+                EventKind::Dequeue,
+                job.stream_id,
+                job.frame_index,
+                job.virtual_preproc_done_s,
+            );
+            let seed = frame_seed(core.config.seed, job.stream_id, job.frame_index);
+            let precision = job.precision;
+            let wall0 = Instant::now();
+            match pipeline
+                .inference
+                .run_with_precision(&job.sampled, net, seed, precision)
+            {
+                Ok(inf) => {
+                    complete_frame(
+                        core,
+                        job,
+                        ticket,
+                        &inf,
+                        &mut vclock,
+                        wall0.elapsed().as_secs_f64(),
+                        &mut recorder,
+                    );
+                }
+                Err(err) => {
+                    if core.frame_failed(job.stream_id, job.frame_index, err) {
+                        break;
+                    }
+                }
+            }
+        }
+        core.submit_recorder(recorder);
+        return;
+    }
+
+    // Running estimate of per-frame modeled inference latency, for the
+    // deadline cap.
+    let mut est_latency_s = 0.0f64;
+    'work: while let Some(first) = core.stage.pop() {
+        recorder.record(
+            EventKind::Dequeue,
+            first.0.stream_id,
+            first.0.frame_index,
+            first.0.virtual_preproc_done_s,
+        );
+        // The first frame is taken blocking; the rest of the micro-batch
+        // only drains whatever is already queued, up to the
+        // deadline-aware ceiling — a frame never waits for companions.
+        let allowed = if !core.config.batch_deadline_s.is_finite() {
+            core.config.max_batch
+        } else if est_latency_s <= 0.0 {
+            1 // prime the estimator on one frame
+        } else {
+            ((core.config.batch_deadline_s / est_latency_s) as usize)
+                .clamp(1, core.config.max_batch)
+        };
+        let mut batch = vec![first];
+        while batch.len() < allowed {
+            match core.stage.try_pop() {
+                Some(next) => {
+                    recorder.record(
+                        EventKind::Dequeue,
+                        next.0.stream_id,
+                        next.0.frame_index,
+                        next.0.virtual_preproc_done_s,
+                    );
+                    batch.push(next);
+                }
+                None => break,
+            }
+        }
+        recorder.record_detail(
+            EventKind::BatchCoalesce,
+            batch[0].0.stream_id,
+            batch[0].0.frame_index,
+            batch[0].0.virtual_preproc_done_s,
+            batch.len() as u32,
+        );
+
+        // Partition the drained micro-batch by effective precision: each
+        // engine call is single-tier (the SoA GEMMs cannot mix operand
+        // widths), but frames still finish — and advance the virtual
+        // clock — in dequeue order, so mixing tiers never reorders a
+        // stream.
+        let mut reports: Vec<Option<InferenceReport>> = batch.iter().map(|_| None).collect();
+        // Per-frame share of the tier call's host wall time (split
+        // evenly — the SoA path serves the whole sub-batch in one pass).
+        let mut walls: Vec<f64> = vec![0.0; batch.len()];
+        let mut tier_failed = false;
+        for tier in [Precision::F32, Precision::Int8] {
+            let idxs: Vec<usize> = (0..batch.len())
+                .filter(|&i| batch[i].0.precision == tier)
+                .collect();
+            if idxs.is_empty() {
+                continue;
+            }
+            let inputs: Vec<&PointCloud> = idxs.iter().map(|&i| &batch[i].0.sampled).collect();
+            let seeds: Vec<u64> = idxs
+                .iter()
+                .map(|&i| {
+                    let j = &batch[i].0;
+                    frame_seed(core.config.seed, j.stream_id, j.frame_index)
+                })
+                .collect();
+            let wall0 = Instant::now();
+            match pipeline
+                .inference
+                .run_batch_with_precision(&inputs, net, &seeds, tier)
+            {
+                Ok(rs) => {
+                    let share = wall0.elapsed().as_secs_f64() / idxs.len() as f64;
+                    core.batch_sizes
+                        .lock()
+                        .expect("batch stats poisoned")
+                        .push(idxs.len());
+                    for (slot, r) in idxs.into_iter().zip(rs) {
+                        walls[slot] = share;
+                        reports[slot] = Some(r);
+                    }
+                }
+                Err(_) => {
+                    tier_failed = true;
+                    break;
+                }
+            }
+        }
+        if !tier_failed {
+            for (i, ((job, ticket), inf)) in batch.into_iter().zip(&reports).enumerate() {
+                let inf = inf.as_ref().expect("every tier ran or we bailed");
+                let lat = inf.total_latency().secs();
+                est_latency_s = if est_latency_s <= 0.0 {
+                    lat
+                } else {
+                    0.5 * (est_latency_s + lat)
+                };
+                complete_frame(core, job, ticket, inf, &mut vclock, walls[i], &mut recorder);
+            }
+        } else {
+            // Attribute the failure: re-run the batch serially
+            // (deterministic, so healthy frames reproduce exactly) and
+            // resolve the culprit — per frame in serving mode, aborting
+            // the run in batch mode.
+            for (job, ticket) in batch {
+                let seed = frame_seed(core.config.seed, job.stream_id, job.frame_index);
+                let precision = job.precision;
+                let wall0 = Instant::now();
+                match pipeline
+                    .inference
+                    .run_with_precision(&job.sampled, net, seed, precision)
+                {
+                    Ok(inf) => {
+                        complete_frame(
+                            core,
+                            job,
+                            ticket,
+                            &inf,
+                            &mut vclock,
+                            wall0.elapsed().as_secs_f64(),
+                            &mut recorder,
+                        );
+                    }
+                    Err(err) => {
+                        if core.frame_failed(job.stream_id, job.frame_index, err) {
+                            break 'work;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    core.submit_recorder(recorder);
+}
+
+/// Advances the worker's virtual clock past `job`, records its journey,
+/// and — in serving mode — resolves its ticket with the output. Shared
+/// by the serial and batched inference paths: within a micro-batch,
+/// frames advance the clock in dequeue order, so the modeled timeline of
+/// a batched run matches the serial one exactly.
+fn complete_frame(
+    core: &SessionCore,
+    job: StageJob,
+    inference_ticket: u64,
+    inf: &InferenceReport,
+    vclock: &mut f64,
+    wall_infer_s: f64,
+    recorder: &mut SpanRecorder,
+) {
+    let key = (job.stream_id, job.frame_index);
+    let latency = inf.total_latency();
+    let start = vclock.max(job.virtual_preproc_done_s);
+    let done = start + latency.secs();
+    *vclock = done;
+    recorder.record(EventKind::InferStart, job.stream_id, job.frame_index, start);
+    recorder.record(EventKind::InferEnd, job.stream_id, job.frame_index, done);
+    recorder.record(EventKind::Complete, job.stream_id, job.frame_index, done);
+    let record = FrameRecord {
+        stream_id: job.stream_id,
+        frame_index: job.frame_index,
+        sensor_ts_s: job.sensor_ts_s,
+        virtual_arrival_s: job.virtual_arrival_s,
+        virtual_preproc_start_s: job.virtual_preproc_start_s,
+        virtual_preproc_done_s: job.virtual_preproc_done_s,
+        virtual_infer_start_s: start,
+        virtual_done_s: done,
+        modeled: E2eReport {
+            preprocess: job.pre_phase,
+            inference: PhaseReport {
+                latency,
+                counts: inf.total_counts(),
+            },
+        },
+        preproc_ticket: job.preproc_ticket,
+        inference_ticket,
+        wall_preproc_s: job.wall_preproc_s,
+        wall_infer_s,
+        wall_done: core.started.elapsed(),
+    };
+    // Record first, publish second: a poller that observes `Done` must
+    // find the frame already counted in `stats()` snapshots.
+    let published = core.serving.then(|| record.clone());
+    core.records
+        .lock()
+        .expect("record sink poisoned")
+        .push(record);
+    if let Some(record) = published {
+        core.publish(
+            key,
+            FrameStatus::Done(Box::new(FrameResult {
+                output: inf.output.clone(),
+                record,
+            })),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batch driver: the pre-session `Runtime::run` semantics, executed as a
+// thin front end over the session core.
+// ---------------------------------------------------------------------
+
+/// Runs `streams` to completion through a fresh session core.
+pub(crate) fn run_batch(
+    config: &RuntimeConfig,
+    pipeline: &E2ePipeline,
+    streams: Vec<StreamSpec>,
+    net: &PointNet,
+) -> Result<RuntimeReport, RuntimeError> {
+    let core = SessionCore::new(config.clone(), net, false);
+    let precisions: Vec<Precision> = streams
+        .iter()
+        .map(|s| s.precision.unwrap_or(config.precision))
+        .collect();
+    for spec in &streams {
+        core.open_stream(spec.profile());
+    }
+    let mut scheduler = Scheduler::new(streams, config.admission);
+    {
+        let core = &core;
+        thread::scope(|s| {
+            // --- Admission: scheduler → ingress queue. ---
+            let admission = s.spawn(move || {
+                let _guard = PanicGuard {
+                    ingress: &core.ingress,
+                    stage: &core.stage,
+                };
+                // Batch admission is single-threaded, so the recorder
+                // lock is held for the whole run.
+                let mut recorder = core.admission.lock().expect("admission recorder poisoned");
+                while let Some(frame) = scheduler.next_frame() {
+                    let precision = precisions[frame.stream_id];
+                    if core.admit_locked(&mut recorder, frame, precision).is_err() {
+                        break; // shutdown under way
+                    }
+                }
+                drop(recorder);
+                core.ingress.close();
+            });
+
+            // --- Pre-processing pool: ingress → stage queue. ---
+            let preproc_handles: Vec<_> = (0..config.preproc_workers)
+                .map(|w| s.spawn(move || preproc_worker(core, pipeline, w)))
+                .collect();
+
+            // --- Inference pool: stage queue → records. ---
+            let inference_handles: Vec<_> = (0..config.inference_workers)
+                .map(|w| s.spawn(move || inference_worker(core, pipeline, net, w)))
+                .collect();
+
+            admission.join().expect("admission thread panicked");
+            for h in preproc_handles {
+                h.join().expect("preprocessing worker panicked");
+            }
+            for h in inference_handles {
+                h.join().expect("inference worker panicked");
+            }
+        });
+    }
+    core.finalize()
+}
+
+// ---------------------------------------------------------------------
+// The live serving front end.
+// ---------------------------------------------------------------------
+
+/// A live, session-oriented serving runtime.
+///
+/// Where [`Runtime::run`](crate::Runtime::run) executes a pre-registered
+/// fleet to completion, a `ServingRuntime` keeps its worker pools
+/// running and lets clients open streams and submit frames one at a
+/// time — the core a network front end (`hgpcn-serve`) is built on.
+///
+/// ```
+/// use hgpcn_runtime::{FrameStatus, RuntimeConfig, ServingRuntime, StreamProfile};
+/// use hgpcn_pcn::{PointNet, PointNetConfig};
+/// use hgpcn_geometry::Point3;
+///
+/// let net = PointNet::new(PointNetConfig::classification(), 7);
+/// let rt = ServingRuntime::start(RuntimeConfig::default().target_points(512), net)?;
+/// let stream = rt.open_stream(StreamProfile::new("lidar-a"))?;
+/// let cloud = (0..1000)
+///     .map(|i| {
+///         let f = i as f32;
+///         Point3::new((f * 0.618).fract(), (f * 0.414).fract(), (f * 0.732).fract())
+///     })
+///     .collect();
+/// let ticket = stream.submit(0.0, cloud)?;
+/// match rt.wait(ticket)? {
+///     FrameStatus::Done(result) => assert!(result.output.logits.rows() > 0),
+///     other => panic!("expected completion, got {other:?}"),
+/// }
+/// let report = rt.shutdown()?;
+/// assert_eq!(report.total_frames, 1);
+/// # Ok::<(), hgpcn_runtime::RuntimeError>(())
+/// ```
+pub struct ServingRuntime {
+    core: Option<Arc<SessionCore>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServingRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServingRuntime")
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServingRuntime {
+    /// Starts worker pools over the prototype pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] if `config` fails
+    /// [`RuntimeConfig::validate`].
+    pub fn start(config: RuntimeConfig, net: PointNet) -> Result<ServingRuntime, RuntimeError> {
+        ServingRuntime::start_with_pipeline(config, E2ePipeline::prototype(), net)
+    }
+
+    /// Starts worker pools over a caller-supplied pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] if `config` fails
+    /// [`RuntimeConfig::validate`].
+    pub fn start_with_pipeline(
+        config: RuntimeConfig,
+        pipeline: E2ePipeline,
+        net: PointNet,
+    ) -> Result<ServingRuntime, RuntimeError> {
+        config.validate()?;
+        let core = Arc::new(SessionCore::new(config.clone(), &net, true));
+        let pipeline = Arc::new(pipeline);
+        let net = Arc::new(net);
+        let mut workers = Vec::with_capacity(config.preproc_workers + config.inference_workers);
+        for w in 0..config.preproc_workers {
+            let (core, pipeline) = (Arc::clone(&core), Arc::clone(&pipeline));
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("hgpcn-preproc-{w}"))
+                    .spawn(move || preproc_worker(&core, &pipeline, w))
+                    .expect("spawn preproc worker"),
+            );
+        }
+        for w in 0..config.inference_workers {
+            let (core, pipeline, net) =
+                (Arc::clone(&core), Arc::clone(&pipeline), Arc::clone(&net));
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("hgpcn-infer-{w}"))
+                    .spawn(move || inference_worker(&core, &pipeline, &net, w))
+                    .expect("spawn inference worker"),
+            );
+        }
+        Ok(ServingRuntime {
+            core: Some(core),
+            workers,
+        })
+    }
+
+    fn core(&self) -> &Arc<SessionCore> {
+        self.core.as_ref().expect("core present until shutdown")
+    }
+
+    /// Opens a stream session and returns its handle.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice; the `Result` reserves room for
+    /// admission-control refusals.
+    pub fn open_stream(&self, profile: StreamProfile) -> Result<StreamHandle, RuntimeError> {
+        let core = self.core();
+        let stream_id = core.open_stream(profile);
+        Ok(StreamHandle {
+            stream_id,
+            core: Arc::downgrade(core),
+        })
+    }
+
+    /// A handle to an already-open stream, or `None` for an unknown id.
+    pub fn stream(&self, stream_id: usize) -> Option<StreamHandle> {
+        let core = self.core();
+        let known = stream_id < core.streams.lock().expect("stream registry poisoned").len();
+        known.then(|| StreamHandle {
+            stream_id,
+            core: Arc::downgrade(core),
+        })
+    }
+
+    /// Submits one frame to `stream_id`.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownStream`] for an unopened id and
+    /// [`RuntimeError::ShuttingDown`] once shutdown has begun.
+    pub fn submit(
+        &self,
+        stream_id: usize,
+        sensor_ts_s: f64,
+        cloud: PointCloud,
+    ) -> Result<FrameTicket, RuntimeError> {
+        self.core().submit(stream_id, sensor_ts_s, cloud)
+    }
+
+    /// Polls a ticket without blocking. See [`FrameStatus`] for the
+    /// at-most-once delivery contract.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownTicket`] for a never-issued or
+    /// already-consumed ticket.
+    pub fn poll(&self, ticket: FrameTicket) -> Result<FrameStatus, RuntimeError> {
+        self.core().poll(ticket)
+    }
+
+    /// Blocks until `ticket` resolves.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownTicket`] for a never-issued or
+    /// already-consumed ticket.
+    pub fn wait(&self, ticket: FrameTicket) -> Result<FrameStatus, RuntimeError> {
+        self.core().wait(ticket)
+    }
+
+    /// A live snapshot of the aggregate serving report: everything
+    /// completed so far, on the same schema the batch runner returns
+    /// (`telemetry` stays `None` until [`ServingRuntime::shutdown`]).
+    pub fn stats(&self) -> RuntimeReport {
+        self.core().snapshot()
+    }
+
+    /// One stream's slice of [`ServingRuntime::stats`].
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownStream`] for an unopened id.
+    pub fn stream_stats(&self, stream_id: usize) -> Result<StreamReport, RuntimeError> {
+        self.stats()
+            .streams
+            .into_iter()
+            .find(|s| s.stream_id == stream_id)
+            .ok_or(RuntimeError::UnknownStream { stream_id })
+    }
+
+    /// Graceful shutdown: refuses new submissions, drains every queued
+    /// frame, joins the pools and returns the final report (with
+    /// telemetry, when enabled).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in serving mode today; the `Result` mirrors the batch
+    /// runner so both front ends report the same way.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a worker-thread panic (an engine bug), like
+    /// [`Runtime::run`](crate::Runtime::run) does.
+    pub fn shutdown(mut self) -> Result<RuntimeReport, RuntimeError> {
+        let core = self.core.take().expect("core present until shutdown");
+        core.ingress.close();
+        for handle in std::mem::take(&mut self.workers) {
+            handle.join().expect("runtime worker panicked");
+        }
+        core.finalize()
+    }
+}
+
+impl Drop for ServingRuntime {
+    fn drop(&mut self) {
+        // Shutdown-less drop: abort (discarding backlog) rather than
+        // leak live threads. Worker panics are swallowed — propagating
+        // from a destructor would abort the process.
+        if let Some(core) = self.core.take() {
+            core.ingress.close_and_clear();
+            core.stage.close_and_clear();
+            for handle in std::mem::take(&mut self.workers) {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// A cheap, cloneable handle to one open stream. Holds a weak reference:
+/// once the owning [`ServingRuntime`] shuts down, every operation
+/// returns [`RuntimeError::ShuttingDown`].
+#[derive(Clone)]
+pub struct StreamHandle {
+    stream_id: usize,
+    core: Weak<SessionCore>,
+}
+
+impl std::fmt::Debug for StreamHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamHandle")
+            .field("stream_id", &self.stream_id)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StreamHandle {
+    /// The stream's id (its index in report stream lists).
+    pub fn id(&self) -> usize {
+        self.stream_id
+    }
+
+    fn core(&self) -> Result<Arc<SessionCore>, RuntimeError> {
+        self.core.upgrade().ok_or(RuntimeError::ShuttingDown)
+    }
+
+    /// Submits one frame; see [`ServingRuntime::submit`].
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ShuttingDown`] once the runtime is gone.
+    pub fn submit(&self, sensor_ts_s: f64, cloud: PointCloud) -> Result<FrameTicket, RuntimeError> {
+        self.core()?.submit(self.stream_id, sensor_ts_s, cloud)
+    }
+
+    /// Polls a ticket; see [`ServingRuntime::poll`].
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownTicket`] / [`RuntimeError::ShuttingDown`].
+    pub fn poll(&self, ticket: FrameTicket) -> Result<FrameStatus, RuntimeError> {
+        self.core()?.poll(ticket)
+    }
+
+    /// This stream's live report slice; see
+    /// [`ServingRuntime::stream_stats`].
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ShuttingDown`] once the runtime is gone.
+    pub fn stats(&self) -> Result<StreamReport, RuntimeError> {
+        self.core()?
+            .snapshot()
+            .streams
+            .into_iter()
+            .find(|s| s.stream_id == self.stream_id)
+            .ok_or(RuntimeError::UnknownStream {
+                stream_id: self.stream_id,
+            })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Report assembly (shared by live snapshots and final reports).
+// ---------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn assemble_report(
+    config: &RuntimeConfig,
+    kernel_backend: &'static str,
+    streams: &[StreamState],
+    records: Vec<FrameRecord>,
+    ingress_queue: QueueStats,
+    stage_queue: QueueStats,
+    batching: BatchingStats,
+    wall_elapsed: std::time::Duration,
+) -> RuntimeReport {
+    use hgpcn_memsim::Latency;
+
+    let mut reports = Vec::with_capacity(streams.len());
+    for (id, state) in streams.iter().enumerate() {
+        let mine: Vec<&FrameRecord> = records.iter().filter(|r| r.stream_id == id).collect();
+        let service: Vec<Latency> = mine.iter().map(|r| r.modeled.total()).collect();
+        let sojourn: Vec<Latency> = mine
+            .iter()
+            .map(|r| Latency::from_secs((r.virtual_done_s - r.virtual_arrival_s).max(0.0)))
+            .collect();
+        let achieved_fps = match mine.first() {
+            Some(first) => {
+                let span = mine
+                    .iter()
+                    .map(|r| r.virtual_done_s)
+                    .fold(f64::NEG_INFINITY, f64::max)
+                    - first.virtual_arrival_s;
+                if span > 1e-12 {
+                    mine.len() as f64 / span
+                } else {
+                    0.0
+                }
+            }
+            None => 0.0,
+        };
+        reports.push(StreamReport {
+            stream_id: id,
+            name: state.name.clone(),
+            offered: state.offered,
+            completed: mine.len(),
+            dropped: state.dropped,
+            sensor_fps: state.nominal_fps,
+            precision: state.precision.name(),
+            achieved_fps,
+            service: LatencySummary::from_samples(&service),
+            sojourn: LatencySummary::from_samples(&sojourn),
+            breakdown: StageBreakdown::from_records(mine.iter().copied()),
+        });
+    }
+
+    let earliest_arrival = records
+        .iter()
+        .map(|r| r.virtual_arrival_s)
+        .fold(f64::INFINITY, f64::min);
+    let latest_done = records
+        .iter()
+        .map(|r| r.virtual_done_s)
+        .fold(0.0f64, f64::max);
+    let virtual_makespan_s = if records.is_empty() {
+        0.0
+    } else {
+        (latest_done - earliest_arrival).max(0.0)
+    };
+    let modeled_pipelined_fps = if virtual_makespan_s > 1e-12 {
+        records.len() as f64 / virtual_makespan_s
+    } else {
+        0.0
+    };
+
+    let precision = {
+        let tiers: Vec<Precision> = streams.iter().map(|s| s.precision).collect();
+        match tiers.as_slice() {
+            [] => Precision::F32.name(),
+            [first, rest @ ..] if rest.iter().all(|p| p == first) => first.name(),
+            _ => "mixed",
+        }
+    };
+
+    let breakdown = StageBreakdown::from_records(&records);
+    let utilization = if virtual_makespan_s > 1e-12 {
+        WorkerUtilization {
+            preproc_busy: breakdown.virtual_preproc_busy_s
+                / (virtual_makespan_s * config.preproc_workers as f64),
+            infer_busy: breakdown.virtual_infer_busy_s
+                / (virtual_makespan_s * config.inference_workers as f64),
+        }
+    } else {
+        WorkerUtilization::default()
+    };
+    let ingress_depth = QueueDepthStats::from_deltas(
+        records
+            .iter()
+            .flat_map(|r| [(r.virtual_arrival_s, 1), (r.virtual_preproc_start_s, -1)])
+            .collect(),
+    );
+    let stage_depth = QueueDepthStats::from_deltas(
+        records
+            .iter()
+            .flat_map(|r| [(r.virtual_preproc_done_s, 1), (r.virtual_infer_start_s, -1)])
+            .collect(),
+    );
+
+    RuntimeReport {
+        streams: reports,
+        total_frames: records.len(),
+        total_dropped: streams.iter().map(|s| s.dropped).sum(),
+        preproc_workers: config.preproc_workers,
+        inference_workers: config.inference_workers,
+        ingress_queue,
+        stage_queue,
+        virtual_makespan_s,
+        modeled_pipelined_fps,
+        wall_elapsed,
+        kernel_backend,
+        precision,
+        batching,
+        breakdown,
+        utilization,
+        ingress_depth,
+        stage_depth,
+        telemetry: None,
+        records,
+    }
+}

@@ -83,6 +83,65 @@ impl StreamSpec {
         self.precision = Some(precision);
         self
     }
+
+    /// This spec's serving-session profile: the source-independent
+    /// metadata (name, nominal rate, precision override) a
+    /// [`ServingRuntime`](crate::ServingRuntime) needs to open the
+    /// equivalent stream. The batch driver registers streams through
+    /// this same projection, so batch and serving sessions report
+    /// streams identically.
+    pub fn profile(&self) -> StreamProfile {
+        StreamProfile {
+            name: self.name.clone(),
+            nominal_fps: self.source.nominal_fps(),
+            precision: self.precision,
+        }
+    }
+}
+
+/// Metadata for opening a stream on a live
+/// [`ServingRuntime`](crate::ServingRuntime).
+///
+/// A serving session has no [`FrameSource`] — clients push frames — so
+/// this is a [`StreamSpec`] minus the source: the name reports carry,
+/// the sensor's nominal rate (report metadata only; the runtime never
+/// paces clients), and an optional per-stream precision override.
+#[derive(Clone, Debug)]
+pub struct StreamProfile {
+    /// Human-readable stream name (used in reports).
+    pub name: String,
+    /// The sensor's nominal generation rate in frames per second,
+    /// reported as [`StreamReport::sensor_fps`](crate::StreamReport::sensor_fps).
+    /// `0.0` (the default) means unspecified.
+    pub nominal_fps: f64,
+    /// Per-stream inference precision override; `None` (the default)
+    /// inherits [`RuntimeConfig::precision`](crate::RuntimeConfig::precision).
+    pub precision: Option<Precision>,
+}
+
+impl StreamProfile {
+    /// A profile with an unspecified sensor rate at the runtime's
+    /// default precision.
+    pub fn new(name: impl Into<String>) -> StreamProfile {
+        StreamProfile {
+            name: name.into(),
+            nominal_fps: 0.0,
+            precision: None,
+        }
+    }
+
+    /// Sets the nominal sensor rate in frames per second.
+    pub fn nominal_fps(mut self, fps: f64) -> StreamProfile {
+        self.nominal_fps = fps;
+        self
+    }
+
+    /// Pins the stream to a specific inference precision, overriding
+    /// the runtime default.
+    pub fn precision(mut self, precision: Precision) -> StreamProfile {
+        self.precision = Some(precision);
+        self
+    }
 }
 
 /// A [`FrameSource`] over the KITTI-like LiDAR simulator, bounded to a

@@ -1,0 +1,246 @@
+//! Open-loop HTTP load smoke: the std-only client the `smoke`
+//! subcommand and the `serve-smoke` CI job run against a live server.
+//!
+//! Open-loop means submission does not wait for results: every frame is
+//! submitted up front at its sensor timestamp, then every ticket is
+//! drained with blocking polls — the same offered-load discipline the
+//! batch runner's timed sources model. The smoke exercises every
+//! endpoint (`open_stream`, `submit_cloud`, `poll_result`,
+//! `stream_stats`, `/health`, `/metrics`) and fails loudly on any
+//! contract violation.
+
+use std::io::Write as _;
+
+use minihttp::http::{request, ClientResponse};
+use minihttp::json::{self, Json};
+
+/// Smoke-run parameters.
+#[derive(Clone, Debug)]
+pub struct SmokeConfig {
+    /// Server address, e.g. `127.0.0.1:7870`.
+    pub addr: String,
+    /// Frames to submit.
+    pub frames: usize,
+    /// Points per frame (must be at least the server's target points).
+    pub points: usize,
+    /// Offered rate used for the synthetic sensor timestamps.
+    pub fps: f64,
+    /// Where to write the final `/metrics` text (for
+    /// `trace_check --prom` validation), if anywhere.
+    pub metrics_out: Option<String>,
+}
+
+impl Default for SmokeConfig {
+    fn default() -> SmokeConfig {
+        SmokeConfig {
+            addr: "127.0.0.1:7870".to_string(),
+            frames: 16,
+            points: 1024,
+            fps: 10.0,
+            metrics_out: None,
+        }
+    }
+}
+
+fn rpc(addr: &str, id: usize, method: &str, params: Json) -> Result<Json, String> {
+    let body = Json::obj([
+        ("jsonrpc", Json::str("2.0")),
+        ("id", Json::from(id)),
+        ("method", Json::str(method)),
+        ("params", params),
+    ])
+    .to_string();
+    let resp = request(addr, "POST", "/rpc", body.as_bytes())
+        .map_err(|e| format!("{method}: transport error: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!(
+            "{method}: HTTP {} — {}",
+            resp.status,
+            resp.body_text()
+        ));
+    }
+    let doc = json::parse(&resp.body_text())
+        .map_err(|e| format!("{method}: unparseable response: {e}"))?;
+    if doc.num("id") != Some(id as f64) {
+        return Err(format!("{method}: response id mismatch: {doc}"));
+    }
+    if let Some(err) = doc.path("error") {
+        return Err(format!("{method}: JSON-RPC error: {err}"));
+    }
+    doc.path("result")
+        .cloned()
+        .ok_or_else(|| format!("{method}: response has neither result nor error"))
+}
+
+/// The deterministic synthetic cloud frame `i` submits: a low-discrepancy
+/// point pattern, varied per frame so frames are distinguishable.
+fn cloud_json(frame: usize, points: usize) -> Json {
+    let pts: Vec<Json> = (0..points)
+        .map(|p| {
+            let f = (frame * points + p) as f64;
+            Json::Arr(vec![
+                Json::Num((f * 0.618_033_988).fract()),
+                Json::Num((f * 0.414_213_562).fract()),
+                Json::Num((f * 0.732_050_808).fract()),
+            ])
+        })
+        .collect();
+    Json::Arr(pts)
+}
+
+/// Waits until `GET /health` answers, retrying for a few seconds.
+///
+/// # Errors
+///
+/// A description of the last failure when the server never comes up.
+pub fn wait_healthy(addr: &str) -> Result<(), String> {
+    let mut last = String::from("no attempt made");
+    for _ in 0..100 {
+        match request(addr, "GET", "/health", b"") {
+            Ok(ClientResponse { status: 200, .. }) => return Ok(()),
+            Ok(resp) => last = format!("HTTP {}", resp.status),
+            Err(e) => last = e.to_string(),
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    Err(format!("server at {addr} never became healthy: {last}"))
+}
+
+/// Runs the full smoke against a live server. Returns a human-readable
+/// summary on success.
+///
+/// # Errors
+///
+/// A description of the first endpoint contract violation.
+pub fn run(config: &SmokeConfig) -> Result<String, String> {
+    let addr = config.addr.as_str();
+    wait_healthy(addr)?;
+
+    let opened = rpc(
+        addr,
+        1,
+        "open_stream",
+        Json::obj([
+            ("name", Json::str("smoke")),
+            ("nominal_fps", Json::from(config.fps)),
+        ]),
+    )?;
+    let stream_id = opened
+        .usize_at("stream_id")
+        .ok_or_else(|| format!("open_stream: no stream_id in {opened}"))?;
+
+    // Open loop: submit everything first, at nominal-rate timestamps.
+    let mut tickets = Vec::with_capacity(config.frames);
+    for i in 0..config.frames {
+        let result = rpc(
+            addr,
+            2 + i,
+            "submit_cloud",
+            Json::obj([
+                ("stream_id", Json::from(stream_id)),
+                ("sensor_ts_s", Json::from(i as f64 / config.fps.max(1e-9))),
+                ("points", cloud_json(i, config.points)),
+            ]),
+        )?;
+        let frame_index = result
+            .usize_at("frame_index")
+            .ok_or_else(|| format!("submit_cloud: no frame_index in {result}"))?;
+        if frame_index != i {
+            return Err(format!(
+                "submit_cloud: expected deterministic frame_index {i}, got {frame_index}"
+            ));
+        }
+        tickets.push(frame_index);
+    }
+
+    // Drain: blocking poll per ticket; every frame must come back done.
+    let mut classes = Vec::with_capacity(tickets.len());
+    for (i, frame_index) in tickets.iter().enumerate() {
+        let result = rpc(
+            addr,
+            1000 + i,
+            "poll_result",
+            Json::obj([
+                ("stream_id", Json::from(stream_id)),
+                ("frame_index", Json::from(*frame_index)),
+                ("wait", Json::from(true)),
+            ]),
+        )?;
+        match result.str_at("status") {
+            Some("done") => {}
+            other => {
+                return Err(format!(
+                    "poll_result: frame {frame_index} resolved {other:?}: {result}"
+                ))
+            }
+        }
+        classes.push(
+            result
+                .usize_at("output.predicted_class")
+                .ok_or_else(|| format!("poll_result: no predicted_class in {result}"))?,
+        );
+    }
+
+    // A consumed ticket must be gone: at-most-once delivery.
+    let replay = rpc(
+        addr,
+        5000,
+        "poll_result",
+        Json::obj([
+            ("stream_id", Json::from(stream_id)),
+            ("frame_index", Json::from(tickets[0])),
+        ]),
+    );
+    match replay {
+        Err(why) if why.contains("unknown_ticket") => {}
+        other => {
+            return Err(format!(
+            "poll_result: replaying a consumed ticket must fail with unknown_ticket, got {other:?}"
+        ))
+        }
+    }
+
+    let stats = rpc(
+        addr,
+        5001,
+        "stream_stats",
+        Json::obj([("stream_id", Json::from(stream_id))]),
+    )?;
+    let completed = stats
+        .usize_at("completed")
+        .ok_or_else(|| format!("stream_stats: no completed count in {stats}"))?;
+    if completed != config.frames {
+        return Err(format!(
+            "stream_stats: completed {completed} != submitted {}",
+            config.frames
+        ));
+    }
+
+    let metrics = request(addr, "GET", "/metrics", b"")
+        .map_err(|e| format!("/metrics: transport error: {e}"))?;
+    if metrics.status != 200 {
+        return Err(format!("/metrics: HTTP {}", metrics.status));
+    }
+    let metrics_text = metrics.body_text();
+    if !metrics_text.contains("hgpcn_frames_completed_total") {
+        return Err("/metrics: missing hgpcn_frames_completed_total".to_string());
+    }
+    if let Some(path) = &config.metrics_out {
+        let mut file = std::fs::File::create(path)
+            .map_err(|e| format!("cannot write metrics to {path}: {e}"))?;
+        file.write_all(metrics_text.as_bytes())
+            .map_err(|e| format!("cannot write metrics to {path}: {e}"))?;
+    }
+
+    Ok(format!(
+        "smoke ok: {} frames served on stream {stream_id} ({} distinct predicted classes); \
+         stream_stats and /metrics consistent",
+        config.frames,
+        {
+            let mut unique = classes.clone();
+            unique.sort_unstable();
+            unique.dedup();
+            unique.len()
+        },
+    ))
+}

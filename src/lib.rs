@@ -23,10 +23,16 @@
 //!   `Precision` serving-tier knob;
 //! * [`system`] — both HgPCN engines, the baseline platforms, the E2E
 //!   pipeline and the real-time experiment;
-//! * [`runtime`] — the concurrent multi-stream serving runtime: stage-
+//! * [`runtime`] — the concurrent multi-stream serving runtime: a
+//!   session-oriented core (`ServingRuntime`: open streams, submit
+//!   frames, poll tickets, live stats, graceful shutdown) with the
+//!   batch `Runtime::run` driver as a thin front end over it — stage-
 //!   pipelined worker pools, multi-tenant admission, backpressure,
 //!   micro-batch coalescing into the SoA engine path, and per-stream
 //!   latency metrics over real threads;
+//! * [`serve`] — the std-only HTTP/JSON-RPC 2.0 front end over the
+//!   serving runtime (`hgpcn-serve` binary: `POST /rpc`, `GET /health`,
+//!   `GET /metrics`), built on the in-tree `minihttp` compat layer;
 //! * [`telemetry`] — frame-lifecycle tracing (Chrome trace-event JSON
 //!   for Perfetto), a streaming metrics registry with Prometheus and
 //!   JSON exporters, and log-bucketed histograms — wired through the
@@ -68,6 +74,7 @@ pub use hgpcn_octree as octree;
 pub use hgpcn_pcn as pcn;
 pub use hgpcn_runtime as runtime;
 pub use hgpcn_sampling as sampling;
+pub use hgpcn_serve as serve;
 pub use hgpcn_system as system;
 pub use hgpcn_telemetry as telemetry;
 
@@ -82,10 +89,12 @@ pub mod prelude {
         Precision,
     };
     pub use hgpcn_runtime::{
-        AdmissionPolicy, ArrivalModel, BackpressurePolicy, BatchingStats, KittiSource, Runtime,
-        RuntimeConfig, RuntimeReport, StageBreakdown, StreamSpec, SyntheticSource,
+        AdmissionPolicy, ArrivalModel, BackpressurePolicy, BatchingStats, ErrorCode, FrameStatus,
+        FrameTicket, KittiSource, Runtime, RuntimeConfig, RuntimeError, RuntimeReport,
+        ServingRuntime, StageBreakdown, StreamHandle, StreamProfile, StreamSpec, SyntheticSource,
         TelemetrySnapshot,
     };
+    pub use hgpcn_serve::App;
     pub use hgpcn_system::{E2ePipeline, InferenceEngine, PreprocessingEngine};
     pub use hgpcn_telemetry::{LogHistogram, Registry, TelemetryMode, Trace};
 }
