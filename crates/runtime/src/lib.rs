@@ -74,7 +74,9 @@ mod executor;
 mod metrics;
 mod queue;
 mod scheduler;
+mod service;
 pub(crate) mod session;
+mod shard;
 mod stream;
 
 pub use config::{AdmissionPolicy, ArrivalModel, BackpressurePolicy, RuntimeConfig};
@@ -86,7 +88,9 @@ pub use metrics::{
 };
 pub use queue::{BoundedQueue, Closed};
 pub use scheduler::Scheduler;
+pub use service::StreamService;
 pub use session::{FrameResult, FrameStatus, FrameTicket, ServingRuntime, StreamHandle};
+pub use shard::{PlacementPolicy, ShardedRuntime};
 pub use stream::{
     FrameSource, KittiSource, StreamProfile, StreamSpec, SyntheticSource, TimedFrame,
 };
@@ -153,6 +157,12 @@ pub enum RuntimeError {
     },
     /// The session is shutting down and refuses new work.
     ShuttingDown,
+    /// The shard index is out of range for this service
+    /// ([`StreamService::shard_stats`]).
+    UnknownShard {
+        /// The offending shard index.
+        shard: usize,
+    },
 }
 
 /// Stable machine-readable identity of a [`RuntimeError`].
@@ -177,6 +187,8 @@ pub enum ErrorCode {
     UnknownTicket,
     /// `shutting_down` / `-32007`.
     ShuttingDown,
+    /// `unknown_shard` / `-32008`.
+    UnknownShard,
 }
 
 impl ErrorCode {
@@ -190,6 +202,7 @@ impl ErrorCode {
             ErrorCode::UnknownStream => "unknown_stream",
             ErrorCode::UnknownTicket => "unknown_ticket",
             ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::UnknownShard => "unknown_shard",
         }
     }
 
@@ -204,6 +217,7 @@ impl ErrorCode {
             ErrorCode::UnknownStream => -32005,
             ErrorCode::UnknownTicket => -32006,
             ErrorCode::ShuttingDown => -32007,
+            ErrorCode::UnknownShard => -32008,
         }
     }
 }
@@ -225,6 +239,7 @@ impl RuntimeError {
             RuntimeError::UnknownStream { .. } => ErrorCode::UnknownStream,
             RuntimeError::UnknownTicket { .. } => ErrorCode::UnknownTicket,
             RuntimeError::ShuttingDown => ErrorCode::ShuttingDown,
+            RuntimeError::UnknownShard { .. } => ErrorCode::UnknownShard,
         }
     }
 
@@ -279,6 +294,9 @@ impl fmt::Display for RuntimeError {
                  (never submitted, or already consumed)"
             ),
             RuntimeError::ShuttingDown => write!(f, "runtime is shutting down"),
+            RuntimeError::UnknownShard { shard } => {
+                write!(f, "shard {shard} is out of range for this service")
+            }
         }
     }
 }

@@ -1,0 +1,176 @@
+//! The [`StreamService`] abstraction: one small, stable interface over
+//! every live serving front end.
+//!
+//! In the microkernel spirit of this workspace, the *mechanism* of
+//! serving (worker pools, queues, ticket tables — [`ServingRuntime`])
+//! is separated from the *topology* it is deployed in (one replica, or
+//! N placement-balanced replicas — [`ShardedRuntime`]). `StreamService`
+//! is the seam between them: a network front end (`hgpcn-serve`)
+//! written against this trait serves either topology unchanged, and the
+//! shard count becomes a deployment flag instead of a code path.
+//!
+//! [`ShardedRuntime`]: crate::ShardedRuntime
+
+use hgpcn_geometry::PointCloud;
+use hgpcn_telemetry::Registry;
+
+use crate::metrics::{RuntimeReport, StreamReport};
+use crate::session::{FrameStatus, FrameTicket, ServingRuntime};
+use crate::stream::StreamProfile;
+use crate::RuntimeError;
+
+/// A live stream-serving endpoint: open streams, submit frames, poll
+/// tickets, snapshot stats, shut down.
+///
+/// Implemented by [`ServingRuntime`] (a single replica; every shard
+/// accessor degenerates to the identity) and
+/// [`ShardedRuntime`](crate::ShardedRuntime) (N replicas behind a
+/// placement policy). The ticket-oriented calls mirror the inherent
+/// [`ServingRuntime`] API exactly, with one deliberate difference:
+/// [`StreamService::open_stream`] returns the plain stream id rather
+/// than a [`StreamHandle`](crate::StreamHandle), because ids — unlike
+/// handles — survive serialization across an RPC boundary. (Rust
+/// resolves method calls to inherent methods first, so the trait does
+/// not shadow `ServingRuntime::open_stream` for existing callers.)
+pub trait StreamService: Send + Sync {
+    /// Opens a stream session and returns its service-wide id.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined admission refusals; infallible today.
+    fn open_stream(&self, profile: StreamProfile) -> Result<usize, RuntimeError>;
+
+    /// Submits one frame to `stream_id`.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownStream`] for an unopened id and
+    /// [`RuntimeError::ShuttingDown`] once shutdown has begun.
+    fn submit(
+        &self,
+        stream_id: usize,
+        sensor_ts_s: f64,
+        cloud: PointCloud,
+    ) -> Result<FrameTicket, RuntimeError>;
+
+    /// Polls a ticket without blocking. See [`FrameStatus`] for the
+    /// at-most-once delivery contract.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownTicket`] for a never-issued or
+    /// already-consumed ticket.
+    fn poll(&self, ticket: FrameTicket) -> Result<FrameStatus, RuntimeError>;
+
+    /// Blocks until `ticket` resolves.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownTicket`] for a never-issued or
+    /// already-consumed ticket.
+    fn wait(&self, ticket: FrameTicket) -> Result<FrameStatus, RuntimeError>;
+
+    /// A live snapshot of the aggregate serving report (aggregated
+    /// across every shard on a sharded service).
+    fn stats(&self) -> RuntimeReport;
+
+    /// One stream's slice of [`StreamService::stats`].
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownStream`] for an unopened id.
+    fn stream_stats(&self, stream_id: usize) -> Result<StreamReport, RuntimeError>;
+
+    /// Number of runtime replicas behind this service. `1` for a single
+    /// [`ServingRuntime`].
+    fn shard_count(&self) -> usize {
+        1
+    }
+
+    /// The shard that owns `stream_id` (always `0` on a single
+    /// runtime). A stream is pinned to one shard for its lifetime, so
+    /// the answer never changes once a stream is open.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownStream`] for an unopened id.
+    fn shard_of(&self, stream_id: usize) -> Result<usize, RuntimeError>;
+
+    /// One shard's own live report, with stream ids and shard fields
+    /// expressed in *service-wide* terms. `shard_stats(0)` on a single
+    /// runtime is exactly [`StreamService::stats`].
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownShard`] for `shard >= shard_count()`.
+    fn shard_stats(&self, shard: usize) -> Result<RuntimeReport, RuntimeError>;
+
+    /// A populated metrics registry for this service — what an HTTP
+    /// front end renders on `/metrics`. The default is the single-
+    /// replica rendering
+    /// ([`RuntimeReport::build_metrics`]); a sharded service overrides
+    /// this to add per-shard series under an `hgpcn_shard` label.
+    fn metrics(&self) -> Registry {
+        self.stats().build_metrics()
+    }
+
+    /// Graceful shutdown: refuses new submissions, drains every queued
+    /// frame and returns the final aggregate report.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined; the single-replica service never fails.
+    fn shutdown(self) -> Result<RuntimeReport, RuntimeError>
+    where
+        Self: Sized;
+}
+
+impl StreamService for ServingRuntime {
+    fn open_stream(&self, profile: StreamProfile) -> Result<usize, RuntimeError> {
+        ServingRuntime::open_stream(self, profile).map(|handle| handle.id())
+    }
+
+    fn submit(
+        &self,
+        stream_id: usize,
+        sensor_ts_s: f64,
+        cloud: PointCloud,
+    ) -> Result<FrameTicket, RuntimeError> {
+        ServingRuntime::submit(self, stream_id, sensor_ts_s, cloud)
+    }
+
+    fn poll(&self, ticket: FrameTicket) -> Result<FrameStatus, RuntimeError> {
+        ServingRuntime::poll(self, ticket)
+    }
+
+    fn wait(&self, ticket: FrameTicket) -> Result<FrameStatus, RuntimeError> {
+        ServingRuntime::wait(self, ticket)
+    }
+
+    fn stats(&self) -> RuntimeReport {
+        ServingRuntime::stats(self)
+    }
+
+    fn stream_stats(&self, stream_id: usize) -> Result<StreamReport, RuntimeError> {
+        ServingRuntime::stream_stats(self, stream_id)
+    }
+
+    fn shard_of(&self, stream_id: usize) -> Result<usize, RuntimeError> {
+        match self.stream(stream_id) {
+            Some(_) => Ok(0),
+            None => Err(RuntimeError::UnknownStream { stream_id }),
+        }
+    }
+
+    fn shard_stats(&self, shard: usize) -> Result<RuntimeReport, RuntimeError> {
+        if shard == 0 {
+            Ok(ServingRuntime::stats(self))
+        } else {
+            Err(RuntimeError::UnknownShard { shard })
+        }
+    }
+
+    fn shutdown(self) -> Result<RuntimeReport, RuntimeError> {
+        ServingRuntime::shutdown(self)
+    }
+}

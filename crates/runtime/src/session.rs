@@ -938,11 +938,20 @@ impl std::fmt::Debug for ServingRuntime {
 impl ServingRuntime {
     /// Starts worker pools over the prototype pipeline.
     ///
+    /// The network is taken as `impl Into<Arc<PointNet>>`: passing a
+    /// `PointNet` by value keeps working unchanged, while passing an
+    /// `Arc<PointNet>` lets many runtimes (the shards of a
+    /// [`ShardedRuntime`](crate::ShardedRuntime)) serve **one** shared
+    /// copy of the weights instead of cloning them per replica.
+    ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::InvalidConfig`] if `config` fails
     /// [`RuntimeConfig::validate`].
-    pub fn start(config: RuntimeConfig, net: PointNet) -> Result<ServingRuntime, RuntimeError> {
+    pub fn start(
+        config: RuntimeConfig,
+        net: impl Into<Arc<PointNet>>,
+    ) -> Result<ServingRuntime, RuntimeError> {
         ServingRuntime::start_with_pipeline(config, E2ePipeline::prototype(), net)
     }
 
@@ -955,12 +964,12 @@ impl ServingRuntime {
     pub fn start_with_pipeline(
         config: RuntimeConfig,
         pipeline: E2ePipeline,
-        net: PointNet,
+        net: impl Into<Arc<PointNet>>,
     ) -> Result<ServingRuntime, RuntimeError> {
         config.validate()?;
+        let net: Arc<PointNet> = net.into();
         let core = Arc::new(SessionCore::new(config.clone(), &net, true));
         let pipeline = Arc::new(pipeline);
-        let net = Arc::new(net);
         let mut workers = Vec::with_capacity(config.preproc_workers + config.inference_workers);
         for w in 0..config.preproc_workers {
             let (core, pipeline) = (Arc::clone(&core), Arc::clone(&pipeline));
@@ -1057,6 +1066,16 @@ impl ServingRuntime {
     /// (`telemetry` stays `None` until [`ServingRuntime::shutdown`]).
     pub fn stats(&self) -> RuntimeReport {
         self.core().snapshot()
+    }
+
+    /// Frames currently queued between stages (ingress + stage queue
+    /// occupancy) — the live load signal
+    /// [`PlacementPolicy::LeastLoaded`](crate::PlacementPolicy)
+    /// placement reads. A momentary observation: it can change before
+    /// the caller acts on it.
+    pub fn queue_depth(&self) -> usize {
+        let core = self.core();
+        core.ingress.depth() + core.stage.depth()
     }
 
     /// One stream's slice of [`ServingRuntime::stats`].
@@ -1215,6 +1234,7 @@ fn assemble_report(
         };
         reports.push(StreamReport {
             stream_id: id,
+            shard: 0,
             name: state.name.clone(),
             offered: state.offered,
             completed: mine.len(),

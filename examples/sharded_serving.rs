@@ -1,0 +1,103 @@
+//! Scale-out serving: four runtime replicas behind a consistent-hash
+//! placement policy, all serving **one** shared copy of the network
+//! weights (`Arc<PointNet>` — no per-replica clone), presented through
+//! the same `StreamService` interface as a single runtime.
+//!
+//! ```bash
+//! cargo run --release --example sharded_serving            # scalar kernels
+//! cargo run --release --features simd --example sharded_serving
+//! ```
+
+use std::sync::Arc;
+
+use hgpcn::prelude::*;
+
+const TARGET: usize = 512;
+const SHARDS: usize = 4;
+const STREAMS: usize = 12;
+const FRAMES_PER_STREAM: usize = 3;
+
+/// A deterministic synthetic sensor frame for (stream, frame).
+fn frame_cloud(stream: usize, frame: usize) -> PointCloud {
+    (0..900)
+        .map(|i| {
+            let f = (i + stream * 977 + frame * 131) as f32;
+            Point3::new(
+                (f * 0.618).fract(),
+                (f * 0.414).fract(),
+                (f * 0.732).fract(),
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    // One weight copy for the whole fleet. Before the Arc migration,
+    // every replica (and every caller that still needed the net after
+    // `start`) had to clone the weights; now they all share this one.
+    let net = Arc::new(PointNet::new(PointNetConfig::classification(), 7));
+
+    let runtime = ShardedRuntime::start(
+        RuntimeConfig::default()
+            .preproc_workers(1)
+            .inference_workers(1)
+            .target_points(TARGET),
+        SHARDS,
+        PlacementPolicy::ConsistentHash,
+        Arc::clone(&net), // the net stays usable here — no clone needed
+    )
+    .expect("valid config");
+
+    // Open a fleet of streams; the ring pins each name to one shard.
+    let ids: Vec<usize> = (0..STREAMS)
+        .map(|s| {
+            runtime
+                .open_stream(StreamProfile::new(format!("lidar-{s}")).nominal_fps(10.0))
+                .expect("stream opens")
+        })
+        .collect();
+    for (s, &id) in ids.iter().enumerate() {
+        println!(
+            "lidar-{s} -> service id {id}, shard {}",
+            runtime.shard_of(id).expect("open stream")
+        );
+    }
+
+    // Submit frames round-robin and wait for each ticket.
+    let mut tickets = Vec::new();
+    for frame in 0..FRAMES_PER_STREAM {
+        for (s, &id) in ids.iter().enumerate() {
+            let ts = frame as f64 * 0.1;
+            tickets.push(
+                runtime
+                    .submit(id, ts, frame_cloud(s, frame))
+                    .expect("frame admitted"),
+            );
+        }
+    }
+    for ticket in tickets {
+        match runtime.wait(ticket).expect("ticket resolves") {
+            FrameStatus::Done(result) => assert!(result.output.logits.rows() > 0),
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    // Per-shard and aggregate views of the same fleet.
+    for shard in 0..runtime.shard_count() {
+        let report = runtime.shard_stats(shard).expect("shard exists");
+        println!(
+            "shard {shard}: {} streams, {} frames",
+            report.streams.len(),
+            report.total_frames
+        );
+    }
+    let report = runtime.shutdown().expect("clean shutdown");
+    println!("{report}");
+    assert_eq!(report.total_frames, STREAMS * FRAMES_PER_STREAM);
+    assert_eq!(report.streams.len(), STREAMS);
+    println!(
+        "served {} frames across {SHARDS} shards from one weight copy ({} stream reports)",
+        report.total_frames,
+        report.streams.len()
+    );
+}

@@ -3,11 +3,31 @@
 //! ```text
 //! bench_gate <baseline.json> <candidate.json> [--tolerance 0.15]
 //!            [--min-speedup X] [--min-int8-vs-f32 X]
-//!            [--min-telemetry-ratio X]
+//!            [--min-telemetry-ratio X] [--min-drop-rate X]
 //! ```
 //!
-//! Reads two `BENCH_runtime.json` files (the committed baseline and the
-//! fresh CI measurement) and fails (exit 1) when the candidate regresses:
+//! Reads two bench JSON files (the committed baseline and the fresh CI
+//! measurement) and fails (exit 1) when the candidate regresses. The
+//! schema is auto-detected: a candidate carrying
+//! `offered.p99_sojourn_ms` is a `BENCH_load.json` from the `load_smoke`
+//! harness and is gated on the load checks below; anything else is a
+//! `BENCH_runtime.json` from `perf_smoke`.
+//!
+//! **Load schema** (`load-smoke` CI job):
+//!
+//! * `offered.p50_sojourn_ms` / `offered.p99_sojourn_ms` — virtual-time
+//!   sojourn percentiles of the offered (Poisson) leg. Each shard runs
+//!   one worker per stage, so these are bit-reproducible functions of
+//!   the seed; any drift beyond the tolerance is a real scheduling or
+//!   cost-model change.
+//! * `offered.achieved_fps` — the aggregated `modeled_pipelined_fps`
+//!   across shards. Deterministic like the sojourns.
+//! * with `--min-drop-rate X`, requires `saturation.drop_rate >= X` —
+//!   the saturation leg races real worker threads, so its drop count is
+//!   only macroscopically stable; CI holds a floor under it instead of
+//!   a tolerance band.
+//!
+//! **Runtime schema** (`perf-smoke` CI job):
 //!
 //! * `batched.p95_service_ms` — the **modeled** per-frame p95 latency.
 //!   Deterministic across machines, so any drift beyond the tolerance is
@@ -65,6 +85,7 @@ fn main() -> ExitCode {
     let mut min_speedup: Option<f64> = None;
     let mut min_int8_vs_f32: Option<f64> = None;
     let mut min_telemetry_ratio: Option<f64> = None;
+    let mut min_drop_rate: Option<f64> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--tolerance" => {
@@ -93,13 +114,21 @@ fn main() -> ExitCode {
                         std::process::exit(2);
                     }))
             }
+            "--min-drop-rate" => {
+                min_drop_rate =
+                    Some(args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--min-drop-rate needs a number");
+                        std::process::exit(2);
+                    }))
+            }
             other => paths.push(other.to_owned()),
         }
     }
     if paths.len() != 2 {
         eprintln!(
             "usage: bench_gate <baseline.json> <candidate.json> [--tolerance 0.15] \
-             [--min-speedup X] [--min-int8-vs-f32 X] [--min-telemetry-ratio X]"
+             [--min-speedup X] [--min-int8-vs-f32 X] [--min-telemetry-ratio X] \
+             [--min-drop-rate X]"
         );
         return ExitCode::from(2);
     }
@@ -111,11 +140,11 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut failures = 0usize;
-    let mut check = |name: &str, base: Option<f64>, cand: Option<f64>, lower_is_better: bool| {
+    let failures = std::cell::Cell::new(0usize);
+    let check = |name: &str, base: Option<f64>, cand: Option<f64>, lower_is_better: bool| {
         let (Some(base), Some(cand)) = (base, cand) else {
             eprintln!("FAIL {name}: missing in baseline or candidate");
-            failures += 1;
+            failures.set(failures.get() + 1);
             return;
         };
         // Regression = candidate worse than baseline by more than the
@@ -132,9 +161,74 @@ fn main() -> ExitCode {
             tolerance = tolerance * 100.0
         );
         if bad {
-            failures += 1;
+            failures.set(failures.get() + 1);
         }
     };
+
+    // Schema detection: the load harness writes `offered.*`, perf_smoke
+    // writes `serial.*`/`batched.*` — gate whichever trajectory this is.
+    let is_load = candidate.num("offered.p99_sojourn_ms").is_some()
+        || baseline.num("offered.p99_sojourn_ms").is_some();
+    if is_load {
+        check(
+            "offered.p50_sojourn_ms (virtual-time, deterministic)",
+            baseline.num("offered.p50_sojourn_ms"),
+            candidate.num("offered.p50_sojourn_ms"),
+            true,
+        );
+        check(
+            "offered.p99_sojourn_ms (virtual-time, deterministic)",
+            baseline.num("offered.p99_sojourn_ms"),
+            candidate.num("offered.p99_sojourn_ms"),
+            true,
+        );
+        check(
+            "offered.achieved_fps (modeled, deterministic)",
+            baseline.num("offered.achieved_fps"),
+            candidate.num("offered.achieved_fps"),
+            false,
+        );
+
+        if let Some(floor) = min_drop_rate {
+            match candidate.num("saturation.drop_rate") {
+                Some(v) if v >= floor => println!("ok   drop-rate floor: {v:.3} >= {floor:.3}"),
+                Some(v) => {
+                    eprintln!("FAIL drop-rate floor: {v:.3} < {floor:.3}");
+                    failures.set(failures.get() + 1);
+                }
+                None => {
+                    eprintln!("FAIL drop-rate floor: candidate has no saturation.drop_rate");
+                    failures.set(failures.get() + 1);
+                }
+            }
+        }
+
+        // Context lines (informational, never gated).
+        for key in [
+            "offered.frames",
+            "offered.wall_fps",
+            "offered.virtual_makespan_s",
+            "saturation.drop_rate",
+            "saturation.completed",
+            "http.wall_s",
+        ] {
+            if let (Some(b), Some(c)) = (baseline.num(key), candidate.num(key)) {
+                println!("info {key}: baseline {b:.3}, candidate {c:.3} (not gated)");
+            }
+        }
+
+        return if failures.get() > 0 {
+            eprintln!(
+                "bench_gate: {} regression(s) beyond {:.0}% tolerance",
+                failures.get(),
+                tolerance * 100.0
+            );
+            ExitCode::FAILURE
+        } else {
+            println!("bench_gate: no regressions");
+            ExitCode::SUCCESS
+        };
+    }
 
     check(
         "batched.p95_service_ms (modeled, deterministic)",
@@ -184,11 +278,11 @@ fn main() -> ExitCode {
             Some(v) if v >= floor => println!("ok   int8-vs-f32 floor: {v:.3} >= {floor:.3}"),
             Some(v) => {
                 eprintln!("FAIL int8-vs-f32 floor: {v:.3} < {floor:.3}");
-                failures += 1;
+                failures.set(failures.get() + 1);
             }
             None => {
                 eprintln!("FAIL int8-vs-f32 floor: candidate has no int8_gmacs_vs_f32_blocked");
-                failures += 1;
+                failures.set(failures.get() + 1);
             }
         }
     }
@@ -198,11 +292,11 @@ fn main() -> ExitCode {
             Some(v) if v >= floor => println!("ok   telemetry-ratio floor: {v:.3} >= {floor:.3}"),
             Some(v) => {
                 eprintln!("FAIL telemetry-ratio floor: {v:.3} < {floor:.3}");
-                failures += 1;
+                failures.set(failures.get() + 1);
             }
             None => {
                 eprintln!("FAIL telemetry-ratio floor: candidate has no telemetry_on_vs_off");
-                failures += 1;
+                failures.set(failures.get() + 1);
             }
         }
     }
@@ -212,11 +306,11 @@ fn main() -> ExitCode {
             Some(s) if s >= floor => println!("ok   speedup floor: {s:.3} >= {floor:.3}"),
             Some(s) => {
                 eprintln!("FAIL speedup floor: {s:.3} < {floor:.3}");
-                failures += 1;
+                failures.set(failures.get() + 1);
             }
             None => {
                 eprintln!("FAIL speedup floor: candidate has no speedup field");
-                failures += 1;
+                failures.set(failures.get() + 1);
             }
         }
     }
@@ -244,9 +338,10 @@ fn main() -> ExitCode {
         println!("info kernel_backend: baseline {b}, candidate {c} (not gated)");
     }
 
-    if failures > 0 {
+    if failures.get() > 0 {
         eprintln!(
-            "bench_gate: {failures} regression(s) beyond {:.0}% tolerance",
+            "bench_gate: {} regression(s) beyond {:.0}% tolerance",
+            failures.get(),
             tolerance * 100.0
         );
         ExitCode::FAILURE
