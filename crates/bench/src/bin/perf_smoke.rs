@@ -49,19 +49,32 @@
 //!   mirror the pair for the int8 GEMM, the latter holding the
 //!   acceptance claim that the quantized path out-runs the f32
 //!   `blocked` kernel on dense GEMM throughput.
+//! * `stage_backends` (per side) / `preproc_gmacs` /
+//!   `preproc_gmacs_vs_anchor` / `stage_*_vs_scalar` — which backend
+//!   each preproc stage (sampling / gather / interpolate) dispatched to
+//!   on that side, the dispatched stage set's GMAC-equivalent composite
+//!   preproc throughput on representative per-frame shapes, and that
+//!   throughput as a same-host multiple of the all-scalar anchor set's
+//!   (plus one vs-scalar multiple per stage for attribution). The
+//!   serial yardstick is pinned to `StageBackends::anchor()` exactly as
+//!   it is pinned to the reference matmul kernel, so `speedup` keeps
+//!   meaning "what the modern path buys over the original one" as the
+//!   stage seams widen. Schema version 5 added this block.
 
 use std::time::Instant;
 
 use hgpcn_geometry::{Point3, PointCloud};
-use hgpcn_memsim::Latency;
+use hgpcn_memsim::{HostMemory, Latency, OpCounts};
+use hgpcn_octree::{Octree, OctreeConfig, OctreeTable};
 use hgpcn_pcn::{
-    BruteKnnGatherer, Calibrator, CenterPolicy, Int8Kernel, LinearKernel, PointNet, PointNetConfig,
-    Precision, QuantLayer,
+    BruteKnnGatherer, Calibrator, CenterPolicy, Int8Kernel, LinearKernel, Matrix, PointNet,
+    PointNetConfig, Precision, QuantLayer, StageBackends,
 };
 use hgpcn_runtime::{
-    ArrivalModel, LatencySummary, Runtime, RuntimeConfig, RuntimeReport, StreamSpec,
-    SyntheticSource, TelemetryMode,
+    ArrivalModel, LatencySummary, Runtime, RuntimeConfig, RuntimeReport, StageBackendNames,
+    StreamSpec, SyntheticSource, TelemetryMode,
 };
+use hgpcn_sampling::ois;
 
 const TARGET: usize = 512;
 
@@ -175,6 +188,18 @@ fn service_summary(report: &RuntimeReport) -> LatencySummary {
     LatencySummary::from_samples(&samples)
 }
 
+/// The per-stage backend identity of a side, as a JSON object in
+/// pipeline order — the "per-stage backend recorded" half of the
+/// schema-5 bump.
+fn stage_backends_json(stages: &StageBackendNames) -> String {
+    let pairs: Vec<String> = stages
+        .as_pairs()
+        .iter()
+        .map(|(stage, backend)| format!("\"{stage}\": \"{backend}\""))
+        .collect();
+    format!("{{ {} }}", pairs.join(", "))
+}
+
 fn side_json(label: &str, report: &RuntimeReport, wall_s: f64) -> String {
     let service = service_summary(report);
     format!(
@@ -187,6 +212,7 @@ fn side_json(label: &str, report: &RuntimeReport, wall_s: f64) -> String {
             "    \"p95_service_ms\": {:.6},\n",
             "    \"modeled_pipelined_fps\": {:.4},\n",
             "    \"kernel_backend\": \"{}\",\n",
+            "    \"stage_backends\": {},\n",
             "    \"precision\": \"{}\",\n",
             "    \"batches\": {},\n",
             "    \"mean_batch_size\": {:.3},\n",
@@ -201,6 +227,7 @@ fn side_json(label: &str, report: &RuntimeReport, wall_s: f64) -> String {
         service.p95.ms(),
         report.modeled_pipelined_fps,
         report.kernel_backend,
+        stage_backends_json(&report.stage_backends),
         report.precision,
         report.batching.batches,
         report.batching.mean_batch_size,
@@ -257,6 +284,113 @@ fn int8_gmacs(kernel: Int8Kernel) -> f64 {
     macs / best.max(1e-12) / 1e9
 }
 
+/// The shared preproc micro-workload: one fleet-sized frame's stage
+/// shapes. Sampling runs OIS at `TARGET` centers over the SFC-built
+/// octree; gather scores every point against `PREPROC_CENTERS` query
+/// centers and keeps the `PREPROC_K` nearest (the first SA layer's
+/// shape); interpolate propagates a `PREPROC_CENTERS`-wide feature
+/// matrix onto all `TARGET` fine points (the deepest FP layer's pair
+/// count — the term that dominates the preproc floor).
+struct PreprocWorkload {
+    tree: Octree,
+    table: OctreeTable,
+    centers: Vec<Point3>,
+    fine: Vec<Point3>,
+    feats: Matrix,
+}
+
+const PREPROC_POINTS: usize = 1400;
+const PREPROC_CENTERS: usize = 128;
+const PREPROC_K: usize = 32;
+
+fn preproc_workload() -> PreprocWorkload {
+    let cloud: PointCloud = (0..PREPROC_POINTS)
+        .map(|i| {
+            let f = i as f32;
+            Point3::new(
+                (f * 0.618).fract() * 4.0,
+                (f * 0.414).fract() * 4.0,
+                (f * 0.732).fract() * 4.0,
+            )
+        })
+        .collect();
+    let tree =
+        Octree::build(&cloud, OctreeConfig::new().max_depth(8).leaf_capacity(3)).expect("finite");
+    let table = OctreeTable::from_octree(&tree);
+    let pts = tree.points();
+    let centers: Vec<Point3> = (0..PREPROC_CENTERS)
+        .map(|i| pts.point(i * pts.len() / PREPROC_CENTERS))
+        .collect();
+    let fine: Vec<Point3> = (0..TARGET).map(|i| pts.point(i % pts.len())).collect();
+    let feats = Matrix::from_vec(
+        PREPROC_CENTERS,
+        128,
+        (0..PREPROC_CENTERS * 128)
+            .map(|i| (i as f32 * 0.37).sin())
+            .collect(),
+    );
+    PreprocWorkload {
+        tree,
+        table,
+        centers,
+        fine,
+        feats,
+    }
+}
+
+/// One timed pass of all three preproc stages under `stages`, returning
+/// `(wall seconds, MAC-equivalents)` — a squared distance (3 mul +
+/// 5 add/sub) is charged as 3 MAC-equivalents, scan comparisons as
+/// 1, so the composite reads on the same GMAC/s axis as the dense
+/// kernels. Best-of-N over callers; the modeled counts are identical
+/// across backends by the bit-equality contract, so only the wall time
+/// distinguishes the stage sets.
+fn preproc_pass(w: &PreprocWorkload, stages: StageBackends) -> (f64, f64) {
+    let started = Instant::now();
+    // Sampling: exact OIS at the serving target on the forced backend.
+    let mut mem = HostMemory::from_cloud(w.tree.points());
+    let sampled = ois::sample_with(&w.tree, &w.table, &mut mem, TARGET, 7, stages.sampling)
+        .expect("valid workload");
+    // Gather: score-all + top-K per query center (the selection loop is
+    // the stage seam; the scoring sweep is the same code on both sides).
+    let pts = w.tree.points();
+    let mut scored: Vec<(f32, usize)> = Vec::with_capacity(pts.len());
+    for &c in &w.centers {
+        scored.clear();
+        scored.extend((0..pts.len()).map(|i| (c.distance_sq(pts.point(i)), i)));
+        stages.gather.top_k(&mut scored, PREPROC_K);
+        std::hint::black_box(scored.len());
+    }
+    // Interpolate: the deepest FP layer's fine x coarse propagation.
+    let mut counts = OpCounts::default();
+    let out = stages
+        .interpolate
+        .apply(&w.fine, &w.centers, &w.feats, &mut counts);
+    std::hint::black_box((&sampled, &out));
+    let secs = started.elapsed().as_secs_f64();
+
+    let sample_equiv =
+        sampled.counts.distance_computations as f64 * 3.0 + sampled.counts.comparisons as f64;
+    let gather_equiv = (w.centers.len() * pts.len()) as f64 * 3.0;
+    let interp_equiv = counts.distance_computations as f64 * 3.0 + counts.comparisons as f64;
+    (secs, sample_equiv + gather_equiv + interp_equiv)
+}
+
+/// GMAC-equivalent composite preproc throughput of a stage-backend set:
+/// best-of-6 over [`preproc_pass`]. Absolute numbers are machine
+/// dependent and never gated; the vs-anchor multiple is same-host
+/// machine-relative, exactly like `kernel_gmacs_vs_reference`.
+fn preproc_gmacs(w: &PreprocWorkload, stages: StageBackends) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut equiv = 0.0;
+    for _ in 0..6 {
+        let (secs, e) = preproc_pass(w, stages);
+        best = best.min(secs);
+        equiv = e;
+    }
+    equiv / best.max(1e-12) / 1e9
+}
+
 /// Deterministic ~`TARGET`-point calibration cloud `c` (the same
 /// quasi-random generator the unit tests use, salted per cloud).
 fn calib_cloud(c: usize) -> PointCloud {
@@ -295,13 +429,16 @@ fn quantized(net: PointNet) -> PointNet {
 fn main() {
     let args = parse_args();
     // The yardstick: the legacy serial engine, pinned to the reference
-    // scalar kernel so the metric keeps meaning "what did batching +
-    // kernel dispatch buy over the original path". The candidate: the
-    // batched path on the dispatched (auto or HGPCN_KERNEL-forced)
-    // backend. Same seed, and all backends are bit-identical, so the
-    // two nets produce identical per-frame results.
+    // scalar kernel *and* the all-scalar anchor stage backends, so the
+    // metric keeps meaning "what did batching + kernel dispatch + stage
+    // dispatch buy over the original path". The candidate: the batched
+    // path on the dispatched (auto or HGPCN_KERNEL / HGPCN_STAGE_*
+    // forced) backends. Same seed, and all backends are bit-identical,
+    // so the two nets produce identical per-frame results.
     let config = PointNetConfig::semantic_segmentation(TARGET);
-    let net_serial = PointNet::new(config.clone(), 1).with_kernel(LinearKernel::Reference);
+    let net_serial = PointNet::new(config.clone(), 1)
+        .with_kernel(LinearKernel::Reference)
+        .with_stage_backends(StageBackends::anchor());
     // The modern net serves both tiers: f32 weights plus calibrated
     // int8 weights frozen from the same seed-1 parameters.
     let net_modern = quantized(PointNet::new(config, 1));
@@ -453,12 +590,35 @@ fn main() {
     let int8_kernel = Int8Kernel::for_linear(active);
     let i8_gmacs = int8_gmacs(int8_kernel);
     let int8_vs_blocked = i8_gmacs / kernel_gmacs(LinearKernel::Blocked).max(1e-12);
+    // The preproc-stage mirror of the kernel pair: composite
+    // GMAC-equivalent throughput of the dispatched stage set, its
+    // same-host multiple over the all-scalar anchor set (the gated
+    // ratio), and one multiple per stage — each measured with the other
+    // two stages held at the anchor — for attribution.
+    let stages_active = net_modern.stage_backends();
+    let workload = preproc_workload();
+    let anchor_gmacs = preproc_gmacs(&workload, StageBackends::anchor());
+    let pre_gmacs = preproc_gmacs(&workload, stages_active);
+    let pre_vs_anchor = pre_gmacs / anchor_gmacs.max(1e-12);
+    let one_stage = |s: StageBackends| preproc_gmacs(&workload, s) / anchor_gmacs.max(1e-12);
+    let sampling_vs_scalar = one_stage(StageBackends {
+        sampling: stages_active.sampling,
+        ..StageBackends::anchor()
+    });
+    let gather_vs_scalar = one_stage(StageBackends {
+        gather: stages_active.gather,
+        ..StageBackends::anchor()
+    });
+    let interpolate_vs_scalar = one_stage(StageBackends {
+        interpolate: stages_active.interpolate,
+        ..StageBackends::anchor()
+    });
 
     let json = format!(
         concat!(
             "{{\n",
             "  \"bench\": \"runtime_batching\",\n",
-            "  \"schema_version\": 4,\n",
+            "  \"schema_version\": 5,\n",
             "  \"config\": {{\n",
             "    \"streams\": {},\n",
             "    \"frames_per_stream\": {},\n",
@@ -477,6 +637,11 @@ fn main() {
             "  \"int8_kernel_backend\": \"{}\",\n",
             "  \"int8_gmacs\": {:.4},\n",
             "  \"int8_gmacs_vs_f32_blocked\": {:.4},\n",
+            "  \"preproc_gmacs\": {:.4},\n",
+            "  \"preproc_gmacs_vs_anchor\": {:.4},\n",
+            "  \"stage_sampling_vs_scalar\": {:.4},\n",
+            "  \"stage_gather_vs_scalar\": {:.4},\n",
+            "  \"stage_interpolate_vs_scalar\": {:.4},\n",
             "  \"speedup\": {:.4},\n",
             "  \"int8_speedup\": {:.4},\n",
             "  \"int8_vs_f32_batched\": {:.4},\n",
@@ -500,6 +665,11 @@ fn main() {
         int8_kernel.name(),
         i8_gmacs,
         int8_vs_blocked,
+        pre_gmacs,
+        pre_vs_anchor,
+        sampling_vs_scalar,
+        gather_vs_scalar,
+        interpolate_vs_scalar,
         speedup,
         int8_speedup,
         int8_vs_f32_batched,
@@ -535,6 +705,12 @@ fn main() {
     println!(
         "  int8   : {} at {i8_gmacs:.2} GMAC/s dense ({int8_vs_blocked:.2}x the f32 blocked kernel)",
         int8_kernel.name()
+    );
+    println!(
+        "  stages : {} at {pre_gmacs:.2} GMAC-equiv/s preproc ({pre_vs_anchor:.2}x the anchor set; \
+         sampling {sampling_vs_scalar:.2}x, gather {gather_vs_scalar:.2}x, \
+         interpolate {interpolate_vs_scalar:.2}x)",
+        batched.stage_backends
     );
     println!(
         "  traced : {traced_s:.3} s wall, {traced_fps:.2} frames/s ({:.1}% of untraced, {} events)",

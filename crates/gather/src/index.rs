@@ -27,7 +27,7 @@ use hgpcn_octree::{Octree, OctreeConfig, OctreeError};
 
 use crate::kdtree::KdTree;
 use crate::veg::{self, VegConfig};
-use crate::{knn, GatherError, GatherResult};
+use crate::{knn, stage, GatherError, GatherKernel, GatherResult};
 
 /// A neighbor index over one point cloud: built once, queried many times.
 ///
@@ -229,6 +229,7 @@ pub struct VegIndex {
     /// Caller index → SFC position.
     inverse: Vec<usize>,
     config: VegConfig,
+    kernel: GatherKernel,
 }
 
 impl VegIndex {
@@ -260,7 +261,20 @@ impl VegIndex {
             perm,
             inverse,
             config,
+            kernel: stage::active(),
         })
+    }
+
+    /// Pins queries from this index to a specific [`GatherKernel`]
+    /// backend instead of the process-wide [`stage::active`] choice.
+    /// All backends are bit-identical, so this changes host speed only
+    /// — it exists so a harness (or a runtime honoring a per-run
+    /// `stage_backends` override) can run an anchor yardstick and an
+    /// optimized candidate side by side in one process.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: GatherKernel) -> VegIndex {
+        self.kernel = kernel;
+        self
     }
 
     /// The underlying octree (SFC-ordered points inside).
@@ -271,6 +285,11 @@ impl VegIndex {
     /// The VEG configuration queries run with.
     pub fn config(&self) -> &VegConfig {
         &self.config
+    }
+
+    /// The top-K selection backend queries dispatch to.
+    pub fn kernel(&self) -> GatherKernel {
+        self.kernel
     }
 }
 
@@ -303,7 +322,13 @@ impl NeighborIndex for VegIndex {
                 len: self.inverse.len(),
             });
         }
-        let mut r = veg::gather(&self.octree, self.inverse[center], k, &self.config)?;
+        let mut r = veg::gather_with(
+            &self.octree,
+            self.inverse[center],
+            k,
+            &self.config,
+            self.kernel,
+        )?;
         for n in &mut r.neighbors {
             *n = self.perm[*n];
         }

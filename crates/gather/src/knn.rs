@@ -8,7 +8,7 @@
 use hgpcn_geometry::PointCloud;
 use hgpcn_memsim::OpCounts;
 
-use crate::{sorter, GatherError, GatherResult};
+use crate::{sorter, stage, GatherError, GatherKernel, GatherResult};
 
 fn validate(cloud: &PointCloud, center: usize, k: usize) -> Result<(), GatherError> {
     if cloud.is_empty() {
@@ -39,17 +39,35 @@ fn validate(cloud: &PointCloud, center: usize, k: usize) -> Result<(), GatherErr
 ///
 /// See [`GatherError`] for the rejected inputs.
 pub fn gather(cloud: &PointCloud, center: usize, k: usize) -> Result<GatherResult, GatherError> {
+    gather_with(cloud, center, k, stage::active())
+}
+
+/// [`gather`] on a specific [`GatherKernel`] backend instead of the
+/// process-wide [`stage::active`] selection. All backends are
+/// bit-identical, so this changes host speed only; equivalence tests and
+/// benches sweep it.
+///
+/// # Errors
+///
+/// See [`GatherError`] for the rejected inputs.
+pub fn gather_with(
+    cloud: &PointCloud,
+    center: usize,
+    k: usize,
+    kernel: GatherKernel,
+) -> Result<GatherResult, GatherError> {
     validate(cloud, center, k)?;
     let c = cloud.point(center);
     let mut scored: Vec<(f32, usize)> = (0..cloud.len())
         .filter(|&i| i != center)
         .map(|i| (cloud.point(i).distance_sq(c), i))
         .collect();
-    // `total_cmp` gives NaN distances a definite (last) rank instead of
-    // silently treating them as equal to everything, which made results
-    // depend on the sort's visit order for NaN-coordinate clouds.
-    scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-    let neighbors: Vec<usize> = scored.iter().take(k).map(|&(_, i)| i).collect();
+    // `total_cmp` (inside the kernel's canonical comparator) gives NaN
+    // distances a definite (last) rank instead of silently treating them
+    // as equal to everything, which made results depend on the sort's
+    // visit order for NaN-coordinate clouds.
+    kernel.top_k(&mut scored, k);
+    let neighbors: Vec<usize> = scored.iter().map(|&(_, i)| i).collect();
 
     let n = cloud.len() as u64;
     let counts = OpCounts {
@@ -191,6 +209,20 @@ mod tests {
 
         // Determinism across repeated runs.
         assert_eq!(gather(&cloud, 12, 10).unwrap().neighbors, r.neighbors);
+    }
+
+    #[test]
+    fn gather_kernels_are_bit_identical() {
+        let mut cloud = grid();
+        cloud.push(Point3::new(f32::NAN, 1.0, 0.0));
+        cloud.push(Point3::new(2.0, 2.0, 0.0)); // duplicate of index 12
+        for center in [0usize, 12, 24] {
+            for k in [1usize, 5, cloud.len() - 1] {
+                let a = gather_with(&cloud, center, k, GatherKernel::Scalar).unwrap();
+                let b = gather_with(&cloud, center, k, GatherKernel::Blocked).unwrap();
+                assert_eq!(a, b, "center {center} k {k}");
+            }
+        }
     }
 
     #[test]

@@ -23,10 +23,13 @@
 //!   tree-based accelerator class the paper surveys (§II-B);
 //! * [`index`] — per-cloud [`NeighborIndex`] structures (brute, k-d tree,
 //!   VEG/octree) built **once** per cloud and shared by every center
-//!   query, amortizing the build the way §VII-B amortizes the octree.
+//!   query, amortizing the build the way §VII-B amortizes the octree;
+//! * [`stage`] — the [`GatherKernel`] dispatch seam: interchangeable,
+//!   bit-identical top-K selection backends behind the
+//!   `HGPCN_STAGE_GATHER` override.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod ball;
 pub mod dsu;
@@ -36,8 +39,10 @@ pub mod kdtree;
 pub mod knn;
 mod result;
 pub mod sorter;
+pub mod stage;
 pub mod veg;
 
 pub use error::GatherError;
 pub use index::{BruteIndex, IndexKind, KdTreeIndex, NeighborIndex, VegIndex};
 pub use result::{GatherResult, VegStats};
+pub use stage::GatherKernel;

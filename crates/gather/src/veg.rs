@@ -26,7 +26,7 @@
 use hgpcn_memsim::OpCounts;
 use hgpcn_octree::{neighbor, Octree};
 
-use crate::{sorter, GatherError, GatherResult, VegStats};
+use crate::{sorter, stage, GatherError, GatherKernel, GatherResult, VegStats};
 
 /// Neighbor-selection behaviour of the final shell.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -90,6 +90,25 @@ pub fn gather(
     center: usize,
     k: usize,
     config: &VegConfig,
+) -> Result<GatherResult, GatherError> {
+    gather_with(octree, center, k, config, stage::active())
+}
+
+/// [`gather`] on a specific [`GatherKernel`] backend instead of the
+/// process-wide [`stage::active`] selection. The kernel only changes how
+/// the final shell's candidates are *selected on the host* — neighbor
+/// sets, modeled counts and [`VegStats`] are bit-identical across
+/// backends.
+///
+/// # Errors
+///
+/// See [`GatherError`] for the rejected inputs.
+pub fn gather_with(
+    octree: &Octree,
+    center: usize,
+    k: usize,
+    config: &VegConfig,
+    kernel: GatherKernel,
 ) -> Result<GatherResult, GatherError> {
     validate(octree, center, k)?;
     let mut counts = OpCounts::default();
@@ -191,8 +210,8 @@ pub fn gather(
                         .into_iter()
                         .map(|i| (octree.points().point(i).distance_sq(center_point), i))
                         .collect();
-                    scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-                    free.extend(scored.into_iter().take(need).map(|(_, i)| i));
+                    kernel.top_k(&mut scored, need);
+                    free.extend(scored.into_iter().map(|(_, i)| i));
                     free
                 }
                 VegMode::SemiApprox => {
@@ -215,7 +234,10 @@ pub fn gather(
                     .iter()
                     .map(|&i| (octree.points().point(i).distance_sq(center_point), i))
                     .collect();
-                scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                // Only the K nearest are ever consumed (the K-th distance
+                // for the exactness test, the first K as the answer), so
+                // the kernel may partition instead of fully sorting.
+                kernel.top_k(&mut scored, k);
                 let kth = scored[k - 1].0.sqrt();
                 // Any unexplored point is at Euclidean distance
                 // >= shell * voxel_edge from the center.
@@ -225,7 +247,7 @@ pub fn gather(
                     counts.bytes_read += candidates.len() as u64 * 12;
                     counts.distance_computations += candidates.len() as u64;
                     counts.comparisons += sorter::comparator_count(candidates.len());
-                    break scored.into_iter().take(k).map(|(_, i)| i).collect();
+                    break scored.into_iter().map(|(_, i)| i).collect();
                 }
                 shell += 1;
                 stats.shells_expanded = shell;
@@ -569,6 +591,22 @@ mod tests {
             gather_ball(&tree, 99, 0.5, 4),
             Err(GatherError::CenterOutOfRange { .. })
         ));
+    }
+
+    #[test]
+    fn gather_kernels_are_bit_identical() {
+        let tree = setup(700);
+        for mode in [VegMode::Paper, VegMode::Exact, VegMode::SemiApprox] {
+            let cfg = VegConfig {
+                gather_level: None,
+                mode,
+            };
+            for center in [0usize, 42, 356, 699] {
+                let a = gather_with(&tree, center, 24, &cfg, GatherKernel::Scalar).unwrap();
+                let b = gather_with(&tree, center, 24, &cfg, GatherKernel::Blocked).unwrap();
+                assert_eq!(a, b, "{mode:?} center {center}");
+            }
+        }
     }
 
     #[test]

@@ -84,6 +84,20 @@ impl Batch {
         &self.segments
     }
 
+    /// The stacked row-major activation buffer — the chunked MLP loop
+    /// slices row ranges straight out of it.
+    #[inline]
+    pub(crate) fn data(&self) -> &Matrix {
+        &self.data
+    }
+
+    /// Mutable access to the stacked buffer (rows are written in place
+    /// by the chunked MLP loop's final layer).
+    #[inline]
+    pub(crate) fn data_mut(&mut self) -> &mut Matrix {
+        &mut self.data
+    }
+
     /// Rows of segment `seg` (immutable view of the stacked buffer).
     ///
     /// # Panics

@@ -23,10 +23,14 @@
 //! * **sparse** blocks (post-ReLU activations are ~half exact zeros in
 //!   an unpredictable pattern, where a mispredicted skip branch costs
 //!   more than it saves) first compact each row's non-zeros into
-//!   index/value scratch with a **branchless** scan, then stream only
-//!   the survivors through 32/16/8-column tiles with no branches in the
-//!   MAC loop at all. Ascending-index order is preserved, so the
-//!   accumulation sequence is untouched.
+//!   index/value scratch with a **branchless** scan, then stream the
+//!   survivors of **two rows in lockstep** through 32/16/8-column tiles
+//!   with no branches in the MAC loop at all. The pairing doubles the
+//!   independent add-latency chains in flight (a single row's four
+//!   accumulators leave half the FP issue width idle waiting on
+//!   `vaddps` latency); each row still owns its accumulators and sees
+//!   its own non-zeros in ascending index order, so the accumulation
+//!   sequence is untouched.
 //!
 //! Column remainders end in a scalar tail that is byte-for-byte the
 //! reference loop.
@@ -81,6 +85,8 @@ unsafe fn gemm(task: &LinearTask<'_>, y: &mut [f32]) {
     let &LinearTask { x, rows, ins, .. } = task;
     let mut idx = [0u32; COMPACT_CAP];
     let mut val = [0.0f32; COMPACT_CAP];
+    let mut idx2 = [0u32; COMPACT_CAP];
+    let mut val2 = [0.0f32; COMPACT_CAP];
     let compactable = ins <= COMPACT_CAP;
     let mut rb = 0usize;
     while rb + 4 <= rows {
@@ -90,9 +96,11 @@ unsafe fn gemm(task: &LinearTask<'_>, y: &mut [f32]) {
             // SAFETY: rb + 4 <= rows bounds the row block.
             unsafe { rows4(task, y, rb) };
         } else {
-            for r in rb..rb + 4 {
-                // SAFETY: r < rb + 4 <= rows, and ins <= COMPACT_CAP.
-                unsafe { row1_compact(task, y, r, &mut idx, &mut val) };
+            // SAFETY: rb + 4 <= rows bounds both row pairs, and
+            // ins <= COMPACT_CAP.
+            unsafe {
+                rows2_compact(task, y, rb, &mut idx, &mut val, &mut idx2, &mut val2);
+                rows2_compact(task, y, rb + 2, &mut idx, &mut val, &mut idx2, &mut val2);
             }
         }
         rb += 4;
@@ -310,6 +318,296 @@ unsafe fn masked_tail(
     }
     // SAFETY: stores only the in-bounds lanes.
     unsafe { _mm256_maskstore_ps(yr.as_mut_ptr().add(jt), mask, a0) };
+}
+
+/// Two adjacent rows with sparse compaction, streamed in **lockstep**:
+/// each row is compacted into its own index/value scratch (exactly as in
+/// [`row1_compact`]), then every column tile walks both survivor lists
+/// side by side — one entry of row `r0` and one of row `r0 + 1` per
+/// iteration, with each row owning its own accumulator set. Interleaving
+/// the two rows doubles the number of independent add-latency chains in
+/// flight, which is what the one-row loop is bound by (4 accumulators ×
+/// ~4-cycle `vaddps` latency leaves half the FP issue width idle). The
+/// shorter list's leftovers drain through per-row remainder loops.
+///
+/// Bit-identity is untouched: row `r0`'s accumulators only ever see row
+/// `r0`'s non-zeros in ascending index order, and likewise for row
+/// `r0 + 1` — the interleave reorders instructions *between* rows, never
+/// the accumulation sequence *within* one output element.
+///
+/// Safety requirement (beyond AVX2): `r0 + 2 <= rows` and
+/// `ins <= COMPACT_CAP`.
+#[target_feature(enable = "avx2")]
+unsafe fn rows2_compact(
+    task: &LinearTask<'_>,
+    y: &mut [f32],
+    r0: usize,
+    idx0: &mut [u32; COMPACT_CAP],
+    val0: &mut [f32; COMPACT_CAP],
+    idx1: &mut [u32; COMPACT_CAP],
+    val1: &mut [f32; COMPACT_CAP],
+) {
+    let &LinearTask {
+        x,
+        ins,
+        w,
+        outs,
+        bias,
+        relu,
+        ..
+    } = task;
+    let x0 = &x[r0 * ins..(r0 + 1) * ins];
+    let x1 = &x[(r0 + 1) * ins..(r0 + 2) * ins];
+    debug_assert!(ins <= COMPACT_CAP);
+
+    // Branchless compaction of both rows (NaN != 0.0, so NaN inputs are
+    // kept, as in every backend).
+    let mut len0 = 0usize;
+    for (i, &xi) in x0.iter().enumerate() {
+        idx0[len0] = i as u32;
+        val0[len0] = xi;
+        len0 += (xi != 0.0) as usize;
+    }
+    let mut len1 = 0usize;
+    for (i, &xi) in x1.iter().enumerate() {
+        idx1[len1] = i as u32;
+        val1[len1] = xi;
+        len1 += (xi != 0.0) as usize;
+    }
+    let (idx0, val0) = (&idx0[..len0], &val0[..len0]);
+    let (idx1, val1) = (&idx1[..len1], &val1[..len1]);
+    let both = len0.min(len1);
+
+    let y0 = r0 * outs;
+    let y1 = (r0 + 1) * outs;
+    let mut jt = 0usize;
+    while jt + 32 <= outs {
+        // SAFETY: jt + 32 <= outs = bias.len(), so lanes [jt, jt+32)
+        // are in bounds (both rows seed from the same bias).
+        let (mut a0, mut a1, mut a2, mut a3) = unsafe {
+            (
+                _mm256_loadu_ps(bias.as_ptr().add(jt)),
+                _mm256_loadu_ps(bias.as_ptr().add(jt + 8)),
+                _mm256_loadu_ps(bias.as_ptr().add(jt + 16)),
+                _mm256_loadu_ps(bias.as_ptr().add(jt + 24)),
+            )
+        };
+        let (mut b0, mut b1, mut b2, mut b3) = (a0, a1, a2, a3);
+        for t in 0..both {
+            let xa = _mm256_set1_ps(val0[t]);
+            let xb = _mm256_set1_ps(val1[t]);
+            // SAFETY: both indices are < ins (they index x0 / x1), so
+            // their weight rows span [i*outs, (i+1)*outs) and
+            // jt + 32 <= outs keeps every 8-lane load inside them.
+            let wa = unsafe { w.as_ptr().add(idx0[t] as usize * outs + jt) };
+            let wb = unsafe { w.as_ptr().add(idx1[t] as usize * outs + jt) };
+            unsafe {
+                a0 = _mm256_add_ps(a0, _mm256_mul_ps(xa, _mm256_loadu_ps(wa)));
+                b0 = _mm256_add_ps(b0, _mm256_mul_ps(xb, _mm256_loadu_ps(wb)));
+                a1 = _mm256_add_ps(a1, _mm256_mul_ps(xa, _mm256_loadu_ps(wa.add(8))));
+                b1 = _mm256_add_ps(b1, _mm256_mul_ps(xb, _mm256_loadu_ps(wb.add(8))));
+                a2 = _mm256_add_ps(a2, _mm256_mul_ps(xa, _mm256_loadu_ps(wa.add(16))));
+                b2 = _mm256_add_ps(b2, _mm256_mul_ps(xb, _mm256_loadu_ps(wb.add(16))));
+                a3 = _mm256_add_ps(a3, _mm256_mul_ps(xa, _mm256_loadu_ps(wa.add(24))));
+                b3 = _mm256_add_ps(b3, _mm256_mul_ps(xb, _mm256_loadu_ps(wb.add(24))));
+            }
+        }
+        // Whichever list is longer drains alone (same order as always).
+        for t in both..len0 {
+            let xa = _mm256_set1_ps(val0[t]);
+            // SAFETY: as in the lockstep loop.
+            let wa = unsafe { w.as_ptr().add(idx0[t] as usize * outs + jt) };
+            unsafe {
+                a0 = _mm256_add_ps(a0, _mm256_mul_ps(xa, _mm256_loadu_ps(wa)));
+                a1 = _mm256_add_ps(a1, _mm256_mul_ps(xa, _mm256_loadu_ps(wa.add(8))));
+                a2 = _mm256_add_ps(a2, _mm256_mul_ps(xa, _mm256_loadu_ps(wa.add(16))));
+                a3 = _mm256_add_ps(a3, _mm256_mul_ps(xa, _mm256_loadu_ps(wa.add(24))));
+            }
+        }
+        for t in both..len1 {
+            let xb = _mm256_set1_ps(val1[t]);
+            // SAFETY: as in the lockstep loop.
+            let wb = unsafe { w.as_ptr().add(idx1[t] as usize * outs + jt) };
+            unsafe {
+                b0 = _mm256_add_ps(b0, _mm256_mul_ps(xb, _mm256_loadu_ps(wb)));
+                b1 = _mm256_add_ps(b1, _mm256_mul_ps(xb, _mm256_loadu_ps(wb.add(8))));
+                b2 = _mm256_add_ps(b2, _mm256_mul_ps(xb, _mm256_loadu_ps(wb.add(16))));
+                b3 = _mm256_add_ps(b3, _mm256_mul_ps(xb, _mm256_loadu_ps(wb.add(24))));
+            }
+        }
+        if relu {
+            a0 = relu8(a0);
+            a1 = relu8(a1);
+            a2 = relu8(a2);
+            a3 = relu8(a3);
+            b0 = relu8(b0);
+            b1 = relu8(b1);
+            b2 = relu8(b2);
+            b3 = relu8(b3);
+        }
+        // SAFETY: rows r0 and r0 + 1 of y each span `outs` elements and
+        // jt + 32 <= outs.
+        unsafe {
+            let yp = y.as_mut_ptr();
+            _mm256_storeu_ps(yp.add(y0 + jt), a0);
+            _mm256_storeu_ps(yp.add(y0 + jt + 8), a1);
+            _mm256_storeu_ps(yp.add(y0 + jt + 16), a2);
+            _mm256_storeu_ps(yp.add(y0 + jt + 24), a3);
+            _mm256_storeu_ps(yp.add(y1 + jt), b0);
+            _mm256_storeu_ps(yp.add(y1 + jt + 8), b1);
+            _mm256_storeu_ps(yp.add(y1 + jt + 16), b2);
+            _mm256_storeu_ps(yp.add(y1 + jt + 24), b3);
+        }
+        jt += 32;
+    }
+    while jt + 16 <= outs {
+        // SAFETY: jt + 16 <= outs bounds both 8-lane loads.
+        let (mut a0, mut a1) = unsafe {
+            (
+                _mm256_loadu_ps(bias.as_ptr().add(jt)),
+                _mm256_loadu_ps(bias.as_ptr().add(jt + 8)),
+            )
+        };
+        let (mut b0, mut b1) = (a0, a1);
+        for t in 0..both {
+            let xa = _mm256_set1_ps(val0[t]);
+            let xb = _mm256_set1_ps(val1[t]);
+            // SAFETY: as in the 32-wide tier, with width 16.
+            let wa = unsafe { w.as_ptr().add(idx0[t] as usize * outs + jt) };
+            let wb = unsafe { w.as_ptr().add(idx1[t] as usize * outs + jt) };
+            unsafe {
+                a0 = _mm256_add_ps(a0, _mm256_mul_ps(xa, _mm256_loadu_ps(wa)));
+                b0 = _mm256_add_ps(b0, _mm256_mul_ps(xb, _mm256_loadu_ps(wb)));
+                a1 = _mm256_add_ps(a1, _mm256_mul_ps(xa, _mm256_loadu_ps(wa.add(8))));
+                b1 = _mm256_add_ps(b1, _mm256_mul_ps(xb, _mm256_loadu_ps(wb.add(8))));
+            }
+        }
+        for t in both..len0 {
+            let xa = _mm256_set1_ps(val0[t]);
+            // SAFETY: as above.
+            let wa = unsafe { w.as_ptr().add(idx0[t] as usize * outs + jt) };
+            unsafe {
+                a0 = _mm256_add_ps(a0, _mm256_mul_ps(xa, _mm256_loadu_ps(wa)));
+                a1 = _mm256_add_ps(a1, _mm256_mul_ps(xa, _mm256_loadu_ps(wa.add(8))));
+            }
+        }
+        for t in both..len1 {
+            let xb = _mm256_set1_ps(val1[t]);
+            // SAFETY: as above.
+            let wb = unsafe { w.as_ptr().add(idx1[t] as usize * outs + jt) };
+            unsafe {
+                b0 = _mm256_add_ps(b0, _mm256_mul_ps(xb, _mm256_loadu_ps(wb)));
+                b1 = _mm256_add_ps(b1, _mm256_mul_ps(xb, _mm256_loadu_ps(wb.add(8))));
+            }
+        }
+        if relu {
+            a0 = relu8(a0);
+            a1 = relu8(a1);
+            b0 = relu8(b0);
+            b1 = relu8(b1);
+        }
+        // SAFETY: jt + 16 <= outs inside both rows of y.
+        unsafe {
+            let yp = y.as_mut_ptr();
+            _mm256_storeu_ps(yp.add(y0 + jt), a0);
+            _mm256_storeu_ps(yp.add(y0 + jt + 8), a1);
+            _mm256_storeu_ps(yp.add(y1 + jt), b0);
+            _mm256_storeu_ps(yp.add(y1 + jt + 8), b1);
+        }
+        jt += 16;
+    }
+    while jt + 8 <= outs {
+        // SAFETY: jt + 8 <= outs bounds the load.
+        let mut a0 = unsafe { _mm256_loadu_ps(bias.as_ptr().add(jt)) };
+        let mut b0 = a0;
+        for t in 0..both {
+            // SAFETY: as above, width 8.
+            unsafe {
+                let wa = w.as_ptr().add(idx0[t] as usize * outs + jt);
+                let wb = w.as_ptr().add(idx1[t] as usize * outs + jt);
+                a0 = _mm256_add_ps(
+                    a0,
+                    _mm256_mul_ps(_mm256_set1_ps(val0[t]), _mm256_loadu_ps(wa)),
+                );
+                b0 = _mm256_add_ps(
+                    b0,
+                    _mm256_mul_ps(_mm256_set1_ps(val1[t]), _mm256_loadu_ps(wb)),
+                );
+            }
+        }
+        for t in both..len0 {
+            // SAFETY: as above.
+            unsafe {
+                let wa = w.as_ptr().add(idx0[t] as usize * outs + jt);
+                a0 = _mm256_add_ps(
+                    a0,
+                    _mm256_mul_ps(_mm256_set1_ps(val0[t]), _mm256_loadu_ps(wa)),
+                );
+            }
+        }
+        for t in both..len1 {
+            // SAFETY: as above.
+            unsafe {
+                let wb = w.as_ptr().add(idx1[t] as usize * outs + jt);
+                b0 = _mm256_add_ps(
+                    b0,
+                    _mm256_mul_ps(_mm256_set1_ps(val1[t]), _mm256_loadu_ps(wb)),
+                );
+            }
+        }
+        if relu {
+            a0 = relu8(a0);
+            b0 = relu8(b0);
+        }
+        // SAFETY: jt + 8 <= outs inside both rows of y.
+        unsafe {
+            let yp = y.as_mut_ptr();
+            _mm256_storeu_ps(yp.add(y0 + jt), a0);
+            _mm256_storeu_ps(yp.add(y1 + jt), b0);
+        }
+        jt += 8;
+    }
+    // Masked tail for the last 1–7 columns of both rows.
+    if jt < outs {
+        // SAFETY: jt < outs bounds `rem` to 1..=7.
+        let mask = unsafe { tail_mask(outs - jt) };
+        // SAFETY: the mask enables exactly the lanes that remain inside
+        // `bias` / each weight row / each y row (all `outs` long).
+        let mut a0 = unsafe { _mm256_maskload_ps(bias.as_ptr().add(jt), mask) };
+        let mut b0 = a0;
+        for t in 0..both {
+            // SAFETY: masked lanes never touch memory past the row ends.
+            unsafe {
+                let wa = _mm256_maskload_ps(w.as_ptr().add(idx0[t] as usize * outs + jt), mask);
+                let wb = _mm256_maskload_ps(w.as_ptr().add(idx1[t] as usize * outs + jt), mask);
+                a0 = _mm256_add_ps(a0, _mm256_mul_ps(_mm256_set1_ps(val0[t]), wa));
+                b0 = _mm256_add_ps(b0, _mm256_mul_ps(_mm256_set1_ps(val1[t]), wb));
+            }
+        }
+        for t in both..len0 {
+            // SAFETY: as above.
+            unsafe {
+                let wa = _mm256_maskload_ps(w.as_ptr().add(idx0[t] as usize * outs + jt), mask);
+                a0 = _mm256_add_ps(a0, _mm256_mul_ps(_mm256_set1_ps(val0[t]), wa));
+            }
+        }
+        for t in both..len1 {
+            // SAFETY: as above.
+            unsafe {
+                let wb = _mm256_maskload_ps(w.as_ptr().add(idx1[t] as usize * outs + jt), mask);
+                b0 = _mm256_add_ps(b0, _mm256_mul_ps(_mm256_set1_ps(val1[t]), wb));
+            }
+        }
+        if relu {
+            a0 = relu8(a0);
+            b0 = relu8(b0);
+        }
+        // SAFETY: stores only the in-bounds lanes of each row.
+        unsafe {
+            _mm256_maskstore_ps(y.as_mut_ptr().add(y0 + jt), mask, a0);
+            _mm256_maskstore_ps(y.as_mut_ptr().add(y1 + jt), mask, b0);
+        }
+    }
 }
 
 /// One row with sparse compaction: a branchless scan packs the row's

@@ -32,13 +32,18 @@
 //! freezes per-channel i8 weights next to the f32 ones, and
 //! [`Precision`] selects the tier per forward pass (the i8 GEMM runs
 //! on a [`kernel::Int8Kernel`] riding the same backend dispatch).
+//!
+//! [`stage`] generalizes that seam to the rest of the frame pipeline:
+//! every preproc stage (sampling, gather, FP interpolation) dispatches
+//! to a bit-identical backend pair behind its own `HGPCN_STAGE_*`
+//! override, bundled per run as a [`stage::StageBackends`] selection.
 
 // `deny` rather than `forbid`: the explicit-SIMD backend in
 // `kernel::avx2` (compiled only under the `simd` feature) carries the
 // crate's single, safety-commented `#![allow(unsafe_code)]`; everything
 // else still refuses unsafe code outright.
 #![deny(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod batch;
 mod config;
@@ -47,6 +52,7 @@ mod gatherer;
 pub mod kernel;
 mod network;
 pub mod quant;
+pub mod stage;
 mod tensor;
 
 pub use batch::Batch;
@@ -56,4 +62,5 @@ pub use gatherer::{BruteKnnGatherer, Gatherer, IndexedGatherer};
 pub use kernel::{Int8Kernel, LinearKernel};
 pub use network::{CenterPolicy, InferenceOutput, PointNet};
 pub use quant::{Calibration, Calibrator, Precision, QuantLayer};
+pub use stage::{InterpolateKernel, StageBackends};
 pub use tensor::Matrix;

@@ -7,6 +7,7 @@ use hgpcn_memsim::OpCounts;
 
 use crate::kernel::Int8Kernel;
 use crate::quant::{AmaxStats, Calibration, MlpGroup, QuantizedModel};
+use crate::stage::StageBackends;
 use crate::{
     kernel, Batch, Gatherer, LinearKernel, Matrix, PcnError, PointNetConfig, Precision, Stage,
     TaskKind,
@@ -102,6 +103,7 @@ pub struct PointNet {
     fp_weights: Vec<Vec<LayerWeights>>,
     head_weights: Vec<LayerWeights>,
     kernel: LinearKernel,
+    stages: StageBackends,
     quant: Option<QuantizedModel>,
 }
 
@@ -161,6 +163,7 @@ impl PointNet {
             fp_weights,
             head_weights,
             kernel: kernel::active(),
+            stages: StageBackends::active(),
             quant: None,
         }
     }
@@ -190,6 +193,29 @@ impl PointNet {
     /// The matmul backend this network dispatches to.
     pub fn kernel(&self) -> LinearKernel {
         self.kernel
+    }
+
+    /// Pins this network to a specific set of preproc-stage backends
+    /// instead of the process-wide [`StageBackends::active`] selection.
+    /// Every stage backend is bit-identical to its scalar anchor, so —
+    /// exactly like [`PointNet::with_kernel`] — this moves host speed
+    /// only, never results; `perf_smoke` uses it to run an all-anchor
+    /// yardstick and an optimized candidate side by side in one process.
+    ///
+    /// This pins the network-resident stage (FP interpolation) and sets
+    /// the default for the per-call `_using` entry points; the sampling
+    /// and gather backends take effect where those stages run (the
+    /// preprocessing and inference engines thread them there).
+    #[must_use]
+    pub fn with_stage_backends(mut self, stages: StageBackends) -> PointNet {
+        self.stages = stages;
+        self
+    }
+
+    /// The preproc-stage backends this network dispatches to by
+    /// default.
+    pub fn stage_backends(&self) -> StageBackends {
+        self.stages
     }
 
     /// The network's configuration.
@@ -335,11 +361,33 @@ impl PointNet {
         policy: CenterPolicy,
         precision: Precision,
     ) -> Result<InferenceOutput, PcnError> {
+        self.infer_with_precision_using(cloud, gatherer, policy, precision, self.stages)
+    }
+
+    /// [`PointNet::infer_with_precision`] with an explicit per-call
+    /// stage-backend selection, overriding the network's pinned
+    /// [`PointNet::stage_backends`]. Only the network-resident stage
+    /// (FP interpolation) dispatches here — callers running sampling or
+    /// gathering (the engines in the system crate) consume the other
+    /// two fields. Bit-identity across backends makes this a pure
+    /// host-speed knob.
+    ///
+    /// # Errors
+    ///
+    /// As [`PointNet::infer_with_precision`].
+    pub fn infer_with_precision_using(
+        &self,
+        cloud: &PointCloud,
+        gatherer: &mut dyn Gatherer,
+        policy: CenterPolicy,
+        precision: Precision,
+        stages: StageBackends,
+    ) -> Result<InferenceOutput, PcnError> {
         let mut mode = match precision {
             Precision::F32 => PassMode::F32,
             Precision::Int8 => PassMode::Int8(self.quant.as_ref().ok_or(PcnError::NotQuantized)?),
         };
-        self.infer_mode(cloud, gatherer, policy, &mut mode)
+        self.infer_mode(cloud, gatherer, policy, &mut mode, stages)
     }
 
     /// One f32 forward pass with range hooks on every dense-layer
@@ -353,7 +401,7 @@ impl PointNet {
         stats: &mut AmaxStats,
     ) -> Result<(), PcnError> {
         let mut mode = PassMode::Observe(stats);
-        self.infer_mode(cloud, gatherer, policy, &mut mode)?;
+        self.infer_mode(cloud, gatherer, policy, &mut mode, self.stages)?;
         Ok(())
     }
 
@@ -363,6 +411,7 @@ impl PointNet {
         gatherer: &mut dyn Gatherer,
         policy: CenterPolicy,
         mode: &mut PassMode<'_>,
+        stages: StageBackends,
     ) -> Result<InferenceOutput, PcnError> {
         let precision = mode.precision();
         let mut macs = 0u64;
@@ -453,7 +502,7 @@ impl PointNet {
                 for j in 0..self.fp_weights.len() {
                     let coarse = top - j;
                     let fine = coarse - 1;
-                    let interpolated = interpolate(
+                    let interpolated = stages.interpolate.apply(
                         &level_points[fine],
                         &level_points[coarse],
                         &carried,
@@ -553,6 +602,30 @@ impl PointNet {
         gatherers: &mut [&mut dyn Gatherer],
         policies: &[CenterPolicy],
         precision: Precision,
+    ) -> Result<Vec<InferenceOutput>, PcnError> {
+        self.infer_batch_with_precision_using(clouds, gatherers, policies, precision, self.stages)
+    }
+
+    /// [`PointNet::infer_batch_with_precision`] with an explicit
+    /// per-call stage-backend selection — the batched counterpart of
+    /// [`PointNet::infer_with_precision_using`], carrying the same
+    /// bit-identity contract.
+    ///
+    /// # Errors
+    ///
+    /// As [`PointNet::infer_batch_with_precision`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clouds`, `gatherers` and `policies` have different
+    /// lengths.
+    pub fn infer_batch_with_precision_using(
+        &self,
+        clouds: &[&PointCloud],
+        gatherers: &mut [&mut dyn Gatherer],
+        policies: &[CenterPolicy],
+        precision: Precision,
+        stages: StageBackends,
     ) -> Result<Vec<InferenceOutput>, PcnError> {
         assert_eq!(clouds.len(), gatherers.len(), "one gatherer per cloud");
         assert_eq!(clouds.len(), policies.len(), "one policy per cloud");
@@ -747,7 +820,7 @@ impl PointNet {
                     let fine = coarse - 1;
                     let interps: Vec<Matrix> = (0..b)
                         .map(|bi| {
-                            interpolate(
+                            stages.interpolate.apply(
                                 &level_points[bi][fine],
                                 &level_points[bi][coarse],
                                 &carried[bi],
@@ -783,12 +856,18 @@ impl PointNet {
                         int8,
                         &mut xq,
                     );
-                    carried = (0..b).map(|bi| out.segment_matrix(bi)).collect();
+                    // The next FP stage's interpolate reads per-cloud
+                    // coarse features, so unstack — except after the
+                    // last stage, where the head consumes the batch
+                    // as-is and the round-trip copy would be pure waste.
+                    if j + 1 < self.fp_weights.len() {
+                        carried = (0..b).map(|bi| out.segment_matrix(bi)).collect();
+                    }
                     pool = out;
                 }
                 let out = self.apply_mlp_batched(
                     MlpGroup::Head,
-                    Batch::from_matrices(&carried),
+                    std::mem::replace(&mut pool, Batch::zeros(&[], 0)),
                     &all_clouds,
                     &mut macs,
                     false,
@@ -817,6 +896,17 @@ impl PointNet {
     /// cloud through the segment-to-cloud map. With `int8` set, each
     /// layer runs the quantized GEMM instead of the f32 kernel — the
     /// stacked-rows structure and MAC accounting are identical.
+    ///
+    /// The f32 path streams **row chunks through the whole layer stack**
+    /// instead of whole layers through the whole batch: layer 0 reads
+    /// its chunk straight out of `x`, the last layer writes straight
+    /// into the result buffer, and the intermediate activations ping-
+    /// pong between two chunk-sized buffers that stay cache-resident.
+    /// The big stages stack multi-megabyte activation buffers, so the
+    /// layer-at-a-time schedule paid a DRAM round-trip per layer;
+    /// chunking touches main memory once for the input and once for the
+    /// output. Every linear layer is row-independent, so the traversal
+    /// order is a pure scheduling choice — outputs are bit-identical.
     // One parameter per pass ingredient; bundling them would only move
     // the argument list into a single-use struct.
     #[allow(clippy::too_many_arguments)]
@@ -837,98 +927,147 @@ impl PointNet {
             cloud_rows[c] += range.len();
         }
         let n_layers = weights.len();
-        // Ping-pong the caller's scratch batch against the input: each
-        // layer writes into the other's (capacity-reused) buffer instead
-        // of allocating a fresh output per layer.
-        for (i, (w, bias)) in weights.iter().enumerate() {
-            let in_cols = x.cols();
+        let mut in_cols = x.cols();
+        for (w, _) in weights {
             for (m, &r) in macs.iter_mut().zip(&cloud_rows) {
                 *m += (r * in_cols * w.cols()) as u64;
             }
-            let relu = relu_last || i + 1 < n_layers;
-            match int8 {
-                None => x.linear_fused_into(self.kernel, w, bias, relu, scratch),
-                Some(model) => x.quant_forward_into(
+            in_cols = w.cols();
+        }
+        if n_layers == 0 {
+            return x;
+        }
+
+        if let Some(model) = int8 {
+            // Quantized path: layer-at-a-time over the whole batch,
+            // ping-ponging the caller's scratch (the i8 GEMM quantizes
+            // each full layer input through `xq`).
+            for (i, _) in weights.iter().enumerate() {
+                let relu = relu_last || i + 1 < n_layers;
+                x.quant_forward_into(
                     Int8Kernel::for_linear(self.kernel),
                     &model.group(group)[i],
                     relu,
                     xq,
                     scratch,
-                ),
+                );
+                std::mem::swap(&mut x, scratch);
             }
-            std::mem::swap(&mut x, scratch);
+            return x;
         }
+
+        let total_rows = x.rows();
+        let seg_rows: Vec<usize> = x.segments().iter().map(std::ops::Range::len).collect();
+        let final_cols = weights.last().map_or(0, |(w, _)| w.cols());
+        scratch.reshape_for_overwrite(&seg_rows, final_cols);
+
+        // Chunk rows so one chunk's widest adjacent input+output pair
+        // fits comfortably in cache alongside the (small) weights.
+        const CHUNK_BUDGET_FLOATS: usize = 96 * 1024; // ~384 KiB in flight
+        let mut width_pair_max = 0usize;
+        let mut inter_cols_max = 0usize;
+        {
+            let mut ic = x.cols();
+            for (li, (w, _)) in weights.iter().enumerate() {
+                width_pair_max = width_pair_max.max(ic + w.cols());
+                if li + 1 < n_layers {
+                    inter_cols_max = inter_cols_max.max(w.cols());
+                }
+                ic = w.cols();
+            }
+        }
+        let chunk = (CHUNK_BUDGET_FLOATS / width_pair_max.max(1)).max(64);
+        let mut buf_a = vec![0.0f32; chunk.min(total_rows.max(1)) * inter_cols_max];
+        let mut buf_b = vec![0.0f32; chunk.min(total_rows.max(1)) * inter_cols_max];
+
+        let x_slice = x.data().as_slice();
+        let x_cols = x.cols();
+        let out_slice = scratch.data_mut().as_mut_slice();
+        let run = |src: &[f32],
+                   dst: &mut [f32],
+                   n: usize,
+                   ins: usize,
+                   w: &Matrix,
+                   bias: &[f32],
+                   relu: bool| {
+            let task = crate::kernel::LinearTask {
+                x: src,
+                rows: n,
+                ins,
+                w: w.as_slice(),
+                outs: w.cols(),
+                bias,
+                relu,
+            };
+            self.kernel.run(&task, dst);
+        };
+        let mut r0 = 0usize;
+        while r0 < total_rows {
+            let n = chunk.min(total_rows - r0);
+            // Which ping-pong buffer holds the current intermediate.
+            let mut cur_in_a = false;
+            let mut ins = x_cols;
+            for (i, (w, bias)) in weights.iter().enumerate() {
+                let outs = w.cols();
+                debug_assert_eq!(ins, w.rows(), "layer widths must chain");
+                let relu = relu_last || i + 1 < n_layers;
+                let first = i == 0;
+                let last = i + 1 == n_layers;
+                match (first, last) {
+                    (true, true) => run(
+                        &x_slice[r0 * ins..(r0 + n) * ins],
+                        &mut out_slice[r0 * outs..(r0 + n) * outs],
+                        n,
+                        ins,
+                        w,
+                        bias,
+                        relu,
+                    ),
+                    (true, false) => {
+                        run(
+                            &x_slice[r0 * ins..(r0 + n) * ins],
+                            &mut buf_a[..n * outs],
+                            n,
+                            ins,
+                            w,
+                            bias,
+                            relu,
+                        );
+                        cur_in_a = true;
+                    }
+                    (false, true) => {
+                        let src = if cur_in_a {
+                            &buf_a[..n * ins]
+                        } else {
+                            &buf_b[..n * ins]
+                        };
+                        run(
+                            src,
+                            &mut out_slice[r0 * outs..(r0 + n) * outs],
+                            n,
+                            ins,
+                            w,
+                            bias,
+                            relu,
+                        );
+                    }
+                    (false, false) => {
+                        let (src, dst) = if cur_in_a {
+                            (&buf_a[..n * ins], &mut buf_b[..n * outs])
+                        } else {
+                            (&buf_b[..n * ins], &mut buf_a[..n * outs])
+                        };
+                        run(src, dst, n, ins, w, bias, relu);
+                        cur_in_a = !cur_in_a;
+                    }
+                }
+                ins = outs;
+            }
+            r0 += n;
+        }
+        std::mem::swap(&mut x, scratch);
         x
     }
-}
-
-/// Inverse-distance 3-NN interpolation of `coarse` features onto the
-/// `fine` coordinates (PointNet++'s FP rule), tallying the search cost.
-///
-/// The top-3 selection is an allocation-free insertion into a fixed
-/// array, equivalent element-for-element to the original
-/// push / stable-sort / truncate loop (same comparator —
-/// `partial_cmp(..).unwrap_or(Equal)` — same stable tie-break, same
-/// resulting candidate *order*, hence bit-identical interpolation
-/// weights); this loop runs `fine × coarse` times per FP layer and was
-/// a measurable share of the serving floor.
-fn interpolate(
-    fine: &[Point3],
-    coarse: &[Point3],
-    coarse_feats: &Matrix,
-    counts: &mut OpCounts,
-) -> Matrix {
-    use std::cmp::Ordering;
-    let dim = coarse_feats.cols();
-    let mut out = Matrix::zeros(fine.len(), dim);
-    for (r, &p) in fine.iter().enumerate() {
-        // Distances to every coarse point; keep the best three. A new
-        // candidate starts at the back and slides left past strictly
-        // greater entries — exactly where a stable sort of the appended
-        // list would place it (NaN distances compare `Equal` and thus
-        // never displace anything, as before).
-        let mut best = [(0.0f32, 0usize); 3];
-        let mut blen = 0usize;
-        for (ci, &c) in coarse.iter().enumerate() {
-            counts.distance_computations += 1;
-            counts.comparisons += 1;
-            let d = p.distance_sq(c);
-            if blen < 3 {
-                best[blen] = (d, ci);
-                blen += 1;
-            } else if best[2].0.partial_cmp(&d) == Some(Ordering::Greater) {
-                // Would displace the current third-best; the old
-                // third-best is what truncate(3) used to drop.
-                best[2] = (d, ci);
-            } else {
-                continue;
-            }
-            let mut j = blen - 1;
-            while j > 0 && best[j - 1].0.partial_cmp(&best[j].0) == Some(Ordering::Greater) {
-                best.swap(j - 1, j);
-                j -= 1;
-            }
-        }
-        counts.mem_reads += coarse.len() as u64;
-        counts.bytes_read += coarse.len() as u64 * 12;
-        let mut wsum = 0.0f32;
-        let mut weights = [(0.0f32, 0usize); 3];
-        for (wslot, &(d, ci)) in weights[..blen].iter_mut().zip(&best[..blen]) {
-            *wslot = (1.0 / (d + 1e-8), ci);
-        }
-        for &(w, _) in &weights[..blen] {
-            wsum += w;
-        }
-        let row = out.row_mut(r);
-        for &(w, ci) in &weights[..blen] {
-            let f = coarse_feats.row(ci);
-            let scale = w / wsum;
-            for (o, &v) in row.iter_mut().zip(f) {
-                *o += scale * v;
-            }
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -1053,7 +1192,8 @@ mod tests {
         let coarse = vec![Point3::ORIGIN, Point3::splat(1.0)];
         let feats = Matrix::from_vec(2, 1, vec![10.0, 20.0]);
         let mut counts = OpCounts::default();
-        let out = interpolate(&[Point3::ORIGIN], &coarse, &feats, &mut counts);
+        let out =
+            crate::InterpolateKernel::Scalar.apply(&[Point3::ORIGIN], &coarse, &feats, &mut counts);
         // A fine point sitting on a coarse point takes (almost) all its
         // weight from it.
         assert!((out.get(0, 0) - 10.0).abs() < 1e-3);

@@ -1,6 +1,6 @@
 //! Runtime configuration: worker pools, queue sizing and policies.
 
-use hgpcn_pcn::Precision;
+use hgpcn_pcn::{Precision, StageBackends};
 use hgpcn_telemetry::TelemetryMode;
 
 use crate::RuntimeError;
@@ -96,6 +96,16 @@ pub struct RuntimeConfig {
     /// `HGPCN_TELEMETRY` environment variable; when resolved off the
     /// recorders are no-op sinks and the hot path never touches them.
     pub telemetry: TelemetryMode,
+    /// Preproc-stage backend selection (sampling / gather / FP
+    /// interpolation) for every worker of the run. `None` (the default)
+    /// defers to the served network's pinned
+    /// [`stage_backends`](hgpcn_pcn::PointNet::stage_backends) — which
+    /// itself defaults to the process-wide `HGPCN_STAGE_*` resolution.
+    /// Every backend is bit-identical to its scalar anchor, so this knob
+    /// moves host speed only, never results or modeled latencies; the
+    /// resolved selection is reported in
+    /// [`RuntimeReport::stage_backends`](crate::RuntimeReport::stage_backends).
+    pub stage_backends: Option<StageBackends>,
 }
 
 impl Default for RuntimeConfig {
@@ -113,6 +123,7 @@ impl Default for RuntimeConfig {
             batch_deadline_s: f64::INFINITY,
             precision: Precision::F32,
             telemetry: TelemetryMode::Auto,
+            stage_backends: None,
         }
     }
 }
@@ -192,6 +203,13 @@ impl RuntimeConfig {
         self
     }
 
+    /// Pins the preproc-stage backends for every worker of the run
+    /// (bit-identical to the anchors — a host-speed knob only).
+    pub fn stage_backends(mut self, stages: StageBackends) -> Self {
+        self.stage_backends = Some(stages);
+        self
+    }
+
     /// Checks the configuration is runnable.
     ///
     /// # Errors
@@ -254,7 +272,8 @@ mod tests {
             .max_batch(8)
             .batch_deadline_s(0.25)
             .precision(Precision::Int8)
-            .telemetry(TelemetryMode::On);
+            .telemetry(TelemetryMode::On)
+            .stage_backends(StageBackends::anchor());
         assert_eq!(cfg.preproc_workers, 3);
         assert_eq!(cfg.inference_workers, 2);
         assert_eq!(cfg.queue_capacity, 5);
@@ -267,6 +286,8 @@ mod tests {
         assert_eq!(cfg.batch_deadline_s, 0.25);
         assert_eq!(cfg.precision, Precision::Int8);
         assert_eq!(cfg.telemetry, TelemetryMode::On);
+        assert_eq!(cfg.stage_backends, Some(StageBackends::anchor()));
+        assert_eq!(RuntimeConfig::default().stage_backends, None);
         assert_eq!(RuntimeConfig::default().precision, Precision::F32);
         assert_eq!(RuntimeConfig::default().telemetry, TelemetryMode::Auto);
     }

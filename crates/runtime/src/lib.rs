@@ -67,7 +67,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod config;
 mod executor;
@@ -83,8 +83,8 @@ pub use config::{AdmissionPolicy, ArrivalModel, BackpressurePolicy, RuntimeConfi
 pub use executor::Runtime;
 pub use metrics::{
     BatchingStats, CrossValidation, FrameRecord, LatencySummary, QueueDepthStats, QueueStats,
-    RuntimeReport, StageBreakdown, StreamReport, TelemetrySnapshot, WorkerUtilization,
-    DEFAULT_VALIDATION_TOLERANCE,
+    RuntimeReport, StageBackendNames, StageBreakdown, StreamReport, TelemetrySnapshot,
+    WorkerUtilization, DEFAULT_VALIDATION_TOLERANCE,
 };
 pub use queue::{BoundedQueue, Closed};
 pub use scheduler::Scheduler;
@@ -95,9 +95,9 @@ pub use stream::{
     FrameSource, KittiSource, StreamProfile, StreamSpec, SyntheticSource, TimedFrame,
 };
 
-// Re-exported so serving code can pick precision tiers without a
-// direct `hgpcn_pcn` dependency.
-pub use hgpcn_pcn::Precision;
+// Re-exported so serving code can pick precision tiers and pin
+// preproc-stage backends without a direct `hgpcn_pcn` dependency.
+pub use hgpcn_pcn::{Precision, StageBackends};
 
 // Re-exported so serving code can configure and consume telemetry
 // without a direct `hgpcn_telemetry` dependency.

@@ -11,8 +11,58 @@ use std::fmt;
 use std::time::Duration;
 
 use hgpcn_memsim::Latency;
+use hgpcn_pcn::StageBackends;
 use hgpcn_system::realtime::RealtimeReport;
 use hgpcn_system::E2eReport;
+
+/// The resolved preproc-stage backend names of a run — one entry per
+/// dispatch seam of the frame pipeline (sampling scoreboard scan,
+/// neighbor top-K selection, FP interpolation). Like
+/// [`RuntimeReport::kernel_backend`] this is host-speed provenance, not
+/// a result qualifier: every backend is bit-identical to its scalar
+/// anchor, so two runs differing only here produce identical logits,
+/// modeled latencies and report timestamps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StageBackendNames {
+    /// OIS scoreboard-scan backend (`hgpcn_sampling::SamplingKernel::name`).
+    pub sampling: &'static str,
+    /// Neighbor top-K selection backend (`hgpcn_gather::GatherKernel::name`).
+    pub gather: &'static str,
+    /// FP-interpolation backend (`hgpcn_pcn::InterpolateKernel::name`).
+    pub interpolate: &'static str,
+}
+
+impl StageBackendNames {
+    /// `(stage, backend)` pairs in pipeline order — the iteration the
+    /// `/metrics` info series and the report renderers share.
+    pub fn as_pairs(&self) -> [(&'static str, &'static str); 3] {
+        [
+            ("sampling", self.sampling),
+            ("gather", self.gather),
+            ("interpolate", self.interpolate),
+        ]
+    }
+}
+
+impl From<StageBackends> for StageBackendNames {
+    fn from(stages: StageBackends) -> StageBackendNames {
+        StageBackendNames {
+            sampling: stages.sampling.name(),
+            gather: stages.gather.name(),
+            interpolate: stages.interpolate.name(),
+        }
+    }
+}
+
+impl fmt::Display for StageBackendNames {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sampling={} gather={} interpolate={}",
+            self.sampling, self.gather, self.interpolate
+        )
+    }
+}
 
 /// One frame's complete journey, recorded by the worker that finished it.
 #[derive(Clone, Debug)]
@@ -139,6 +189,11 @@ pub struct StreamReport {
     /// tier after applying the stream's override to the runtime
     /// default.
     pub precision: &'static str,
+    /// The preproc-stage backends that served this stream — always the
+    /// session-wide selection (stage backends are resolved once per
+    /// run, never per stream), repeated here so a per-stream consumer
+    /// need not join against the run report.
+    pub stage_backends: StageBackendNames,
     /// Completed frames per virtual second, over this stream's span of
     /// virtual time (arrival of first frame to completion of last).
     pub achieved_fps: f64,
@@ -417,6 +472,10 @@ pub struct RuntimeReport {
     /// across backends, so this is host-speed provenance, not a result
     /// qualifier.
     pub kernel_backend: &'static str,
+    /// The preproc-stage backends every worker of the run dispatched to
+    /// (the config override if set, else the served network's pinned
+    /// selection). Host-speed provenance like `kernel_backend`.
+    pub stage_backends: StageBackendNames,
     /// The fleet's inference precision: `f32` or `int8` when every
     /// stream ran one tier, `mixed` when stream overrides differed.
     /// Unlike `kernel_backend` this **is** a result qualifier — int8
@@ -564,6 +623,16 @@ impl RuntimeReport {
                 self.batching.mean_batch_size,
             );
         }
+        // Info-style identity series (value always 1; the labels carry
+        // the payload): which backend served each preproc stage.
+        for (stage, backend) in self.stage_backends.as_pairs() {
+            reg.gauge_set(
+                "hgpcn_stage_backend_info",
+                "Preproc-stage backend identity (info-style; value is always 1)",
+                &with(&[("stage", stage), ("backend", backend)]),
+                1.0,
+            );
+        }
     }
 
     /// The histogram half of [`RuntimeReport::build_metrics_into`]:
@@ -707,12 +776,13 @@ impl fmt::Display for RuntimeReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "RuntimeReport: {} frames ({} dropped) | {}+{} workers | kernel {} | precision {} | virtual makespan {:.3} s | {:.2} modeled FPS | wall {:.2?} ({:.1} frames/s host)",
+            "RuntimeReport: {} frames ({} dropped) | {}+{} workers | kernel {} | stages {} | precision {} | virtual makespan {:.3} s | {:.2} modeled FPS | wall {:.2?} ({:.1} frames/s host)",
             self.total_frames,
             self.total_dropped,
             self.preproc_workers,
             self.inference_workers,
             self.kernel_backend,
+            self.stage_backends,
             self.precision,
             self.virtual_makespan_s,
             self.modeled_pipelined_fps,

@@ -34,14 +34,14 @@ use std::thread;
 use std::time::Instant;
 
 use hgpcn_geometry::PointCloud;
-use hgpcn_pcn::{InferenceOutput, PointNet, Precision};
+use hgpcn_pcn::{InferenceOutput, PointNet, Precision, StageBackends};
 use hgpcn_system::{E2ePipeline, E2eReport, InferenceReport, PhaseReport, SystemError};
 use hgpcn_telemetry::{EventKind, SpanRecorder, TraceCollector, WorkerId};
 
 use crate::config::{ArrivalModel, BackpressurePolicy, RuntimeConfig};
 use crate::metrics::{
     BatchingStats, FrameRecord, LatencySummary, QueueDepthStats, QueueStats, RuntimeReport,
-    StageBreakdown, StreamReport, TelemetrySnapshot, WorkerUtilization,
+    StageBackendNames, StageBreakdown, StreamReport, TelemetrySnapshot, WorkerUtilization,
 };
 use crate::queue::BoundedQueue;
 use crate::scheduler::Scheduler;
@@ -147,6 +147,10 @@ struct StreamState {
 struct SessionCore {
     config: RuntimeConfig,
     kernel_backend: &'static str,
+    /// Resolved once per session: the config override if set, else the
+    /// served network's pinned selection. Workers thread this into every
+    /// engine call, so one session never mixes stage backends.
+    stages: StageBackends,
     /// Per-frame failure policy: `true` resolves the failing ticket and
     /// keeps serving; `false` aborts the whole run (batch semantics).
     serving: bool,
@@ -175,6 +179,7 @@ impl SessionCore {
         let traced = config.telemetry.is_enabled();
         SessionCore {
             kernel_backend: net.kernel().name(),
+            stages: config.stage_backends.unwrap_or(net.stage_backends()),
             serving,
             started,
             traced,
@@ -425,6 +430,7 @@ impl SessionCore {
         assemble_report(
             &self.config,
             self.kernel_backend,
+            StageBackendNames::from(self.stages),
             &streams,
             records,
             QueueStats {
@@ -465,6 +471,7 @@ impl SessionCore {
         let mut report = assemble_report(
             &self.config,
             self.kernel_backend,
+            StageBackendNames::from(self.stages),
             &streams,
             records,
             QueueStats {
@@ -521,10 +528,12 @@ fn preproc_worker(core: &SessionCore, pipeline: &E2ePipeline, w: usize) {
         );
         let seed = frame_seed(core.config.seed, frame.stream_id, frame.frame_index);
         let wall0 = Instant::now();
-        match pipeline
-            .preproc
-            .run(&frame.cloud, core.config.target_points, seed)
-        {
+        match pipeline.preproc.run_using(
+            &frame.cloud,
+            core.config.target_points,
+            seed,
+            core.stages.sampling,
+        ) {
             Ok(out) => {
                 let wall_preproc_s = wall0.elapsed().as_secs_f64();
                 let latency = out.total_latency();
@@ -597,10 +606,13 @@ fn inference_worker(core: &SessionCore, pipeline: &E2ePipeline, net: &PointNet, 
             let seed = frame_seed(core.config.seed, job.stream_id, job.frame_index);
             let precision = job.precision;
             let wall0 = Instant::now();
-            match pipeline
-                .inference
-                .run_with_precision(&job.sampled, net, seed, precision)
-            {
+            match pipeline.inference.run_with_precision_using(
+                &job.sampled,
+                net,
+                seed,
+                precision,
+                core.stages,
+            ) {
                 Ok(inf) => {
                     complete_frame(
                         core,
@@ -693,10 +705,13 @@ fn inference_worker(core: &SessionCore, pipeline: &E2ePipeline, net: &PointNet, 
                 })
                 .collect();
             let wall0 = Instant::now();
-            match pipeline
-                .inference
-                .run_batch_with_precision(&inputs, net, &seeds, tier)
-            {
+            match pipeline.inference.run_batch_with_precision_using(
+                &inputs,
+                net,
+                &seeds,
+                tier,
+                core.stages,
+            ) {
                 Ok(rs) => {
                     let share = wall0.elapsed().as_secs_f64() / idxs.len() as f64;
                     core.batch_sizes
@@ -734,10 +749,13 @@ fn inference_worker(core: &SessionCore, pipeline: &E2ePipeline, net: &PointNet, 
                 let seed = frame_seed(core.config.seed, job.stream_id, job.frame_index);
                 let precision = job.precision;
                 let wall0 = Instant::now();
-                match pipeline
-                    .inference
-                    .run_with_precision(&job.sampled, net, seed, precision)
-                {
+                match pipeline.inference.run_with_precision_using(
+                    &job.sampled,
+                    net,
+                    seed,
+                    precision,
+                    core.stages,
+                ) {
                     Ok(inf) => {
                         complete_frame(
                             core,
@@ -1200,6 +1218,7 @@ impl StreamHandle {
 fn assemble_report(
     config: &RuntimeConfig,
     kernel_backend: &'static str,
+    stage_backends: StageBackendNames,
     streams: &[StreamState],
     records: Vec<FrameRecord>,
     ingress_queue: QueueStats,
@@ -1241,6 +1260,7 @@ fn assemble_report(
             dropped: state.dropped,
             sensor_fps: state.nominal_fps,
             precision: state.precision.name(),
+            stage_backends,
             achieved_fps,
             service: LatencySummary::from_samples(&service),
             sojourn: LatencySummary::from_samples(&sojourn),
@@ -1312,6 +1332,7 @@ fn assemble_report(
         modeled_pipelined_fps,
         wall_elapsed,
         kernel_backend,
+        stage_backends,
         precision,
         batching,
         breakdown,

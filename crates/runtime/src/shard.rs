@@ -706,6 +706,9 @@ fn aggregate_reports(reports: Vec<RuntimeReport>) -> RuntimeReport {
             .max()
             .unwrap_or(Duration::ZERO),
         kernel_backend: reports[0].kernel_backend,
+        // Shards share one config and one network, so their resolved
+        // stage backends are identical; take the first shard's.
+        stage_backends: reports[0].stage_backends,
         precision,
         batching,
         breakdown,

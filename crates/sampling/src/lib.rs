@@ -28,9 +28,13 @@
 //!
 //! Every sampler returns a [`SampleResult`] carrying the chosen indices
 //! (the Sampled-Point-Table) and the [`hgpcn_memsim::OpCounts`] it cost.
+//!
+//! [`stage`] holds the [`SamplingKernel`] dispatch seam: interchangeable,
+//! bit-identical scoreboard scan backends behind the
+//! `HGPCN_STAGE_SAMPLING` override.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod error;
 pub mod fps;
@@ -40,7 +44,9 @@ pub mod quality;
 pub mod random;
 pub mod reinforce;
 mod result;
+pub mod stage;
 pub mod voxelgrid;
 
 pub use error::SamplingError;
 pub use result::SampleResult;
+pub use stage::SamplingKernel;

@@ -28,7 +28,7 @@ use hgpcn_geometry::MortonCode;
 use hgpcn_memsim::{HostMemory, OpCounts};
 use hgpcn_octree::{Octree, OctreeTable};
 
-use crate::{SampleResult, SamplingError};
+use crate::{stage, SampleResult, SamplingError, SamplingKernel};
 
 /// Upper bound on the voxel scoreboard. The scoreboard starts as a coarse
 /// octree cut and *refines* — when a pick lands in a voxel, that voxel is
@@ -194,6 +194,12 @@ struct Scoreboard {
     boxes: Vec<(u32, u32, u32, u32)>,
     /// Minimum (normalized) voxel distance to the picked set so far.
     min_hamming: Vec<u32>,
+    /// Total point count of each scoreboard voxel, cached at
+    /// build/refine time like `boxes` — the batched select backend
+    /// reads it instead of chasing the Octree-Table row (the hardware
+    /// scoreboard RAM holds this field anyway, so caching it costs no
+    /// modeled ops).
+    point_counts: Vec<u32>,
     /// Refinement capacity.
     limit: usize,
     /// Depth normalization reference.
@@ -244,12 +250,14 @@ impl Scoreboard {
         let max_depth = table.max_depth();
         let boxes = codes.iter().map(|&c| voxel_box(c, max_depth)).collect();
         let min_hamming = vec![u32::MAX; cut.len()];
+        let point_counts = cut.iter().map(|&i| table.entry(i).point_count).collect();
         let limit = (4 * k.max(1)).clamp(SCOREBOARD_INITIAL, SCOREBOARD_LIMIT);
         Scoreboard {
             entries: cut,
             codes,
             boxes,
             min_hamming,
+            point_counts,
             limit,
             max_depth,
         }
@@ -273,17 +281,20 @@ impl Scoreboard {
             counts.table_lookups += 1;
             let code = table.code(child);
             let bx = voxel_box(code, self.max_depth);
+            let pc = table.entry(child).point_count;
             if first {
                 self.entries[slot] = child;
                 self.codes[slot] = code;
                 self.boxes[slot] = bx;
                 self.min_hamming[slot] = inherited;
+                self.point_counts[slot] = pc;
                 first = false;
             } else {
                 self.entries.push(child);
                 self.codes.push(code);
                 self.boxes.push(bx);
                 self.min_hamming.push(inherited);
+                self.point_counts.push(pc);
             }
         }
     }
@@ -296,7 +307,15 @@ impl Scoreboard {
     /// de-interleaved coordinates — the same single-cycle combinational
     /// evaluation in hardware, and the interpretation that preserves the
     /// paper's FPS-accuracy claim (see EXPERIMENTS.md).
-    fn update(&mut self, picked: MortonCode, counts: &mut OpCounts) {
+    fn update(&mut self, kernel: SamplingKernel, picked: MortonCode, counts: &mut OpCounts) {
+        match kernel {
+            SamplingKernel::Scalar => self.update_scalar(picked, counts),
+            SamplingKernel::Batched => self.update_batched(picked, counts),
+        }
+    }
+
+    /// The anchor scoring loop, kept byte-for-byte.
+    fn update_scalar(&mut self, picked: MortonCode, counts: &mut OpCounts) {
         let (px, py, pz) = picked.grid_coords();
         for (i, &(lx, ly, lz, scale)) in self.boxes.iter().enumerate() {
             // Chebyshev distance, in leaf-cell units, from the picked leaf
@@ -318,11 +337,43 @@ impl Scoreboard {
         }
     }
 
+    /// Branchless scoring: per axis `max(lo ∸ p, p ∸ hi)` (saturating
+    /// subtractions), then an unconditional `min` into the slot. For
+    /// every case (`p < lo`, inside, `p > hi`) the expression reduces to
+    /// the anchor's branch arms, and `u32` arithmetic is exact — so the
+    /// resulting `min_hamming` values are identical, while the loop body
+    /// autovectorizes over the SoA box cache.
+    fn update_batched(&mut self, picked: MortonCode, counts: &mut OpCounts) {
+        let (px, py, pz) = picked.grid_coords();
+        for (bx, mh) in self.boxes.iter().zip(self.min_hamming.iter_mut()) {
+            let &(lx, ly, lz, scale) = bx;
+            let dx = lx.saturating_sub(px).max(px.saturating_sub(lx + scale - 1));
+            let dy = ly.saturating_sub(py).max(py.saturating_sub(ly + scale - 1));
+            let dz = lz.saturating_sub(pz).max(pz.saturating_sub(lz + scale - 1));
+            *mh = (*mh).min(dx.max(dy).max(dz));
+        }
+        counts.hamming_ops += self.boxes.len() as u64;
+    }
+
     /// The bitonic-selected farthest voxel with remaining points: maximum
     /// min-distance, ties broken toward the *least-sampled* voxel (fewest
     /// picks taken). Breaking ties toward dense voxels would collapse the
     /// sampler into density-proportional (random-sampling-like) behaviour.
     fn select(
+        &self,
+        kernel: SamplingKernel,
+        table: &OctreeTable,
+        remaining: &[u32],
+        counts: &mut OpCounts,
+    ) -> Option<usize> {
+        match kernel {
+            SamplingKernel::Scalar => self.select_scalar(table, remaining, counts),
+            SamplingKernel::Batched => self.select_batched(remaining, counts),
+        }
+    }
+
+    /// The anchor selection loop, kept byte-for-byte.
+    fn select_scalar(
         &self,
         table: &OctreeTable,
         remaining: &[u32],
@@ -349,6 +400,33 @@ impl Scoreboard {
             }
         }
         best.map(|(_, _, i)| i)
+    }
+
+    /// Selection over scoreboard-resident fields only: `picked` comes
+    /// from the cached `point_counts` (equal by construction to the
+    /// Octree-Table row the anchor reads), and the argmax carries plain
+    /// integers instead of an `Option` tuple. Same strict-improvement
+    /// rule — maximum min-distance, ties toward fewest picks, first
+    /// slot wins residual ties — so the chosen slot is identical.
+    fn select_batched(&self, remaining: &[u32], counts: &mut OpCounts) -> Option<usize> {
+        let mut best_slot = usize::MAX;
+        let mut best_h = 0u32;
+        let mut best_p = 0u32;
+        for (i, &entry) in self.entries.iter().enumerate() {
+            let rem = remaining[entry as usize];
+            if rem == 0 {
+                continue;
+            }
+            let h = self.min_hamming[i];
+            let picked = self.point_counts[i] - rem;
+            if best_slot == usize::MAX || h > best_h || (h == best_h && picked < best_p) {
+                best_slot = i;
+                best_h = h;
+                best_p = picked;
+            }
+        }
+        counts.hamming_ops += self.entries.len() as u64;
+        (best_slot != usize::MAX).then_some(best_slot)
     }
 }
 
@@ -393,7 +471,28 @@ pub fn sample(
     k: usize,
     seed: u64,
 ) -> Result<SampleResult, SamplingError> {
-    sample_inner(octree, table, mem, k, seed, None)
+    sample_inner(octree, table, mem, k, seed, None, stage::active())
+}
+
+/// [`sample`] on a specific [`SamplingKernel`] backend instead of the
+/// process-wide [`stage::active`] selection. All backends pick
+/// bit-identical indices and charge identical counts; this knob exists
+/// so a harness (or a runtime honoring a per-run `stage_backends`
+/// override) can run an anchor yardstick and an optimized candidate
+/// side by side in one process.
+///
+/// # Errors
+///
+/// As [`sample`].
+pub fn sample_with(
+    octree: &Octree,
+    table: &OctreeTable,
+    mem: &mut HostMemory,
+    k: usize,
+    seed: u64,
+    kernel: SamplingKernel,
+) -> Result<SampleResult, SamplingError> {
+    sample_inner(octree, table, mem, k, seed, None, kernel)
 }
 
 /// The approximate-OIS future-work variant (§VIII): once the descent is
@@ -410,7 +509,15 @@ pub fn approx_sample(
     seed: u64,
     stop_levels: u8,
 ) -> Result<SampleResult, SamplingError> {
-    sample_inner(octree, table, mem, k, seed, Some(stop_levels))
+    sample_inner(
+        octree,
+        table,
+        mem,
+        k,
+        seed,
+        Some(stop_levels),
+        stage::active(),
+    )
 }
 
 fn sample_inner(
@@ -420,6 +527,7 @@ fn sample_inner(
     k: usize,
     seed: u64,
     approx_stop: Option<u8>,
+    kernel: SamplingKernel,
 ) -> Result<SampleResult, SamplingError> {
     validate(octree, mem, k)?;
     let _ = mem.reset_counts();
@@ -443,12 +551,12 @@ fn sample_inner(
     let addr = state.take(&path, rng.gen_bool(0.5));
     let _ = mem.read_point(addr);
     indices.push(addr);
-    scoreboard.update(octree.point_codes()[addr], &mut state.counts);
+    scoreboard.update(kernel, octree.point_codes()[addr], &mut state.counts);
 
     for _ in 1..k {
         // 1. Scoreboard: farthest (max-min Hamming) voxel with points left.
         let slot = scoreboard
-            .select(table, &state.remaining, &mut state.counts)
+            .select(kernel, table, &state.remaining, &mut state.counts)
             .expect("picks < k <= n leaves remaining points");
         let voxel_code = scoreboard.codes[slot];
 
@@ -498,7 +606,7 @@ fn sample_inner(
         // 4. Refine the chosen slot and score the new pick against the
         // whole scoreboard in parallel.
         scoreboard.refine(slot, table, &mut state.counts);
-        scoreboard.update(octree.point_codes()[addr], &mut state.counts);
+        scoreboard.update(kernel, octree.point_codes()[addr], &mut state.counts);
     }
 
     let counts = state.counts + mem.counts();
@@ -655,6 +763,20 @@ mod tests {
         let a = sample(&octree, &table, &mut m1, 32, 11).unwrap();
         let b = sample(&octree, &table, &mut m2, 32, 11).unwrap();
         assert_eq!(a.indices, b.indices);
+    }
+
+    #[test]
+    fn sampling_kernels_are_bit_identical() {
+        for n in [60usize, 500, 2000] {
+            let (octree, table, _) = setup(n);
+            let k = (n / 4).max(1);
+            let mut m1 = HostMemory::from_cloud(octree.points());
+            let mut m2 = HostMemory::from_cloud(octree.points());
+            let a = sample_with(&octree, &table, &mut m1, k, 17, SamplingKernel::Scalar).unwrap();
+            let b = sample_with(&octree, &table, &mut m2, k, 17, SamplingKernel::Batched).unwrap();
+            assert_eq!(a.indices, b.indices, "n={n}");
+            assert_eq!(a.counts, b.counts, "n={n}");
+        }
     }
 
     #[test]

@@ -13,8 +13,8 @@
 use hgpcn_geometry::{Point3, PointCloud};
 use hgpcn_pcn::Precision;
 use hgpcn_runtime::{
-    FrameResult, FrameStatus, LatencySummary, RuntimeError, RuntimeReport, StreamProfile,
-    StreamReport, StreamService,
+    FrameResult, FrameStatus, LatencySummary, RuntimeError, RuntimeReport, StageBackendNames,
+    StreamProfile, StreamReport, StreamService,
 };
 use minihttp::http::Response;
 use minihttp::json::{self, Json};
@@ -366,6 +366,10 @@ fn stream_stats<S: StreamService>(runtime: &S, id: Json, params: &Json) -> Respo
                     ("wall_fps", Json::from(report.wall_fps())),
                     ("precision", Json::str(report.precision)),
                     ("kernel_backend", Json::str(report.kernel_backend)),
+                    (
+                        "stage_backends",
+                        stage_backends_json(&report.stage_backends),
+                    ),
                     ("streams", Json::Arr(streams)),
                 ]),
             )
@@ -422,8 +426,23 @@ fn shard_json(shard: usize, report: &RuntimeReport) -> Json {
         ("wall_fps", Json::from(report.wall_fps())),
         ("precision", Json::str(report.precision)),
         ("kernel_backend", Json::str(report.kernel_backend)),
+        (
+            "stage_backends",
+            stage_backends_json(&report.stage_backends),
+        ),
         ("streams", Json::Arr(streams)),
     ])
+}
+
+/// The `{stage: backend}` map both report views expose — the JSON face
+/// of [`StageBackendNames`] (host-speed provenance; every backend is
+/// bit-identical to its anchor).
+fn stage_backends_json(stages: &StageBackendNames) -> Json {
+    Json::obj(
+        stages
+            .as_pairs()
+            .map(|(stage, backend)| (stage, Json::str(backend))),
+    )
 }
 
 fn latency_ms_json(summary: &LatencySummary) -> Json {

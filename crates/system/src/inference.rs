@@ -3,7 +3,7 @@ use hgpcn_gather::dsu::{DataStructuringUnit, StageCycles};
 use hgpcn_gather::veg::VegConfig;
 use hgpcn_geometry::PointCloud;
 use hgpcn_memsim::{Latency, OpCounts};
-use hgpcn_pcn::{CenterPolicy, Gatherer, InferenceOutput, PointNet, Precision};
+use hgpcn_pcn::{CenterPolicy, Gatherer, InferenceOutput, PointNet, Precision, StageBackends};
 
 use crate::{SystemError, VegGatherer};
 
@@ -101,12 +101,35 @@ impl InferenceEngine {
         seed: u64,
         precision: Precision,
     ) -> Result<InferenceReport, SystemError> {
-        let mut gatherer = VegGatherer::new(self.veg);
-        let output = net.infer_with_precision(
+        self.run_with_precision_using(input, net, seed, precision, net.stage_backends())
+    }
+
+    /// [`InferenceEngine::run_with_precision`] with an explicit
+    /// stage-backend selection: the gather backend is pinned into the
+    /// frame's VEG gatherer and the interpolate backend into the forward
+    /// pass, overriding both the process-wide and the network-pinned
+    /// choices. Bit-identity across backends makes this a host-speed
+    /// knob only — the runtime uses it to honor a per-run
+    /// `StageBackends` selection.
+    ///
+    /// # Errors
+    ///
+    /// As [`InferenceEngine::run_with_precision`].
+    pub fn run_with_precision_using(
+        &self,
+        input: &PointCloud,
+        net: &PointNet,
+        seed: u64,
+        precision: Precision,
+        stages: StageBackends,
+    ) -> Result<InferenceReport, SystemError> {
+        let mut gatherer = VegGatherer::new(self.veg).with_kernel(stages.gather);
+        let output = net.infer_with_precision_using(
             input,
             &mut gatherer,
             CenterPolicy::Random { seed },
             precision,
+            stages,
         )?;
         Ok(self.price(&gatherer, output, net))
     }
@@ -157,9 +180,34 @@ impl InferenceEngine {
         seeds: &[u64],
         precision: Precision,
     ) -> Result<Vec<InferenceReport>, SystemError> {
+        self.run_batch_with_precision_using(inputs, net, seeds, precision, net.stage_backends())
+    }
+
+    /// [`InferenceEngine::run_batch_with_precision`] with an explicit
+    /// stage-backend selection — the batched counterpart of
+    /// [`InferenceEngine::run_with_precision_using`], carrying the same
+    /// bit-identity contract.
+    ///
+    /// # Errors
+    ///
+    /// As [`InferenceEngine::run_batch_with_precision`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` and `seeds` have different lengths.
+    pub fn run_batch_with_precision_using(
+        &self,
+        inputs: &[&PointCloud],
+        net: &PointNet,
+        seeds: &[u64],
+        precision: Precision,
+        stages: StageBackends,
+    ) -> Result<Vec<InferenceReport>, SystemError> {
         assert_eq!(inputs.len(), seeds.len(), "one seed per frame");
-        let mut gatherers: Vec<VegGatherer> =
-            inputs.iter().map(|_| VegGatherer::new(self.veg)).collect();
+        let mut gatherers: Vec<VegGatherer> = inputs
+            .iter()
+            .map(|_| VegGatherer::new(self.veg).with_kernel(stages.gather))
+            .collect();
         let outputs = {
             let mut grefs: Vec<&mut dyn Gatherer> = gatherers
                 .iter_mut()
@@ -169,7 +217,7 @@ impl InferenceEngine {
                 .iter()
                 .map(|&seed| CenterPolicy::Random { seed })
                 .collect();
-            net.infer_batch_with_precision(inputs, &mut grefs, &policies, precision)?
+            net.infer_batch_with_precision_using(inputs, &mut grefs, &policies, precision, stages)?
         };
         Ok(outputs
             .into_iter()

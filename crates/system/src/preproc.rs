@@ -2,7 +2,7 @@ use hgpcn_geometry::PointCloud;
 use hgpcn_memsim::{DeviceProfile, HostMemory, Latency, OpCounts};
 use hgpcn_octree::{BuildStats, Octree, OctreeConfig, OctreeTable};
 use hgpcn_sampling::hw::DownsamplingUnit;
-use hgpcn_sampling::ois;
+use hgpcn_sampling::{ois, SamplingKernel};
 
 use crate::SystemError;
 
@@ -108,7 +108,26 @@ impl PreprocessingEngine {
         target: usize,
         seed: u64,
     ) -> Result<PreprocessOutput, SystemError> {
-        self.run_inner(frame, target, seed, None)
+        self.run_inner(frame, target, seed, None, hgpcn_sampling::stage::active())
+    }
+
+    /// [`PreprocessingEngine::run`] with an explicit scoreboard-scan
+    /// backend instead of the process-wide choice. All backends pick
+    /// bit-identical samples with identical modeled counts, so this is
+    /// a host-speed knob only — the runtime uses it to honor a per-run
+    /// `StageBackends` selection.
+    ///
+    /// # Errors
+    ///
+    /// As [`PreprocessingEngine::run`].
+    pub fn run_using(
+        &self,
+        frame: &PointCloud,
+        target: usize,
+        seed: u64,
+        sampling: SamplingKernel,
+    ) -> Result<PreprocessOutput, SystemError> {
+        self.run_inner(frame, target, seed, None, sampling)
     }
 
     /// Runs OIS entirely in software on the host CPU (the "OIS-on-CPU"
@@ -123,7 +142,13 @@ impl PreprocessingEngine {
         target: usize,
         seed: u64,
     ) -> Result<PreprocessOutput, SystemError> {
-        self.run_inner(frame, target, seed, Some(self.cpu))
+        self.run_inner(
+            frame,
+            target,
+            seed,
+            Some(self.cpu),
+            hgpcn_sampling::stage::active(),
+        )
     }
 
     fn run_inner(
@@ -132,6 +157,7 @@ impl PreprocessingEngine {
         target: usize,
         seed: u64,
         sample_device: Option<DeviceProfile>,
+        sampling: SamplingKernel,
     ) -> Result<PreprocessOutput, SystemError> {
         // CPU: single-pass octree build + SFC reorganization.
         let octree = Octree::build(frame, self.octree_config)?;
@@ -151,7 +177,7 @@ impl PreprocessingEngine {
 
         // Down-sampling via OIS.
         let mut mem = HostMemory::from_cloud(octree.points());
-        let result = ois::sample(&octree, &table, &mut mem, target, seed)?;
+        let result = ois::sample_with(&octree, &table, &mut mem, target, seed, sampling)?;
         let sample_latency = match sample_device {
             Some(dev) => dev.latency(&result.counts),
             None => self.unit.latency(&result.counts),

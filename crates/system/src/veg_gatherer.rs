@@ -1,5 +1,5 @@
 use hgpcn_gather::veg::VegConfig;
-use hgpcn_gather::{GatherResult, NeighborIndex, VegIndex};
+use hgpcn_gather::{GatherKernel, GatherResult, NeighborIndex, VegIndex};
 use hgpcn_geometry::PointCloud;
 use hgpcn_memsim::OpCounts;
 use hgpcn_octree::OctreeConfig;
@@ -19,19 +19,38 @@ use hgpcn_pcn::{Gatherer, PcnError};
 pub struct VegGatherer {
     config: VegConfig,
     octree_config: OctreeConfig,
+    kernel: GatherKernel,
     counts: OpCounts,
     results: Vec<GatherResult>,
 }
 
 impl VegGatherer {
-    /// Creates a gatherer with the given VEG behaviour.
+    /// Creates a gatherer with the given VEG behaviour, dispatching
+    /// top-K selection to the process-wide
+    /// [`hgpcn_gather::stage::active`] backend.
     pub fn new(config: VegConfig) -> VegGatherer {
         VegGatherer {
             config,
             octree_config: OctreeConfig::default(),
+            kernel: hgpcn_gather::stage::active(),
             counts: OpCounts::default(),
             results: Vec::new(),
         }
+    }
+
+    /// Pins the top-K selection backend for every index this gatherer
+    /// builds, overriding the process-wide choice. All backends are
+    /// bit-identical, so this is a host-speed knob only — the runtime
+    /// uses it to honor a per-run `StageBackends` selection.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: GatherKernel) -> VegGatherer {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The top-K selection backend in use.
+    pub fn kernel(&self) -> GatherKernel {
+        self.kernel
     }
 
     /// All per-center gather results so far (the DSU pipeline model
@@ -61,7 +80,8 @@ impl Gatherer for VegGatherer {
     ) -> Result<Vec<Vec<usize>>, PcnError> {
         // One index build for this level; the index translates between
         // the caller's order and SFC order internally.
-        let index = VegIndex::build(cloud, self.config, self.octree_config)?;
+        let index =
+            VegIndex::build(cloud, self.config, self.octree_config)?.with_kernel(self.kernel);
         let mut out = Vec::with_capacity(centers.len());
         for &c in centers {
             let r = index.query(c, k)?;

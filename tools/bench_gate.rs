@@ -4,6 +4,7 @@
 //! bench_gate <baseline.json> <candidate.json> [--tolerance 0.15]
 //!            [--min-speedup X] [--min-int8-vs-f32 X]
 //!            [--min-telemetry-ratio X] [--min-drop-rate X]
+//!            [--min-preproc-vs-anchor X]
 //! ```
 //!
 //! Reads two bench JSON files (the committed baseline and the fresh CI
@@ -50,6 +51,15 @@
 //!   `blocked` kernel — the acceptance claim that quantized inference
 //!   out-runs the best scalar f32 path. All gated exactly like their
 //!   f32 counterparts.
+//! * `preproc_gmacs_vs_anchor` — the selected preproc stage-backend
+//!   set's GMAC-equivalent throughput as a same-host multiple of the
+//!   all-anchor (scalar) set. Machine-relative like
+//!   `kernel_gmacs_vs_reference`, so a drop beyond the tolerance means
+//!   a stage backend regressed or the `HGPCN_STAGE_*` dispatch silently
+//!   fell back to scalar. The per-stage `stage_*_vs_scalar` ratios and
+//!   the absolute `preproc_gmacs` are printed for the record but never
+//!   gated (individual stages are too small/noisy to band tightly; the
+//!   aggregate carries the claim).
 //! * with `--min-speedup X`, additionally requires `speedup >= X`;
 //!   with `--min-int8-vs-f32 X`, requires
 //!   `int8_gmacs_vs_f32_blocked >= X` (the absolute floor behind the
@@ -57,7 +67,10 @@
 //!   with `--min-telemetry-ratio X`, requires `telemetry_on_vs_off >= X`
 //!   — the traced-over-untraced throughput ratio of the same batched
 //!   configuration, same-host like `speedup`, holding the telemetry
-//!   subsystem to its bounded-overhead claim.
+//!   subsystem to its bounded-overhead claim;
+//!   with `--min-preproc-vs-anchor X`, requires
+//!   `preproc_gmacs_vs_anchor >= X` (the absolute floor behind the
+//!   "optimized stage backends beat the anchors" acceptance criterion).
 //!
 //! Absolute `wall_fps` values are printed for the record but never gated
 //! (a faster or slower runner generation would otherwise break CI).
@@ -86,6 +99,7 @@ fn main() -> ExitCode {
     let mut min_int8_vs_f32: Option<f64> = None;
     let mut min_telemetry_ratio: Option<f64> = None;
     let mut min_drop_rate: Option<f64> = None;
+    let mut min_preproc_vs_anchor: Option<f64> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--tolerance" => {
@@ -121,6 +135,13 @@ fn main() -> ExitCode {
                         std::process::exit(2);
                     }))
             }
+            "--min-preproc-vs-anchor" => {
+                min_preproc_vs_anchor =
+                    Some(args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--min-preproc-vs-anchor needs a number");
+                        std::process::exit(2);
+                    }))
+            }
             other => paths.push(other.to_owned()),
         }
     }
@@ -128,7 +149,7 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: bench_gate <baseline.json> <candidate.json> [--tolerance 0.15] \
              [--min-speedup X] [--min-int8-vs-f32 X] [--min-telemetry-ratio X] \
-             [--min-drop-rate X]"
+             [--min-drop-rate X] [--min-preproc-vs-anchor X]"
         );
         return ExitCode::from(2);
     }
@@ -272,6 +293,12 @@ fn main() -> ExitCode {
         candidate.num("int8_gmacs_vs_f32_blocked"),
         false,
     );
+    check(
+        "preproc_gmacs_vs_anchor (selected stage set, same-host multiple)",
+        baseline.num("preproc_gmacs_vs_anchor"),
+        candidate.num("preproc_gmacs_vs_anchor"),
+        false,
+    );
 
     if let Some(floor) = min_int8_vs_f32 {
         match candidate.num("int8_gmacs_vs_f32_blocked") {
@@ -296,6 +323,22 @@ fn main() -> ExitCode {
             }
             None => {
                 eprintln!("FAIL telemetry-ratio floor: candidate has no telemetry_on_vs_off");
+                failures.set(failures.get() + 1);
+            }
+        }
+    }
+
+    if let Some(floor) = min_preproc_vs_anchor {
+        match candidate.num("preproc_gmacs_vs_anchor") {
+            Some(v) if v >= floor => {
+                println!("ok   preproc-vs-anchor floor: {v:.3} >= {floor:.3}")
+            }
+            Some(v) => {
+                eprintln!("FAIL preproc-vs-anchor floor: {v:.3} < {floor:.3}");
+                failures.set(failures.get() + 1);
+            }
+            None => {
+                eprintln!("FAIL preproc-vs-anchor floor: candidate has no preproc_gmacs_vs_anchor");
                 failures.set(failures.get() + 1);
             }
         }
@@ -326,6 +369,10 @@ fn main() -> ExitCode {
         "telemetry.wall_fps",
         "telemetry_on_vs_off",
         "telemetry_events",
+        "preproc_gmacs",
+        "stage_sampling_vs_scalar",
+        "stage_gather_vs_scalar",
+        "stage_interpolate_vs_scalar",
     ] {
         if let (Some(b), Some(c)) = (baseline.num(key), candidate.num(key)) {
             println!("info {key}: baseline {b:.2}, candidate {c:.2} (not gated)");
@@ -336,6 +383,14 @@ fn main() -> ExitCode {
         candidate.path("kernel_backend"),
     ) {
         println!("info kernel_backend: baseline {b}, candidate {c} (not gated)");
+    }
+    for stage in ["sampling", "gather", "interpolate"] {
+        let key = format!("batched.stage_backends.{stage}");
+        if let (Some(Json::Str(b)), Some(Json::Str(c))) =
+            (baseline.path(&key), candidate.path(&key))
+        {
+            println!("info {key}: baseline {b}, candidate {c} (not gated)");
+        }
     }
 
     if failures.get() > 0 {
