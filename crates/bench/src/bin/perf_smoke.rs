@@ -60,9 +60,23 @@
 //!   it is pinned to the reference matmul kernel, so `speedup` keeps
 //!   meaning "what the modern path buys over the original one" as the
 //!   stage seams widen. Schema version 5 added this block.
+//! * `preproc_warm_vs_cold` / `preproc_reuse` — the stream-context
+//!   reuse seam's trajectory: modeled cold octree-build +
+//!   Octree-Table-update latency over the §V-A warm delta pass,
+//!   averaged across the warm frames of a temporally coherent
+//!   drifting-scene stream, plus the policy name and the stream's
+//!   hit/miss tally (`hit_rate` is the cache hit-rate). The latencies
+//!   come from the deterministic cost models, so the ratio is
+//!   bit-reproducible anywhere and CI holds both a tolerance band and
+//!   an absolute floor (`bench_gate --min-warm-vs-cold`) under it. The
+//!   measurement honours the process-wide `HGPCN_PREPROC_REUSE`
+//!   policy: under `off` the warm side *is* the cold side, the ratio
+//!   pins to 1.0 and the tally stays empty — the degradation shows in
+//!   the JSON rather than hiding. Schema version 6 added this pair.
 
 use std::time::Instant;
 
+use hgpcn_datasets::{DriftingScene, DriftingSceneConfig};
 use hgpcn_geometry::{Point3, PointCloud};
 use hgpcn_memsim::{HostMemory, Latency, OpCounts};
 use hgpcn_octree::{Octree, OctreeConfig, OctreeTable};
@@ -75,6 +89,7 @@ use hgpcn_runtime::{
     StreamSpec, SyntheticSource, TelemetryMode,
 };
 use hgpcn_sampling::ois;
+use hgpcn_system::{reuse, PreprocReuse, PreprocessingEngine, StreamPreprocContext};
 
 const TARGET: usize = 512;
 
@@ -391,6 +406,86 @@ fn preproc_gmacs(w: &PreprocWorkload, stages: StageBackends) -> f64 {
     equiv / best.max(1e-12) / 1e9
 }
 
+/// The stream-context reuse trajectory for the JSON: the active policy,
+/// the measured warm-over-cold speedup, and the measurement stream's
+/// hit/miss tally.
+struct ReuseMeasurement {
+    policy: &'static str,
+    warm_vs_cold: f64,
+    hits: u64,
+    misses: u64,
+    hit_rate: f64,
+}
+
+/// Measures the stream-context reuse seam: modeled cold octree-build +
+/// Octree-Table-update latency over the §V-A warm delta pass, averaged
+/// across the warm frames (everything after the cache-priming frame 0)
+/// of a temporally coherent drifting-scene stream.
+///
+/// The scene is background-dominated — two small movers over a large
+/// static shell, the regime real LiDAR streams sit in and the one where
+/// incremental table updates pay: most sorted positions are unchanged
+/// frame to frame, so the warm pass re-emits only the dirty table rows.
+/// The build and transfer latencies come from the deterministic cost
+/// models, making the ratio bit-reproducible anywhere — the sampling
+/// stage is deliberately excluded (reuse leaves its cost untouched, and
+/// including it would only dilute the gated signal).
+///
+/// Honours the process-wide policy: under `off` no context exists, the
+/// warm side is the cold side and the ratio pins to 1.0 with an empty
+/// tally — a degraded env override shows up in the JSON, never hides.
+fn reuse_warm_vs_cold() -> ReuseMeasurement {
+    let policy = reuse::active();
+    let scene = DriftingScene::new(
+        DriftingSceneConfig {
+            objects: 2,
+            points_per_object: 200,
+            shell_points: 3712,
+            ..DriftingSceneConfig::default()
+        },
+        9,
+    );
+    let engine = PreprocessingEngine::prototype();
+    let sampling = hgpcn_sampling::stage::active();
+    let mut ctx = StreamPreprocContext::new();
+    let frames = 8;
+    let (mut warm, mut cold) = (Latency::ZERO, Latency::ZERO);
+    for i in 0..frames {
+        let frame = scene.frame(i);
+        let cold_out = engine
+            .run_using(&frame, TARGET, 7, sampling)
+            .expect("cold preproc succeeds");
+        let warm_cost = if policy == PreprocReuse::On {
+            let out = engine
+                .run_with_context(&frame, TARGET, 7, sampling, &mut ctx)
+                .expect("warm preproc succeeds");
+            // The context is an accelerator, never a result change: the
+            // warm frame must pick bit-identical samples.
+            assert_eq!(
+                out.sampled_sfc, cold_out.sampled_sfc,
+                "reuse changed frame {i}'s samples"
+            );
+            let cost = out.build_latency + out.transfer_latency;
+            ctx.recycle(out);
+            cost
+        } else {
+            cold_out.build_latency + cold_out.transfer_latency
+        };
+        if i > 0 {
+            warm += warm_cost;
+            cold += cold_out.build_latency + cold_out.transfer_latency;
+        }
+    }
+    let (hits, misses) = (ctx.hits(), ctx.misses());
+    ReuseMeasurement {
+        policy: policy.name(),
+        warm_vs_cold: cold.secs() / warm.secs().max(1e-12),
+        hits,
+        misses,
+        hit_rate: hits as f64 / ((hits + misses) as f64).max(1.0),
+    }
+}
+
 /// Deterministic ~`TARGET`-point calibration cloud `c` (the same
 /// quasi-random generator the unit tests use, salted per cloud).
 fn calib_cloud(c: usize) -> PointCloud {
@@ -613,12 +708,15 @@ fn main() {
         interpolate: stages_active.interpolate,
         ..StageBackends::anchor()
     });
+    // The reuse seam's counterpart pair: modeled (deterministic), so the
+    // gate bands it tightly and holds an absolute floor under it.
+    let reuse = reuse_warm_vs_cold();
 
     let json = format!(
         concat!(
             "{{\n",
             "  \"bench\": \"runtime_batching\",\n",
-            "  \"schema_version\": 5,\n",
+            "  \"schema_version\": 6,\n",
             "  \"config\": {{\n",
             "    \"streams\": {},\n",
             "    \"frames_per_stream\": {},\n",
@@ -642,6 +740,13 @@ fn main() {
             "  \"stage_sampling_vs_scalar\": {:.4},\n",
             "  \"stage_gather_vs_scalar\": {:.4},\n",
             "  \"stage_interpolate_vs_scalar\": {:.4},\n",
+            "  \"preproc_warm_vs_cold\": {:.4},\n",
+            "  \"preproc_reuse\": {{\n",
+            "    \"policy\": \"{}\",\n",
+            "    \"hits\": {},\n",
+            "    \"misses\": {},\n",
+            "    \"hit_rate\": {:.4}\n",
+            "  }},\n",
             "  \"speedup\": {:.4},\n",
             "  \"int8_speedup\": {:.4},\n",
             "  \"int8_vs_f32_batched\": {:.4},\n",
@@ -670,6 +775,11 @@ fn main() {
         sampling_vs_scalar,
         gather_vs_scalar,
         interpolate_vs_scalar,
+        reuse.warm_vs_cold,
+        reuse.policy,
+        reuse.hits,
+        reuse.misses,
+        reuse.hit_rate,
         speedup,
         int8_speedup,
         int8_vs_f32_batched,
@@ -711,6 +821,10 @@ fn main() {
          sampling {sampling_vs_scalar:.2}x, gather {gather_vs_scalar:.2}x, \
          interpolate {interpolate_vs_scalar:.2}x)",
         batched.stage_backends
+    );
+    println!(
+        "  reuse  : policy {}, warm build+table {:.2}x cheaper than cold ({} hits / {} misses, hit rate {:.2})",
+        reuse.policy, reuse.warm_vs_cold, reuse.hits, reuse.misses, reuse.hit_rate
     );
     println!(
         "  traced : {traced_s:.3} s wall, {traced_fps:.2} frames/s ({:.1}% of untraced, {} events)",

@@ -99,15 +99,16 @@ fn parse_args() -> Args {
 
 /// Deterministic quasi-random cloud `c`: golden-ratio-style sequences
 /// salted per cloud, so calibration and evaluation sets are disjoint
-/// but drawn from the same distribution.
+/// but drawn from the same distribution. Fractions in f64, cast last —
+/// the ulp-collapse discipline every index-lattice generator follows.
 fn cloud(c: usize, points: usize) -> PointCloud {
     (0..points)
         .map(|i| {
-            let f = (i + c * 977) as f32;
+            let f = (i + c * 977) as f64;
             Point3::new(
-                (f * 0.6180).fract() * 2.0,
-                (f * 0.4142).fract() * 2.0,
-                (f * 0.7320).fract() * 2.0,
+                ((f * 0.618_033_988_749).fract() * 2.0) as f32,
+                ((f * 0.414_213_562_373).fract() * 2.0) as f32,
+                ((f * 0.732_050_807_568).fract() * 2.0) as f32,
             )
         })
         .collect()

@@ -472,15 +472,19 @@ pub fn surface_cloud(n: usize, seed: u64) -> PointCloud {
 
 /// A quasi-random (golden-ratio lattice) cloud of `n` points — cheap
 /// filler for size sweeps where only scale matters.
+/// The fractions are computed in f64 and cast last: at indices ≥4M an
+/// f32 ulp is ~0.25, so an f32 `fract()` collapses the lattice onto a
+/// handful of duplicate points — the degenerate-octree/KNN wedge fixed
+/// in the load harness (see `load_smoke`'s generator note).
 pub fn golden_cloud(n: usize, seed: u64) -> PointCloud {
-    let offset = (seed as f32 * 0.137).fract();
+    let offset = (seed as f64 * 0.137).fract();
     (0..n)
         .map(|i| {
-            let f = i as f32 + offset;
+            let f = i as f64 + offset;
             Point3::new(
-                (f * 0.618_034).fract() * 10.0,
-                (f * 0.414_214).fract() * 10.0,
-                (f * 0.732_051).fract() * 10.0,
+                ((f * 0.618_033_988_749).fract() * 10.0) as f32,
+                ((f * 0.414_213_562_373).fract() * 10.0) as f32,
+                ((f * 0.732_050_807_568).fract() * 10.0) as f32,
             )
         })
         .collect()
@@ -489,6 +493,35 @@ pub fn golden_cloud(n: usize, seed: u64) -> PointCloud {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn golden_cloud_stays_diverse_past_four_million() {
+        // Regression for the ulp-collapse bug: at index ≥4M an f32 ulp
+        // is ~0.25, so fractions computed in f32 collapse the lattice
+        // onto a handful of duplicate points (degenerate octree/KNN →
+        // wedged inference workers). The f64 lattice must keep its
+        // low-discrepancy spread arbitrarily deep into the sequence.
+        const BASE: usize = 4 << 20;
+        const WINDOW: usize = 2048;
+        let cloud = golden_cloud(BASE + WINDOW, 5);
+        let tail = &cloud.points()[BASE..];
+        let distinct_x: std::collections::BTreeSet<u32> =
+            tail.iter().map(|p| p.x.to_bits()).collect();
+        assert!(
+            distinct_x.len() > WINDOW * 9 / 10,
+            "tail collapsed to {} distinct x values of {WINDOW}",
+            distinct_x.len()
+        );
+        // A golden-ratio lattice fills the box evenly: every octant of
+        // the [0,10)^3 cube must be populated even this deep in.
+        let mut octants = [false; 8];
+        for p in tail {
+            let o =
+                (p.x >= 5.0) as usize | ((p.y >= 5.0) as usize) << 1 | ((p.z >= 5.0) as usize) << 2;
+            octants[o] = true;
+        }
+        assert!(octants.iter().all(|&o| o), "octants missed: {octants:?}");
+    }
 
     #[test]
     fn table1_matches_paper() {

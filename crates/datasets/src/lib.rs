@@ -16,6 +16,10 @@
 //! * [`kitti`] — a rotating 64-beam LiDAR ray-cast into a street scene,
 //!   producing variable-size frames with per-frame timestamps for the
 //!   §VII-E real-time experiment;
+//! * [`DriftingScene`] — rigid objects translating through a fixed world
+//!   box: AABB-stable, temporally coherent frame streams for exercising
+//!   the stream-scoped preprocessing warm path (and the seed of the
+//!   ROADMAP item 4 scenario engine);
 //! * [`BenchmarkSpec`]/[`TABLE_I`] — the paper's benchmark table;
 //! * [`EvalFrame`] — the named frames appearing on figure x-axes.
 //!
@@ -24,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod drifting;
 mod frames;
 pub mod kitti;
 pub mod modelnet;
@@ -32,6 +37,7 @@ pub mod shapenet;
 mod shapes;
 mod spec;
 
+pub use drifting::{DriftingScene, DriftingSceneConfig};
 pub use frames::EvalFrame;
 pub use shapes::{jitter, sample_box, sample_cylinder, sample_disk, sample_plane, sample_sphere};
 pub use spec::{BenchmarkSpec, DatasetKind, PcnTask, TABLE_I};

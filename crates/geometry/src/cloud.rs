@@ -183,6 +183,23 @@ impl PointCloud {
     /// Panics if any index is out of range.
     pub fn gather(&self, indices: &[usize]) -> PointCloud {
         let mut out = PointCloud::with_feature_dim(self.feature_dim);
+        self.gather_into(indices, &mut out);
+        out
+    }
+
+    /// Like [`PointCloud::gather`], but writes into `out`, reusing its
+    /// buffers. `out` is cleared first and adopts this cloud's feature
+    /// dimension; its previous contents only contribute spare capacity.
+    /// Stream-scoped preprocessing contexts use this to gather every frame
+    /// of a stream without a fresh allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn gather_into(&self, indices: &[usize], out: &mut PointCloud) {
+        out.points.clear();
+        out.features.clear();
+        out.feature_dim = self.feature_dim;
         out.points.reserve(indices.len());
         out.features.reserve(indices.len() * self.feature_dim);
         for &i in indices {
@@ -191,7 +208,6 @@ impl PointCloud {
                 out.features.extend_from_slice(self.feature(i));
             }
         }
-        out
     }
 
     /// Reorders the cloud by `permutation`, returning a new cloud where the

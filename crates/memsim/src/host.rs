@@ -47,6 +47,16 @@ impl HostMemory {
         }
     }
 
+    /// Reloads the coordinates of `cloud`, reusing this memory's buffer
+    /// capacity and zeroing the access tally — equivalent to a fresh
+    /// [`HostMemory::from_cloud`] without the allocation. Stream-scoped
+    /// preprocessing contexts call this once per frame.
+    pub fn reload_cloud(&mut self, cloud: &PointCloud) {
+        self.points.clear();
+        self.points.extend_from_slice(cloud.points());
+        self.counts = OpCounts::default();
+    }
+
     /// Number of resident points.
     #[inline]
     pub fn len(&self) -> usize {

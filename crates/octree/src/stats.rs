@@ -22,6 +22,22 @@ pub struct BuildStats {
     /// Depth of the deepest leaf actually created. Depends on the frame's
     /// spatial non-uniformity (the MN.piano vs MN.plant effect in Fig. 11).
     pub achieved_depth: u8,
+    /// `true` when this build ran the temporal-coherence warm path
+    /// (adaptive merge over a cached near-sorted order) instead of a cold
+    /// full sort. The arena is bit-identical either way; only the cost
+    /// model differs.
+    pub reused: bool,
+    /// Points whose Morton code changed relative to the cached previous
+    /// frame (warm path), or all points on a cold build. This is the "n"
+    /// of the delta pass the warm cost model charges.
+    pub dirty_points: usize,
+    /// Octree-Table rows whose content (code, point range, or children)
+    /// may have changed relative to the cached previous frame: nodes
+    /// whose sorted-position range touches a changed position. Equals
+    /// `nodes_created` on a cold build. A conservative (never
+    /// undercounting) estimate — the quantity the §V-A incremental
+    /// table update re-emits while clean rows persist in BRAM.
+    pub nodes_dirty: usize,
 }
 
 impl BuildStats {

@@ -88,6 +88,7 @@ impl Octree {
             raw_codes[a].cmp(&raw_codes[b])
         });
         stats.sort_comparisons = comparisons.get();
+        stats.dirty_points = cloud.len();
         let points = cloud.permuted(&permutation);
         stats.point_writes = cloud.len();
         let codes: Vec<MortonCode> = permutation.iter().map(|&i| raw_codes[i]).collect();
@@ -105,7 +106,159 @@ impl Octree {
             &mut max_level,
         );
         stats.nodes_created = nodes.len();
+        stats.nodes_dirty = nodes.len();
         stats.achieved_depth = max_level;
+
+        Ok(Octree {
+            root_bounds,
+            nodes,
+            root,
+            points,
+            permutation,
+            codes,
+            config,
+            stats,
+        })
+    }
+
+    /// Builds an octree over `cloud`, reusing `scratch`'s buffers and — when
+    /// the frame lands on the cached grid — the previous frame's near-sorted
+    /// Morton order.
+    ///
+    /// The result is **bit-identical** to [`Octree::build`] in every
+    /// geometric respect (`root_bounds`, nodes, point codes, permutation,
+    /// reorganized points); only [`BuildStats`] differs, because it records
+    /// what the build actually did (`reused`, `dirty_points`, merge vs full
+    /// sort comparisons). The warm path sorts by the strict key
+    /// `(code, raw index)`, which is exactly the order the cold stable
+    /// code-only sort realizes, so the permutation is identical no matter
+    /// what order the cache supplies — a stale or even scrambled cache can
+    /// cost time, never correctness.
+    ///
+    /// The warm path engages only when the computed root grid (cubified,
+    /// inflated AABB) is bit-equal to the cached one and the config matches;
+    /// any drift falls back to a cold full sort (still through the reused
+    /// buffers) and refreshes the cache.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Octree::build`]; on error the scratch's cache is
+    /// left untouched.
+    pub fn build_with_scratch(
+        cloud: &PointCloud,
+        config: OctreeConfig,
+        scratch: &mut OctreeScratch,
+    ) -> Result<Octree, OctreeError> {
+        if cloud.is_empty() {
+            return Err(OctreeError::EmptyCloud);
+        }
+        if !config.is_supported() {
+            return Err(OctreeError::DepthTooLarge {
+                requested: config.max_depth,
+                max: MAX_LEVEL,
+            });
+        }
+        cloud.validate_finite()?;
+
+        let n = cloud.len();
+        let bounds = cloud.bounds().expect("non-empty cloud has bounds");
+        let margin = (bounds.diagonal() * 1e-6).max(f32::MIN_POSITIVE);
+        let root_bounds = bounds.inflate(margin).cubified();
+
+        let mut stats = BuildStats {
+            points: n,
+            ..BuildStats::default()
+        };
+
+        // Single pass: one m-code per point, into the reused raw-order buffer.
+        scratch.raw_codes.clear();
+        scratch.raw_codes.extend(
+            cloud
+                .iter()
+                .map(|p| MortonCode::encode(p, &root_bounds, config.max_depth)),
+        );
+        stats.code_computations = n;
+        stats.point_reads = n;
+
+        let warm = scratch.grid == Some((root_bounds, config));
+        let mut permutation = std::mem::take(&mut scratch.spare_perm);
+        permutation.clear();
+        if warm {
+            // Delta pass: count points whose code moved since the cached
+            // frame (the quantity the §V-A warm cost model charges for).
+            let prev = &scratch.prev_codes;
+            let dirty = (0..n)
+                .filter(|&i| i >= prev.len() || scratch.raw_codes[i] != prev[i])
+                .count();
+            // Seed with the cached order (dropping raw indices past this
+            // frame's length, appending any new ones), then finish with an
+            // adaptive natural merge on the strict (code, index) key.
+            permutation.extend(scratch.prev_perm.iter().copied().filter(|&i| i < n));
+            permutation.extend(scratch.prev_codes.len()..n);
+            debug_assert_eq!(permutation.len(), n);
+            let mut comparisons = 0usize;
+            adaptive_merge_by_code(
+                &mut permutation,
+                &scratch.raw_codes,
+                &mut scratch.merge_buf,
+                &mut scratch.runs,
+                &mut scratch.runs_next,
+                &mut comparisons,
+            );
+            stats.sort_comparisons = comparisons;
+            stats.dirty_points = dirty;
+            stats.reused = true;
+        } else {
+            permutation.extend(0..n);
+            let raw_codes = &scratch.raw_codes;
+            let comparisons = Cell::new(0usize);
+            permutation.sort_by(|&a, &b| {
+                comparisons.set(comparisons.get() + 1);
+                raw_codes[a].cmp(&raw_codes[b])
+            });
+            stats.sort_comparisons = comparisons.get();
+            stats.dirty_points = n;
+        }
+
+        let mut points = std::mem::take(&mut scratch.spare_points);
+        cloud.gather_into(&permutation, &mut points);
+        stats.point_writes = n;
+
+        let mut codes = std::mem::take(&mut scratch.spare_codes);
+        codes.clear();
+        codes.extend(permutation.iter().map(|&i| scratch.raw_codes[i]));
+
+        let mut nodes = std::mem::take(&mut scratch.spare_nodes);
+        nodes.clear();
+        let mut max_level = 0u8;
+        let root = Self::build_node(
+            &codes,
+            MortonCode::root(),
+            0..n as u32,
+            &config,
+            &mut nodes,
+            &mut max_level,
+        );
+        stats.nodes_created = nodes.len();
+        stats.achieved_depth = max_level;
+        stats.nodes_dirty = if warm {
+            dirty_nodes(
+                &nodes,
+                &codes,
+                &scratch.prev_codes,
+                &scratch.prev_perm,
+                &mut scratch.dirty_prefix,
+            )
+        } else {
+            nodes.len()
+        };
+
+        // Refresh the cache: this frame's raw-order codes and final
+        // permutation become the next frame's warm seed.
+        scratch.grid = Some((root_bounds, config));
+        std::mem::swap(&mut scratch.prev_codes, &mut scratch.raw_codes);
+        scratch.prev_perm.clear();
+        scratch.prev_perm.extend_from_slice(&permutation);
 
         Ok(Octree {
             root_bounds,
@@ -375,6 +528,217 @@ fn partition_end(codes: &[MortonCode], range: Range<u32>, child_code: MortonCode
     slice.partition_point(|c| c.bits() < hi)
 }
 
+/// Reusable per-stream build state (the octree half of a stream-scoped
+/// preprocessing context).
+///
+/// Carries two kinds of state across the frames of one stream:
+///
+/// * **scratch capacity** — every buffer [`Octree::build`] would otherwise
+///   allocate per frame (raw/sorted code arrays, permutation, merge
+///   workspace, and — via [`OctreeScratch::recycle`] — the node arena and
+///   reorganized cloud of a consumed tree);
+/// * **the warm cache** — the previous frame's root grid, raw-order Morton
+///   codes, and permutation, which lets
+///   [`Octree::build_with_scratch`] replace the full SFC sort with an
+///   adaptive merge over a near-sorted order when consecutive frames share
+///   a grid (§V-A temporal coherence).
+///
+/// The cache is a pure accelerator: build results are bit-identical whether
+/// it is fresh, stale, or absent. Sharing one scratch across *unrelated*
+/// streams is therefore safe but defeats the warm path; give each stream
+/// its own.
+#[derive(Clone, Debug, Default)]
+pub struct OctreeScratch {
+    /// Root grid of the cached frame; `None` until the first successful
+    /// build or after [`OctreeScratch::invalidate`].
+    grid: Option<(Aabb, OctreeConfig)>,
+    /// Cached permutation (SFC position → raw index) of the previous frame.
+    prev_perm: Vec<usize>,
+    /// Cached Morton codes of the previous frame, in raw point order.
+    prev_codes: Vec<MortonCode>,
+    /// Working buffer: this frame's codes in raw point order.
+    raw_codes: Vec<MortonCode>,
+    merge_buf: Vec<usize>,
+    runs: Vec<(usize, usize)>,
+    runs_next: Vec<(usize, usize)>,
+    /// Working buffer: prefix counts of changed sorted positions (for the
+    /// warm path's dirty-node estimate).
+    dirty_prefix: Vec<u32>,
+    spare_nodes: Vec<Node>,
+    spare_codes: Vec<MortonCode>,
+    spare_perm: Vec<usize>,
+    spare_points: PointCloud,
+}
+
+impl OctreeScratch {
+    /// Creates an empty scratch (no cache, no capacity).
+    pub fn new() -> OctreeScratch {
+        OctreeScratch::default()
+    }
+
+    /// `true` if a build over `cloud` with `config` would take the warm
+    /// path: the cloud's computed root grid is bit-equal to the cached one.
+    /// Exposed so callers can price the build before running it.
+    pub fn is_warm_for(&self, cloud: &PointCloud, config: OctreeConfig) -> bool {
+        let Some((cached_bounds, cached_config)) = self.grid else {
+            return false;
+        };
+        if cached_config != config {
+            return false;
+        }
+        let Some(bounds) = cloud.bounds() else {
+            return false;
+        };
+        let margin = (bounds.diagonal() * 1e-6).max(f32::MIN_POSITIVE);
+        bounds.inflate(margin).cubified() == cached_bounds
+    }
+
+    /// Root grid of the cached frame, if any.
+    #[inline]
+    pub fn cached_grid(&self) -> Option<(Aabb, OctreeConfig)> {
+        self.grid
+    }
+
+    /// Drops the warm cache (e.g. on a stream discontinuity) while keeping
+    /// all buffer capacity. The next build runs cold.
+    pub fn invalidate(&mut self) {
+        self.grid = None;
+        self.prev_perm.clear();
+        self.prev_codes.clear();
+    }
+
+    /// Reclaims the heap buffers of a tree this scratch (or a cold build)
+    /// produced, once the caller is done with it. Purely a capacity
+    /// optimization — skipping it never affects results, it just makes the
+    /// next build allocate.
+    pub fn recycle(&mut self, tree: Octree) {
+        let Octree {
+            nodes,
+            points,
+            permutation,
+            codes,
+            ..
+        } = tree;
+        self.spare_nodes = nodes;
+        self.spare_nodes.clear();
+        self.spare_codes = codes;
+        self.spare_codes.clear();
+        self.spare_perm = permutation;
+        self.spare_perm.clear();
+        self.spare_points = points;
+    }
+}
+
+/// Counts nodes whose Octree-Table row may differ from the cached previous
+/// frame's — the rows the §V-A incremental table update must re-emit while
+/// clean rows persist in BRAM.
+///
+/// The test is positional: sorted position `i` is *changed* when this
+/// frame's code there differs from what the previous frame's sorted order
+/// held at `i` (positions past the shorter frame are always changed), and a
+/// node is dirty when any position inside **or immediately adjacent to**
+/// its range changed, or when the frame length changed and its range
+/// touches the tail. The adjacency slack makes the estimate conservative:
+/// a node's row can only differ from its previous incarnation if its code
+/// run grew, shrank, or moved, and every such shift puts a changed code at
+/// or next to one of its boundaries. Clean nodes are therefore guaranteed
+/// unchanged rows; the count can only err high (e.g. a boundary-adjacent
+/// change in a sibling flags this node too).
+fn dirty_nodes(
+    nodes: &[Node],
+    codes: &[MortonCode],
+    prev_codes: &[MortonCode],
+    prev_perm: &[usize],
+    prefix: &mut Vec<u32>,
+) -> usize {
+    let n = codes.len();
+    let prev_n = prev_perm.len();
+    prefix.clear();
+    prefix.reserve(n + 1);
+    prefix.push(0);
+    let mut acc = 0u32;
+    for (i, &code) in codes.iter().enumerate() {
+        let changed = i >= prev_n || prev_codes[prev_perm[i]] != code;
+        acc += changed as u32;
+        prefix.push(acc);
+    }
+    let tail_changed = n != prev_n;
+    nodes
+        .iter()
+        .filter(|node| {
+            let hi = node.range.end as usize;
+            if tail_changed && hi >= n {
+                return true;
+            }
+            let lo = (node.range.start as usize).saturating_sub(1);
+            prefix[(hi + 1).min(n)] > prefix[lo]
+        })
+        .count()
+}
+
+/// Sorts `perm` by the strict key `(codes[i], i)` with a bottom-up natural
+/// merge: detect the maximal ascending runs already present, then merge
+/// adjacent runs pairwise until one remains. On an already-sorted seed this
+/// is a single `n - 1`-comparison verification pass; on a near-sorted seed
+/// the run count — and so the merge work — scales with the disorder, not
+/// with `n log n`. `comparisons` is incremented once per key comparison.
+fn adaptive_merge_by_code(
+    perm: &mut [usize],
+    codes: &[MortonCode],
+    buf: &mut Vec<usize>,
+    runs: &mut Vec<(usize, usize)>,
+    runs_next: &mut Vec<(usize, usize)>,
+    comparisons: &mut usize,
+) {
+    let n = perm.len();
+    if n < 2 {
+        return;
+    }
+    let key = |i: usize| (codes[i], i);
+
+    runs.clear();
+    let mut start = 0;
+    for i in 1..n {
+        *comparisons += 1;
+        if key(perm[i - 1]) > key(perm[i]) {
+            runs.push((start, i));
+            start = i;
+        }
+    }
+    runs.push((start, n));
+
+    while runs.len() > 1 {
+        runs_next.clear();
+        let mut k = 0;
+        while k + 1 < runs.len() {
+            let (a0, a1) = runs[k];
+            let (b0, b1) = runs[k + 1];
+            debug_assert_eq!(a1, b0);
+            buf.clear();
+            let (mut i, mut j) = (a0, b0);
+            while i < a1 && j < b1 {
+                *comparisons += 1;
+                if key(perm[i]) <= key(perm[j]) {
+                    buf.push(perm[i]);
+                    i += 1;
+                } else {
+                    buf.push(perm[j]);
+                    j += 1;
+                }
+            }
+            buf.extend_from_slice(&perm[i..a1]);
+            buf.extend_from_slice(&perm[j..b1]);
+            perm[a0..b1].copy_from_slice(buf);
+            runs_next.push((a0, b1));
+            k += 2;
+        }
+        if k < runs.len() {
+            runs_next.push(runs[k]);
+        }
+        std::mem::swap(runs, runs_next);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -537,6 +901,161 @@ mod tests {
         // Whole-root query returns everything.
         let all = tree.points_in_aabb(&tree.root_bounds());
         assert_eq!(all.len(), cloud.len());
+    }
+
+    fn assert_trees_bit_identical(a: &Octree, b: &Octree) {
+        assert_eq!(a.root_bounds(), b.root_bounds());
+        assert_eq!(a.nodes(), b.nodes());
+        assert_eq!(a.root(), b.root());
+        assert_eq!(a.point_codes(), b.point_codes());
+        assert_eq!(a.permutation(), b.permutation());
+        assert_eq!(a.points(), b.points());
+        assert_eq!(a.depth(), b.depth());
+    }
+
+    #[test]
+    fn scratch_identical_frame_reuses_and_matches_cold() {
+        let cloud = grid_cloud(4);
+        let cfg = OctreeConfig::new().max_depth(5).leaf_capacity(2);
+        let mut scratch = OctreeScratch::new();
+
+        let first = Octree::build_with_scratch(&cloud, cfg, &mut scratch).unwrap();
+        assert!(!first.build_stats().reused, "no cache on the first frame");
+        assert_trees_bit_identical(&first, &Octree::build(&cloud, cfg).unwrap());
+
+        assert!(scratch.is_warm_for(&cloud, cfg));
+        let second = Octree::build_with_scratch(&cloud, cfg, &mut scratch).unwrap();
+        let stats = second.build_stats();
+        assert!(stats.reused, "identical frame must take the warm path");
+        assert_eq!(stats.dirty_points, 0, "no code moved");
+        // Already-sorted seed: one verification pass, no merges.
+        assert_eq!(stats.sort_comparisons, cloud.len() - 1);
+        assert_trees_bit_identical(&second, &Octree::build(&cloud, cfg).unwrap());
+    }
+
+    #[test]
+    fn scratch_drifted_frame_stays_bit_identical() {
+        // Translate interior points while two anchor corners pin the AABB.
+        let mut frame_a = PointCloud::new();
+        frame_a.push(Point3::ORIGIN);
+        frame_a.push(Point3::splat(10.0));
+        for i in 0..200 {
+            let t = i as f32;
+            frame_a.push(Point3::new(
+                1.0 + (t * 0.037) % 8.0,
+                1.0 + (t * 0.091) % 8.0,
+                1.0 + (t * 0.053) % 8.0,
+            ));
+        }
+        let mut frame_b = PointCloud::new();
+        frame_b.push(Point3::ORIGIN);
+        frame_b.push(Point3::splat(10.0));
+        for i in 0..200 {
+            let t = i as f32;
+            frame_b.push(Point3::new(
+                1.0 + (t * 0.037 + 0.4) % 8.0,
+                1.0 + (t * 0.091 + 0.2) % 8.0,
+                1.0 + (t * 0.053 + 0.6) % 8.0,
+            ));
+        }
+        let cfg = OctreeConfig::new().max_depth(6).leaf_capacity(2);
+        let mut scratch = OctreeScratch::new();
+        let a = Octree::build_with_scratch(&frame_a, cfg, &mut scratch).unwrap();
+        scratch.recycle(a);
+        let b = Octree::build_with_scratch(&frame_b, cfg, &mut scratch).unwrap();
+        let stats = b.build_stats();
+        assert!(stats.reused, "same AABB frame must take the warm path");
+        assert!(stats.dirty_points > 0, "drift must dirty some codes");
+        assert_trees_bit_identical(&b, &Octree::build(&frame_b, cfg).unwrap());
+    }
+
+    #[test]
+    fn scratch_aabb_drift_falls_back_to_cold() {
+        let cloud = grid_cloud(3);
+        let cfg = OctreeConfig::default();
+        let mut scratch = OctreeScratch::new();
+        let _ = Octree::build_with_scratch(&cloud, cfg, &mut scratch).unwrap();
+
+        let mut grown = grid_cloud(3);
+        grown.push(Point3::splat(50.0));
+        assert!(!scratch.is_warm_for(&grown, cfg));
+        let tree = Octree::build_with_scratch(&grown, cfg, &mut scratch).unwrap();
+        assert!(!tree.build_stats().reused, "AABB growth must rebuild cold");
+        assert_eq!(tree.build_stats().dirty_points, grown.len());
+        assert_trees_bit_identical(&tree, &Octree::build(&grown, cfg).unwrap());
+        // The fallback refreshed the cache: the grown frame is now warm.
+        assert!(scratch.is_warm_for(&grown, cfg));
+    }
+
+    #[test]
+    fn scratch_config_change_falls_back_to_cold() {
+        let cloud = grid_cloud(3);
+        let mut scratch = OctreeScratch::new();
+        let _ = Octree::build_with_scratch(&cloud, OctreeConfig::default(), &mut scratch).unwrap();
+        let cfg2 = OctreeConfig::new().max_depth(3).leaf_capacity(1);
+        let tree = Octree::build_with_scratch(&cloud, cfg2, &mut scratch).unwrap();
+        assert!(!tree.build_stats().reused);
+        assert_trees_bit_identical(&tree, &Octree::build(&cloud, cfg2).unwrap());
+    }
+
+    #[test]
+    fn scratch_invalidate_forces_cold() {
+        let cloud = grid_cloud(3);
+        let cfg = OctreeConfig::default();
+        let mut scratch = OctreeScratch::new();
+        let _ = Octree::build_with_scratch(&cloud, cfg, &mut scratch).unwrap();
+        scratch.invalidate();
+        assert!(!scratch.is_warm_for(&cloud, cfg));
+        let tree = Octree::build_with_scratch(&cloud, cfg, &mut scratch).unwrap();
+        assert!(!tree.build_stats().reused);
+        assert_trees_bit_identical(&tree, &Octree::build(&cloud, cfg).unwrap());
+    }
+
+    #[test]
+    fn scratch_point_count_changes_stay_identical() {
+        // Same AABB, different point counts: warm seeding must handle both
+        // shrink (drop stale indices) and growth (append fresh ones).
+        let cfg = OctreeConfig::new().max_depth(5).leaf_capacity(2);
+        let mut scratch = OctreeScratch::new();
+        let counts = [40usize, 64, 12, 1, 64];
+        for &n in &counts {
+            let mut cloud = PointCloud::new();
+            cloud.push(Point3::ORIGIN);
+            if n > 1 {
+                cloud.push(Point3::splat(9.0));
+            }
+            for i in 2..n {
+                let t = i as f32;
+                cloud.push(Point3::new(t % 9.0, (t * 3.0) % 9.0, (t * 7.0) % 9.0));
+            }
+            let got = Octree::build_with_scratch(&cloud, cfg, &mut scratch).unwrap();
+            assert_trees_bit_identical(&got, &Octree::build(&cloud, cfg).unwrap());
+        }
+    }
+
+    #[test]
+    fn scratch_errors_leave_cache_untouched() {
+        let cloud = grid_cloud(3);
+        let cfg = OctreeConfig::default();
+        let mut scratch = OctreeScratch::new();
+        let _ = Octree::build_with_scratch(&cloud, cfg, &mut scratch).unwrap();
+        let cached = scratch.cached_grid();
+
+        assert_eq!(
+            Octree::build_with_scratch(&PointCloud::new(), cfg, &mut scratch).unwrap_err(),
+            OctreeError::EmptyCloud
+        );
+        let mut bad = grid_cloud(2);
+        bad.push(Point3::new(f32::NAN, 0.0, 0.0));
+        assert!(Octree::build_with_scratch(&bad, cfg, &mut scratch).is_err());
+
+        assert_eq!(scratch.cached_grid(), cached);
+        let tree = Octree::build_with_scratch(&cloud, cfg, &mut scratch).unwrap();
+        assert!(
+            tree.build_stats().reused,
+            "cache survived the failed frames"
+        );
+        assert_trees_bit_identical(&tree, &Octree::build(&cloud, cfg).unwrap());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Runtime configuration: worker pools, queue sizing and policies.
 
 use hgpcn_pcn::{Precision, StageBackends};
+use hgpcn_system::PreprocReuse;
 use hgpcn_telemetry::TelemetryMode;
 
 use crate::RuntimeError;
@@ -106,6 +107,18 @@ pub struct RuntimeConfig {
     /// resolved selection is reported in
     /// [`RuntimeReport::stage_backends`](crate::RuntimeReport::stage_backends).
     pub stage_backends: Option<StageBackends>,
+    /// Preprocessing state policy for every stream of the run. `None`
+    /// (the default) defers to the process-wide `HGPCN_PREPROC_REUSE`
+    /// resolution ([`hgpcn_system::reuse::active`]). With
+    /// [`PreprocReuse::On`] each stream owns a
+    /// [`StreamPreprocContext`](hgpcn_system::StreamPreprocContext):
+    /// scratch buffers persist across its frames and consecutive frames
+    /// sharing a root AABB take the temporal-coherence warm path, priced
+    /// as a §V-A delta pass. Results are **bit-identical** either way;
+    /// what changes is host speed and the *modeled* preprocessing cost
+    /// of warm frames. The resolved policy is reported in
+    /// [`RuntimeReport::preproc_reuse`](crate::RuntimeReport::preproc_reuse).
+    pub preproc_reuse: Option<PreprocReuse>,
 }
 
 impl Default for RuntimeConfig {
@@ -124,6 +137,7 @@ impl Default for RuntimeConfig {
             precision: Precision::F32,
             telemetry: TelemetryMode::Auto,
             stage_backends: None,
+            preproc_reuse: None,
         }
     }
 }
@@ -210,6 +224,14 @@ impl RuntimeConfig {
         self
     }
 
+    /// Pins the preprocessing state policy for the run, overriding the
+    /// process-wide `HGPCN_PREPROC_REUSE` resolution (bit-identical
+    /// results either way — a modeled-cost and host-speed knob).
+    pub fn preproc_reuse(mut self, policy: PreprocReuse) -> Self {
+        self.preproc_reuse = Some(policy);
+        self
+    }
+
     /// Checks the configuration is runnable.
     ///
     /// # Errors
@@ -273,7 +295,8 @@ mod tests {
             .batch_deadline_s(0.25)
             .precision(Precision::Int8)
             .telemetry(TelemetryMode::On)
-            .stage_backends(StageBackends::anchor());
+            .stage_backends(StageBackends::anchor())
+            .preproc_reuse(PreprocReuse::Off);
         assert_eq!(cfg.preproc_workers, 3);
         assert_eq!(cfg.inference_workers, 2);
         assert_eq!(cfg.queue_capacity, 5);
@@ -287,7 +310,9 @@ mod tests {
         assert_eq!(cfg.precision, Precision::Int8);
         assert_eq!(cfg.telemetry, TelemetryMode::On);
         assert_eq!(cfg.stage_backends, Some(StageBackends::anchor()));
+        assert_eq!(cfg.preproc_reuse, Some(PreprocReuse::Off));
         assert_eq!(RuntimeConfig::default().stage_backends, None);
+        assert_eq!(RuntimeConfig::default().preproc_reuse, None);
         assert_eq!(RuntimeConfig::default().precision, Precision::F32);
         assert_eq!(RuntimeConfig::default().telemetry, TelemetryMode::Auto);
     }

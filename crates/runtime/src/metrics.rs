@@ -98,6 +98,12 @@ pub struct FrameRecord {
     pub wall_infer_s: f64,
     /// Wall-clock instant (relative to run start) the frame completed.
     pub wall_done: Duration,
+    /// Whether preprocessing took the temporal-coherence warm path
+    /// (reused the stream context's cached grid). Always `false` when
+    /// the run's reuse policy is `off`. Host-speed/modeled-cost
+    /// provenance only: warm and cold frames carry bit-identical
+    /// sampled clouds and logits.
+    pub preproc_reused: bool,
 }
 
 /// Percentile summary of a latency population.
@@ -194,6 +200,19 @@ pub struct StreamReport {
     /// run, never per stream), repeated here so a per-stream consumer
     /// need not join against the run report.
     pub stage_backends: StageBackendNames,
+    /// The preprocessing state policy that served this stream
+    /// (`hgpcn_system::PreprocReuse::name`: `off` or `on`) — the
+    /// session-wide resolution, repeated per stream like
+    /// `stage_backends`. Identity provenance, not a result qualifier:
+    /// both policies produce bit-identical outputs.
+    pub preproc_reuse: &'static str,
+    /// Frames of this stream whose preprocessing took the
+    /// temporal-coherence warm path. Zero under the `off` policy.
+    pub preproc_reuse_hits: u64,
+    /// Frames that rebuilt cold (first frame, root-AABB drift). With
+    /// reuse `on`, hits staying at zero while frames flow means the
+    /// warm path never engages — the silent-fallback diagnostic.
+    pub preproc_reuse_misses: u64,
     /// Completed frames per virtual second, over this stream's span of
     /// virtual time (arrival of first frame to completion of last).
     pub achieved_fps: f64,
@@ -476,6 +495,16 @@ pub struct RuntimeReport {
     /// (the config override if set, else the served network's pinned
     /// selection). Host-speed provenance like `kernel_backend`.
     pub stage_backends: StageBackendNames,
+    /// The preprocessing state policy of the run
+    /// (`hgpcn_system::PreprocReuse::name`: `off` or `on`). Like
+    /// `kernel_backend` this is provenance, not a result qualifier —
+    /// warm and cold preprocessing are bit-identical.
+    pub preproc_reuse: &'static str,
+    /// Frames across all streams whose preprocessing took the
+    /// temporal-coherence warm path.
+    pub preproc_reuse_hits: u64,
+    /// Frames across all streams that rebuilt cold.
+    pub preproc_reuse_misses: u64,
     /// The fleet's inference precision: `f32` or `int8` when every
     /// stream ran one tier, `mixed` when stream overrides differed.
     /// Unlike `kernel_backend` this **is** a result qualifier — int8
@@ -513,6 +542,19 @@ impl RuntimeReport {
     /// construction, so only wall time differs).
     pub fn wall_speedup_over(&self, baseline: &RuntimeReport) -> f64 {
         self.wall_fps() / baseline.wall_fps().max(1e-12)
+    }
+
+    /// Fraction of preprocessed frames that took the warm path:
+    /// `hits / (hits + misses)`, or 0.0 when nothing was preprocessed.
+    /// With reuse `on` and temporally coherent streams this approaches
+    /// `(n − streams) / n`; a value of 0.0 while frames flowed is the
+    /// silent-fallback diagnostic (AABB drifting every frame).
+    pub fn preproc_warm_ratio(&self) -> f64 {
+        let total = self.preproc_reuse_hits + self.preproc_reuse_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.preproc_reuse_hits as f64 / total as f64
     }
 
     /// Populates a metrics registry from this report: frame counters
@@ -579,6 +621,18 @@ impl RuntimeReport {
                 &labels,
                 s.achieved_fps,
             );
+            reg.counter_add(
+                "hgpcn_preproc_reuse_hits_total",
+                "Frames preprocessed via the temporal-coherence warm path",
+                &labels,
+                s.preproc_reuse_hits,
+            );
+            reg.counter_add(
+                "hgpcn_preproc_reuse_misses_total",
+                "Frames preprocessed via a cold rebuild",
+                &labels,
+                s.preproc_reuse_misses,
+            );
         }
         reg.gauge_set(
             "hgpcn_modeled_fps",
@@ -633,6 +687,12 @@ impl RuntimeReport {
                 1.0,
             );
         }
+        reg.gauge_set(
+            "hgpcn_preproc_reuse_info",
+            "Preprocessing state policy identity (info-style; value is always 1)",
+            &with(&[("policy", self.preproc_reuse)]),
+            1.0,
+        );
     }
 
     /// The histogram half of [`RuntimeReport::build_metrics_into`]:
@@ -776,13 +836,16 @@ impl fmt::Display for RuntimeReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "RuntimeReport: {} frames ({} dropped) | {}+{} workers | kernel {} | stages {} | precision {} | virtual makespan {:.3} s | {:.2} modeled FPS | wall {:.2?} ({:.1} frames/s host)",
+            "RuntimeReport: {} frames ({} dropped) | {}+{} workers | kernel {} | stages {} | reuse {} ({} warm / {} cold) | precision {} | virtual makespan {:.3} s | {:.2} modeled FPS | wall {:.2?} ({:.1} frames/s host)",
             self.total_frames,
             self.total_dropped,
             self.preproc_workers,
             self.inference_workers,
             self.kernel_backend,
             self.stage_backends,
+            self.preproc_reuse,
+            self.preproc_reuse_hits,
+            self.preproc_reuse_misses,
             self.precision,
             self.virtual_makespan_s,
             self.modeled_pipelined_fps,
@@ -953,6 +1016,7 @@ mod tests {
             wall_preproc_s: 0.0,
             wall_infer_s: 0.0,
             wall_done: Duration::ZERO,
+            preproc_reused: false,
         }
     }
 

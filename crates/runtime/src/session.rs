@@ -27,15 +27,19 @@
 //! clocks at zero, so a serving session fed the same frames in the same
 //! order as a batch run produces bit-identical [`FrameRecord`]s.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread;
 use std::time::Instant;
 
 use hgpcn_geometry::PointCloud;
+use hgpcn_memsim::{Latency, OpCounts};
 use hgpcn_pcn::{InferenceOutput, PointNet, Precision, StageBackends};
-use hgpcn_system::{E2ePipeline, E2eReport, InferenceReport, PhaseReport, SystemError};
+use hgpcn_system::{
+    E2ePipeline, E2eReport, InferenceReport, PhaseReport, PreprocReuse, StreamPreprocContext,
+    SystemError,
+};
 use hgpcn_telemetry::{EventKind, SpanRecorder, TraceCollector, WorkerId};
 
 use crate::config::{ArrivalModel, BackpressurePolicy, RuntimeConfig};
@@ -72,6 +76,142 @@ struct StageJob {
     precision: Precision,
     sampled: PointCloud,
     pre_phase: PhaseReport,
+    /// Whether preprocessing took the temporal-coherence warm path
+    /// (always `false` under [`PreprocReuse::Off`]).
+    preproc_reused: bool,
+}
+
+// ---------------------------------------------------------------------
+// Stream-scoped preprocessing contexts (`PreprocReuse::On`).
+//
+// The warm path's *results* are bit-identical from any cache state, but
+// its modeled cost (warm vs cold, dirty counts) depends on which frame
+// last primed the cache. To keep modeled latencies a pure function of
+// submission order at any worker count, context updates are serialized
+// into frame order per stream: the worker holding frame f waits for its
+// turn (`next == f`), frames evicted before preprocessing are skipped
+// over, and teardown aborts the turn discipline so waiters never
+// outlive the run. Deadlock-free by induction: ingress pops are FIFO,
+// so the earliest-popped unfinished frame's stream predecessors have
+// all finished — its worker never waits.
+// ---------------------------------------------------------------------
+
+/// One stream's context slot: the [`StreamPreprocContext`] plus the
+/// turn state serializing its updates into frame order.
+struct CtxSlot {
+    inner: Mutex<CtxInner>,
+    turn: Condvar,
+}
+
+struct CtxInner {
+    /// The next frame index allowed to update the context.
+    next: usize,
+    /// Admitted frames evicted before preprocessing; `next` advances
+    /// over them instead of waiting for work that will never arrive.
+    skipped: BTreeSet<usize>,
+    ctx: StreamPreprocContext,
+}
+
+impl CtxSlot {
+    fn new() -> CtxSlot {
+        CtxSlot {
+            inner: Mutex::new(CtxInner {
+                next: 0,
+                skipped: BTreeSet::new(),
+                ctx: StreamPreprocContext::new(),
+            }),
+            turn: Condvar::new(),
+        }
+    }
+
+    /// Advances the turn past `frame_index` (just finished, failed, or
+    /// evicted) and wakes waiters. A no-op for out-of-turn completions
+    /// (aborted-mode processing).
+    fn advance_locked(&self, inner: &mut CtxInner, frame_index: usize) {
+        if inner.next == frame_index {
+            inner.next = frame_index + 1;
+            while inner.skipped.remove(&inner.next) {
+                inner.next += 1;
+            }
+            self.turn.notify_all();
+        }
+    }
+}
+
+/// The session's registry of per-stream context slots, indexed by
+/// stream id (slots are opened alongside streams). Unused under
+/// [`PreprocReuse::Off`] beyond the (cheap, empty) slot allocation.
+struct CtxRegistry {
+    slots: Mutex<Vec<Arc<CtxSlot>>>,
+    /// Set on teardown (batch abort, panic unwind, shutdown-less drop):
+    /// waiters proceed out of order instead of waiting on predecessors
+    /// that were discarded with the queues.
+    aborted: AtomicBool,
+}
+
+impl CtxRegistry {
+    fn new() -> CtxRegistry {
+        CtxRegistry {
+            slots: Mutex::new(Vec::new()),
+            aborted: AtomicBool::new(false),
+        }
+    }
+
+    fn open(&self) {
+        self.slots
+            .lock()
+            .expect("context registry poisoned")
+            .push(Arc::new(CtxSlot::new()));
+    }
+
+    fn slot(&self, stream_id: usize) -> Arc<CtxSlot> {
+        Arc::clone(&self.slots.lock().expect("context registry poisoned")[stream_id])
+    }
+
+    fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::Acquire)
+    }
+
+    /// Marks an admitted-but-evicted frame so the turn can pass it.
+    fn skip(&self, stream_id: usize, frame_index: usize) {
+        let slot = self.slot(stream_id);
+        let mut inner = slot.inner.lock().expect("preproc context poisoned");
+        if frame_index == inner.next {
+            slot.advance_locked(&mut inner, frame_index);
+        } else if frame_index > inner.next {
+            inner.skipped.insert(frame_index);
+        }
+    }
+
+    /// Ends the turn discipline: waiters wake and process unordered
+    /// (the run is dying; its reports are already forfeit). Tolerates
+    /// poisoned locks — this runs on panic-unwind paths.
+    fn abort(&self) {
+        self.aborted.store(true, Ordering::Release);
+        let slots: Vec<Arc<CtxSlot>> = match self.slots.lock() {
+            Ok(guard) => guard.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        };
+        for slot in slots {
+            // Take (and immediately release) the slot lock so a waiter
+            // between its flag check and `wait` cannot miss the wakeup.
+            let _turn = slot.inner.lock();
+            slot.turn.notify_all();
+        }
+    }
+
+    /// Per-stream `(warm hits, cold misses)`, in stream-id order.
+    fn counts(&self) -> Vec<(u64, u64)> {
+        self.slots
+            .lock()
+            .expect("context registry poisoned")
+            .iter()
+            .map(|slot| {
+                let inner = slot.inner.lock().expect("preproc context poisoned");
+                (inner.ctx.hits(), inner.ctx.misses())
+            })
+            .collect()
+    }
 }
 
 /// Closes both queues if the holding thread unwinds, so a panic in any
@@ -82,6 +222,7 @@ struct StageJob {
 struct PanicGuard<'a, A, B> {
     ingress: &'a BoundedQueue<A>,
     stage: &'a BoundedQueue<B>,
+    contexts: &'a CtxRegistry,
 }
 
 impl<A, B> Drop for PanicGuard<'_, A, B> {
@@ -89,6 +230,9 @@ impl<A, B> Drop for PanicGuard<'_, A, B> {
         if thread::panicking() {
             self.ingress.close_and_clear();
             self.stage.close_and_clear();
+            // Release any worker parked on a context turn whose
+            // predecessor was just discarded with the queues.
+            self.contexts.abort();
         }
     }
 }
@@ -156,6 +300,11 @@ struct SessionCore {
     serving: bool,
     started: Instant,
     traced: bool,
+    /// Resolved once per session: the config pin if set, else the
+    /// process-wide `HGPCN_PREPROC_REUSE` policy.
+    reuse: PreprocReuse,
+    /// Per-stream preprocessing contexts (warm caches + turn state).
+    contexts: CtxRegistry,
     ingress: BoundedQueue<PreprocJob>,
     stage: BoundedQueue<StageJob>,
     streams: Mutex<Vec<StreamState>>,
@@ -183,6 +332,10 @@ impl SessionCore {
             serving,
             started,
             traced,
+            reuse: config
+                .preproc_reuse
+                .unwrap_or_else(hgpcn_system::reuse::active),
+            contexts: CtxRegistry::new(),
             ingress: BoundedQueue::new(config.queue_capacity),
             stage: BoundedQueue::new(config.queue_capacity),
             streams: Mutex::new(Vec::new()),
@@ -201,6 +354,10 @@ impl SessionCore {
     fn open_stream(&self, profile: StreamProfile) -> usize {
         let mut streams = self.streams.lock().expect("stream registry poisoned");
         let id = streams.len();
+        // One context slot per stream, opened unconditionally (a fresh
+        // slot allocates nothing heavy) so stream ids always index the
+        // registry regardless of the reuse policy.
+        self.contexts.open();
         streams.push(StreamState {
             name: profile.name,
             nominal_fps: profile.nominal_fps,
@@ -275,6 +432,13 @@ impl SessionCore {
                         self.streams.lock().expect("stream registry poisoned")
                             [evicted.frame.stream_id]
                             .dropped += 1;
+                        if self.reuse == PreprocReuse::On {
+                            // The evicted frame will never reach a
+                            // preproc worker: pass its context turn so
+                            // successors don't wait for it.
+                            self.contexts
+                                .skip(evicted.frame.stream_id, evicted.frame.frame_index);
+                        }
                         recorder.record(
                             EventKind::Drop,
                             evicted.frame.stream_id,
@@ -396,6 +560,7 @@ impl SessionCore {
             // its results would be thrown away with the run anyway.
             self.ingress.close_and_clear();
             self.stage.close_and_clear();
+            self.contexts.abort();
             true
         }
     }
@@ -431,6 +596,8 @@ impl SessionCore {
             &self.config,
             self.kernel_backend,
             StageBackendNames::from(self.stages),
+            self.reuse,
+            &self.contexts.counts(),
             &streams,
             records,
             QueueStats {
@@ -472,6 +639,8 @@ impl SessionCore {
             &self.config,
             self.kernel_backend,
             StageBackendNames::from(self.stages),
+            self.reuse,
+            &self.contexts.counts(),
             &streams,
             records,
             QueueStats {
@@ -511,6 +680,7 @@ fn preproc_worker(core: &SessionCore, pipeline: &E2ePipeline, w: usize) {
     let _guard = PanicGuard {
         ingress: &core.ingress,
         stage: &core.stage,
+        contexts: &core.contexts,
     };
     let mut recorder = SpanRecorder::new(WorkerId::preproc(w), core.started, core.traced);
     let mut vclock = 0.0f64;
@@ -527,17 +697,71 @@ fn preproc_worker(core: &SessionCore, pipeline: &E2ePipeline, w: usize) {
             virtual_arrival_s,
         );
         let seed = frame_seed(core.config.seed, frame.stream_id, frame.frame_index);
-        let wall0 = Instant::now();
-        match pipeline.preproc.run_using(
-            &frame.cloud,
-            core.config.target_points,
-            seed,
-            core.stages.sampling,
-        ) {
-            Ok(out) => {
-                let wall_preproc_s = wall0.elapsed().as_secs_f64();
-                let latency = out.total_latency();
-                let counts = out.total_counts();
+        // Both branches produce `(sampled, latency, counts, reused,
+        // wall_secs)`; the warm branch runs under the stream's context
+        // turn so cache state — and therefore modeled cost — is a pure
+        // function of submission order at any worker count. Wall time is
+        // measured around the engine call only, excluding the turn wait.
+        let processed: Result<(PointCloud, Latency, OpCounts, bool, f64), SystemError> =
+            if core.reuse == PreprocReuse::On {
+                let slot = core.contexts.slot(frame.stream_id);
+                let mut inner = slot.inner.lock().expect("preproc context poisoned");
+                while inner.next != frame.frame_index && !core.contexts.is_aborted() {
+                    inner = slot.turn.wait(inner).expect("preproc context poisoned");
+                }
+                let wall0 = Instant::now();
+                let result = pipeline
+                    .preproc
+                    .run_with_context(
+                        &frame.cloud,
+                        core.config.target_points,
+                        seed,
+                        core.stages.sampling,
+                        &mut inner.ctx,
+                    )
+                    .map(|mut out| {
+                        let latency = out.total_latency();
+                        let counts = out.total_counts();
+                        let reused = out.reused;
+                        let sampled = std::mem::replace(&mut out.sampled, PointCloud::new());
+                        inner.ctx.recycle(out);
+                        (
+                            sampled,
+                            latency,
+                            counts,
+                            reused,
+                            wall0.elapsed().as_secs_f64(),
+                        )
+                    });
+                // Pass the turn whether the frame succeeded or failed;
+                // successors must not wait on a frame that already
+                // resolved.
+                slot.advance_locked(&mut inner, frame.frame_index);
+                result
+            } else {
+                let wall0 = Instant::now();
+                pipeline
+                    .preproc
+                    .run_using(
+                        &frame.cloud,
+                        core.config.target_points,
+                        seed,
+                        core.stages.sampling,
+                    )
+                    .map(|out| {
+                        let latency = out.total_latency();
+                        let counts = out.total_counts();
+                        (
+                            out.sampled,
+                            latency,
+                            counts,
+                            false,
+                            wall0.elapsed().as_secs_f64(),
+                        )
+                    })
+            };
+        match processed {
+            Ok((sampled, latency, counts, preproc_reused, wall_preproc_s)) => {
                 let start = vclock.max(virtual_arrival_s);
                 let done = start + latency.secs();
                 vclock = done;
@@ -563,8 +787,9 @@ fn preproc_worker(core: &SessionCore, pipeline: &E2ePipeline, w: usize) {
                     preproc_ticket: ticket,
                     wall_preproc_s,
                     precision,
-                    sampled: out.sampled,
+                    sampled,
                     pre_phase: PhaseReport { latency, counts },
+                    preproc_reused,
                 };
                 let (sid, fidx) = (frame.stream_id, frame.frame_index);
                 if core.stage.push_blocking(stage_job).is_err() {
@@ -592,6 +817,7 @@ fn inference_worker(core: &SessionCore, pipeline: &E2ePipeline, net: &PointNet, 
     let _guard = PanicGuard {
         ingress: &core.ingress,
         stage: &core.stage,
+        contexts: &core.contexts,
     };
     let mut recorder = SpanRecorder::new(WorkerId::inference(w), core.started, core.traced);
     let mut vclock = 0.0f64;
@@ -822,6 +1048,7 @@ fn complete_frame(
         wall_preproc_s: job.wall_preproc_s,
         wall_infer_s,
         wall_done: core.started.elapsed(),
+        preproc_reused: job.preproc_reused,
     };
     // Record first, publish second: a poller that observes `Done` must
     // find the frame already counted in `stats()` snapshots.
@@ -870,6 +1097,7 @@ pub(crate) fn run_batch(
                 let _guard = PanicGuard {
                     ingress: &core.ingress,
                     stage: &core.stage,
+                    contexts: &core.contexts,
                 };
                 // Batch admission is single-threaded, so the recorder
                 // lock is held for the whole run.
@@ -1140,6 +1368,7 @@ impl Drop for ServingRuntime {
         if let Some(core) = self.core.take() {
             core.ingress.close_and_clear();
             core.stage.close_and_clear();
+            core.contexts.abort();
             for handle in std::mem::take(&mut self.workers) {
                 let _ = handle.join();
             }
@@ -1219,6 +1448,8 @@ fn assemble_report(
     config: &RuntimeConfig,
     kernel_backend: &'static str,
     stage_backends: StageBackendNames,
+    reuse: PreprocReuse,
+    reuse_counts: &[(u64, u64)],
     streams: &[StreamState],
     records: Vec<FrameRecord>,
     ingress_queue: QueueStats,
@@ -1261,6 +1492,9 @@ fn assemble_report(
             sensor_fps: state.nominal_fps,
             precision: state.precision.name(),
             stage_backends,
+            preproc_reuse: reuse.name(),
+            preproc_reuse_hits: reuse_counts.get(id).map_or(0, |c| c.0),
+            preproc_reuse_misses: reuse_counts.get(id).map_or(0, |c| c.1),
             achieved_fps,
             service: LatencySummary::from_samples(&service),
             sojourn: LatencySummary::from_samples(&sojourn),
@@ -1333,6 +1567,9 @@ fn assemble_report(
         wall_elapsed,
         kernel_backend,
         stage_backends,
+        preproc_reuse: reuse.name(),
+        preproc_reuse_hits: reuse_counts.iter().map(|c| c.0).sum(),
+        preproc_reuse_misses: reuse_counts.iter().map(|c| c.1).sum(),
         precision,
         batching,
         breakdown,

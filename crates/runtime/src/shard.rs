@@ -707,8 +707,12 @@ fn aggregate_reports(reports: Vec<RuntimeReport>) -> RuntimeReport {
             .unwrap_or(Duration::ZERO),
         kernel_backend: reports[0].kernel_backend,
         // Shards share one config and one network, so their resolved
-        // stage backends are identical; take the first shard's.
+        // stage backends are identical; take the first shard's. Same
+        // for the preprocessing reuse policy; its hit/miss tallies sum.
         stage_backends: reports[0].stage_backends,
+        preproc_reuse: reports[0].preproc_reuse,
+        preproc_reuse_hits: reports.iter().map(|r| r.preproc_reuse_hits).sum(),
+        preproc_reuse_misses: reports.iter().map(|r| r.preproc_reuse_misses).sum(),
         precision,
         batching,
         breakdown,

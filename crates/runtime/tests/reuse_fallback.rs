@@ -1,0 +1,52 @@
+//! A bogus `HGPCN_PREPROC_REUSE` must degrade the preprocessing-reuse
+//! policy to its anchor (`off` — stateless per-frame rebuilds) with the
+//! degradation visible in the report, and still serve. Reuse is an
+//! optimization hint, never a correctness switch: a misspelled override
+//! must not take the fleet down.
+//!
+//! This lives in its own integration-test binary because the policy is
+//! resolved once per process: the override has to be in place before
+//! any session starts without a config pin. (The reuse tests in
+//! `reuse.rs` pin the policy through `RuntimeConfig` precisely so they
+//! never consult the environment.)
+
+use hgpcn_pcn::{PointNet, PointNetConfig};
+use hgpcn_runtime::{FrameStatus, RuntimeConfig, ServingRuntime, StreamProfile};
+
+#[test]
+fn bogus_reuse_override_degrades_to_off_and_serves() {
+    // Set before anything resolves the process-wide policy.
+    std::env::set_var("HGPCN_PREPROC_REUSE", "turbo");
+
+    let net = PointNet::new(PointNetConfig::semantic_segmentation(512), 9);
+    let serving = ServingRuntime::start(
+        RuntimeConfig::default()
+            .preproc_workers(1)
+            .inference_workers(1)
+            .target_points(512),
+        net,
+    )
+    .expect("valid config");
+    let stream = serving.open_stream(StreamProfile::new("a")).unwrap();
+
+    let scene = hgpcn_datasets::DriftingScene::new(Default::default(), 5);
+    let tickets: Vec<_> = (0..3)
+        .map(|i| stream.submit(i as f64 * 0.1, scene.frame(i)).unwrap())
+        .collect();
+    for t in tickets {
+        assert!(
+            matches!(serving.wait(t).unwrap(), FrameStatus::Done(_)),
+            "degraded policy must still serve"
+        );
+    }
+    let report = serving.shutdown().unwrap();
+
+    // The degradation is reported, not hidden: the bogus request fell
+    // back to the stateless anchor, which keeps no cache — the report
+    // names `off` and carries an empty tally despite a perfectly
+    // coherent stream that would have been all hits under `on`.
+    assert_eq!(report.preproc_reuse, "off");
+    assert_eq!(report.preproc_reuse_hits, 0);
+    assert_eq!(report.preproc_reuse_misses, 0);
+    assert_eq!(report.preproc_warm_ratio(), 0.0);
+}

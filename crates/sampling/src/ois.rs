@@ -47,6 +47,34 @@ struct LeafCursor {
     hi: u32,
 }
 
+/// Reusable OIS working memory for one stream of frames — the sampling half
+/// of a stream-scoped preprocessing context. Holds the remaining-count
+/// array, the leaf cursors, the descent path, and the scoreboard's column
+/// arrays, so repeated [`sample_with_scratch`] calls allocate nothing.
+///
+/// Purely capacity: results and op counts are bit-identical with or
+/// without it (every buffer is cleared before use), so a scratch may be
+/// carried across frames, streams, or backends freely.
+#[derive(Clone, Debug, Default)]
+pub struct OisScratch {
+    remaining: Vec<u32>,
+    cursors: std::collections::HashMap<u32, LeafCursor>,
+    path: Vec<u32>,
+    sb_entries: Vec<u32>,
+    sb_spare: Vec<u32>,
+    sb_codes: Vec<MortonCode>,
+    sb_boxes: Vec<(u32, u32, u32, u32)>,
+    sb_min: Vec<u32>,
+    sb_counts: Vec<u32>,
+}
+
+impl OisScratch {
+    /// Creates an empty scratch (no capacity yet).
+    pub fn new() -> OisScratch {
+        OisScratch::default()
+    }
+}
+
 struct OisState<'a> {
     table: &'a OctreeTable,
     /// Unpicked points remaining under each table entry.
@@ -56,14 +84,16 @@ struct OisState<'a> {
 }
 
 impl<'a> OisState<'a> {
-    fn new(table: &'a OctreeTable) -> OisState<'a> {
-        let remaining = (0..table.len() as u32)
-            .map(|i| table.entry(i).point_count)
-            .collect();
+    fn new(table: &'a OctreeTable, scratch: &mut OisScratch) -> OisState<'a> {
+        let mut remaining = std::mem::take(&mut scratch.remaining);
+        remaining.clear();
+        remaining.extend((0..table.len() as u32).map(|i| table.entry(i).point_count));
+        let mut cursors = std::mem::take(&mut scratch.cursors);
+        cursors.clear();
         OisState {
             table,
             remaining,
-            cursors: std::collections::HashMap::new(),
+            cursors,
             counts: OpCounts::default(),
         }
     }
@@ -100,9 +130,10 @@ impl<'a> OisState<'a> {
     }
 
     /// Walks the table from the root along `code`'s octant path, collecting
-    /// the entry indices (counting one lookup per row read).
-    fn walk_path(&mut self, code: MortonCode) -> Vec<u32> {
-        let mut path = vec![self.table.root()];
+    /// the entry indices into `path` (counting one lookup per row read).
+    fn walk_path_into(&mut self, code: MortonCode, path: &mut Vec<u32>) {
+        path.clear();
+        path.push(self.table.root());
         self.counts.table_lookups += 1;
         for level in 1..=code.level() {
             let octant = code
@@ -118,7 +149,6 @@ impl<'a> OisState<'a> {
                 None => break,
             }
         }
-        path
     }
 
     /// Stratified descent: from `path`'s tail, repeatedly enter the child
@@ -217,8 +247,16 @@ impl Scoreboard {
     /// Builds the scoreboard as the shallowest octree cut of at most
     /// [`SCOREBOARD_INITIAL`] voxels, with refinement capacity scaled to
     /// the sampling target (`min(4k, SCOREBOARD_LIMIT)`).
-    fn build(table: &OctreeTable, k: usize, counts: &mut OpCounts) -> Scoreboard {
-        let mut cut: Vec<u32> = vec![table.root()];
+    fn build(
+        table: &OctreeTable,
+        k: usize,
+        counts: &mut OpCounts,
+        scratch: &mut OisScratch,
+    ) -> Scoreboard {
+        let mut cut = std::mem::take(&mut scratch.sb_entries);
+        cut.clear();
+        cut.push(table.root());
+        let mut spare = std::mem::take(&mut scratch.sb_spare);
         counts.table_lookups += 1;
         loop {
             let expandable: usize = cut
@@ -232,7 +270,9 @@ impl Scoreboard {
             if next_size > SCOREBOARD_INITIAL {
                 break;
             }
-            let mut next = Vec::with_capacity(next_size);
+            let mut next = spare;
+            next.clear();
+            next.reserve(next_size);
             for &i in &cut {
                 let e = table.entry(i);
                 if e.is_leaf() {
@@ -244,13 +284,23 @@ impl Scoreboard {
                     }
                 }
             }
+            spare = cut;
             cut = next;
         }
-        let codes: Vec<MortonCode> = cut.iter().map(|&i| table.code(i)).collect();
+        scratch.sb_spare = spare;
+        let mut codes = std::mem::take(&mut scratch.sb_codes);
+        codes.clear();
+        codes.extend(cut.iter().map(|&i| table.code(i)));
         let max_depth = table.max_depth();
-        let boxes = codes.iter().map(|&c| voxel_box(c, max_depth)).collect();
-        let min_hamming = vec![u32::MAX; cut.len()];
-        let point_counts = cut.iter().map(|&i| table.entry(i).point_count).collect();
+        let mut boxes = std::mem::take(&mut scratch.sb_boxes);
+        boxes.clear();
+        boxes.extend(codes.iter().map(|&c| voxel_box(c, max_depth)));
+        let mut min_hamming = std::mem::take(&mut scratch.sb_min);
+        min_hamming.clear();
+        min_hamming.resize(cut.len(), u32::MAX);
+        let mut point_counts = std::mem::take(&mut scratch.sb_counts);
+        point_counts.clear();
+        point_counts.extend(cut.iter().map(|&i| table.entry(i).point_count));
         let limit = (4 * k.max(1)).clamp(SCOREBOARD_INITIAL, SCOREBOARD_LIMIT);
         Scoreboard {
             entries: cut,
@@ -471,7 +521,7 @@ pub fn sample(
     k: usize,
     seed: u64,
 ) -> Result<SampleResult, SamplingError> {
-    sample_inner(octree, table, mem, k, seed, None, stage::active())
+    sample_inner(octree, table, mem, k, seed, None, stage::active(), None)
 }
 
 /// [`sample`] on a specific [`SamplingKernel`] backend instead of the
@@ -492,7 +542,27 @@ pub fn sample_with(
     seed: u64,
     kernel: SamplingKernel,
 ) -> Result<SampleResult, SamplingError> {
-    sample_inner(octree, table, mem, k, seed, None, kernel)
+    sample_inner(octree, table, mem, k, seed, None, kernel, None)
+}
+
+/// [`sample_with`] reusing a stream's [`OisScratch`] buffers instead of
+/// allocating fresh working memory. Bit-identical indices and counts to
+/// the scratch-free entry points — the scratch is a pure allocation
+/// eliminator for stream-scoped preprocessing contexts.
+///
+/// # Errors
+///
+/// As [`sample`].
+pub fn sample_with_scratch(
+    octree: &Octree,
+    table: &OctreeTable,
+    mem: &mut HostMemory,
+    k: usize,
+    seed: u64,
+    kernel: SamplingKernel,
+    scratch: &mut OisScratch,
+) -> Result<SampleResult, SamplingError> {
+    sample_inner(octree, table, mem, k, seed, None, kernel, Some(scratch))
 }
 
 /// The approximate-OIS future-work variant (§VIII): once the descent is
@@ -517,9 +587,11 @@ pub fn approx_sample(
         seed,
         Some(stop_levels),
         stage::active(),
+        None,
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn sample_inner(
     octree: &Octree,
     table: &OctreeTable,
@@ -528,11 +600,10 @@ fn sample_inner(
     seed: u64,
     approx_stop: Option<u8>,
     kernel: SamplingKernel,
+    scratch: Option<&mut OisScratch>,
 ) -> Result<SampleResult, SamplingError> {
     validate(octree, mem, k)?;
     let _ = mem.reset_counts();
-    let mut state = OisState::new(table);
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut indices = Vec::with_capacity(k);
     if k == 0 {
         return Ok(SampleResult {
@@ -540,12 +611,21 @@ fn sample_inner(
             counts: OpCounts::default(),
         });
     }
+    // Without a caller-provided scratch, run through a throwaway one: the
+    // algorithm below is identical either way, the scratch only decides
+    // whether the buffers outlive this call.
+    let mut own = OisScratch::default();
+    let scratch = scratch.unwrap_or(&mut own);
+    let mut state = OisState::new(table, scratch);
+    let mut rng = StdRng::seed_from_u64(seed);
 
     let depth = table.max_depth();
-    let mut scoreboard = Scoreboard::build(table, k, &mut state.counts);
+    let mut scoreboard = Scoreboard::build(table, k, &mut state.counts, scratch);
 
     // Seed pick: a weighted-random point, like FPS's random seed.
-    let mut path = vec![table.root()];
+    let mut path = std::mem::take(&mut scratch.path);
+    path.clear();
+    path.push(table.root());
     state.descend_random(&mut rng, &mut path);
     let mut last_code = table.code(*path.last().expect("leaf"));
     let addr = state.take(&path, rng.gen_bool(0.5));
@@ -561,7 +641,7 @@ fn sample_inner(
         let voxel_code = scoreboard.codes[slot];
 
         // 2. Walk to that voxel, then descend the least-sampled children.
-        let mut path = state.walk_path(voxel_code);
+        state.walk_path_into(voxel_code, &mut path);
         match approx_stop {
             None => state.descend_stratified(&mut path),
             Some(stop) => {
@@ -610,6 +690,25 @@ fn sample_inner(
     }
 
     let counts = state.counts + mem.counts();
+
+    // Hand every buffer back to the scratch for the next frame.
+    scratch.path = path;
+    scratch.remaining = state.remaining;
+    scratch.cursors = state.cursors;
+    let Scoreboard {
+        entries,
+        codes,
+        boxes,
+        min_hamming,
+        point_counts,
+        ..
+    } = scoreboard;
+    scratch.sb_entries = entries;
+    scratch.sb_codes = codes;
+    scratch.sb_boxes = boxes;
+    scratch.sb_min = min_hamming;
+    scratch.sb_counts = point_counts;
+
     Ok(SampleResult { indices, counts })
 }
 
@@ -776,6 +875,28 @@ mod tests {
             let b = sample_with(&octree, &table, &mut m2, k, 17, SamplingKernel::Batched).unwrap();
             assert_eq!(a.indices, b.indices, "n={n}");
             assert_eq!(a.counts, b.counts, "n={n}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        // One scratch carried across frames of different sizes and both
+        // kernels must change nothing: same indices, same counts.
+        let mut scratch = OisScratch::new();
+        for (frame, n) in [(0usize, 300usize), (1, 900), (2, 60), (3, 900)] {
+            let (octree, table, _) = setup(n);
+            let k = (n / 5).max(1);
+            let seed = 23 + frame as u64;
+            for kernel in [SamplingKernel::Scalar, SamplingKernel::Batched] {
+                let mut m1 = HostMemory::from_cloud(octree.points());
+                let mut m2 = HostMemory::from_cloud(octree.points());
+                let fresh = sample_with(&octree, &table, &mut m1, k, seed, kernel).unwrap();
+                let reused =
+                    sample_with_scratch(&octree, &table, &mut m2, k, seed, kernel, &mut scratch)
+                        .unwrap();
+                assert_eq!(fresh.indices, reused.indices, "frame {frame} {kernel:?}");
+                assert_eq!(fresh.counts, reused.counts, "frame {frame} {kernel:?}");
+            }
         }
     }
 

@@ -370,6 +370,7 @@ fn stream_stats<S: StreamService>(runtime: &S, id: Json, params: &Json) -> Respo
                         "stage_backends",
                         stage_backends_json(&report.stage_backends),
                     ),
+                    ("preproc_reuse", preproc_reuse_json(&report)),
                     ("streams", Json::Arr(streams)),
                 ]),
             )
@@ -430,7 +431,23 @@ fn shard_json(shard: usize, report: &RuntimeReport) -> Json {
             "stage_backends",
             stage_backends_json(&report.stage_backends),
         ),
+        ("preproc_reuse", preproc_reuse_json(report)),
         ("streams", Json::Arr(streams)),
+    ])
+}
+
+/// The preprocessing-state-policy identity both report views expose:
+/// the resolved policy plus the warm-hit/cold-miss tally and the warm
+/// ratio (`hits / (hits + misses)`). Identity provenance like
+/// `stage_backends` — warm and cold frames are bit-identical — but a
+/// ratio pinned near 0.0 under policy `on` is the silent-fallback
+/// diagnostic (the AABB drifts every frame, so reuse never engages).
+fn preproc_reuse_json(report: &RuntimeReport) -> Json {
+    Json::obj([
+        ("policy", Json::str(report.preproc_reuse)),
+        ("hits", Json::Num(report.preproc_reuse_hits as f64)),
+        ("misses", Json::Num(report.preproc_reuse_misses as f64)),
+        ("warm_ratio", Json::from(report.preproc_warm_ratio())),
     ])
 }
 
@@ -465,6 +482,12 @@ fn stream_json(s: &StreamReport) -> Json {
         ("dropped", Json::from(s.dropped)),
         ("sensor_fps", Json::from(s.sensor_fps)),
         ("precision", Json::str(s.precision)),
+        ("preproc_reuse", Json::str(s.preproc_reuse)),
+        ("preproc_reuse_hits", Json::Num(s.preproc_reuse_hits as f64)),
+        (
+            "preproc_reuse_misses",
+            Json::Num(s.preproc_reuse_misses as f64),
+        ),
         ("achieved_fps", Json::from(s.achieved_fps)),
         ("service_ms", latency_ms_json(&s.service)),
         ("sojourn_ms", latency_ms_json(&s.sojourn)),

@@ -229,6 +229,9 @@ fn full_serving_flow_over_the_wire_format() {
     assert_eq!(doc.num("result.offered"), Some(1.0));
     assert_eq!(doc.num("result.completed"), Some(1.0));
     assert!(doc.num("result.service_ms.p50").unwrap() > 0.0);
+    assert!(doc.str_at("result.preproc_reuse").is_some());
+    assert!(doc.num("result.preproc_reuse_hits").is_some());
+    assert!(doc.num("result.preproc_reuse_misses").is_some());
 
     // Aggregate stats (no stream_id) list every stream.
     let resp = post_rpc(&app, r#"{"jsonrpc":"2.0","id":5,"method":"stream_stats"}"#);
@@ -236,6 +239,14 @@ fn full_serving_flow_over_the_wire_format() {
     assert_eq!(doc.num("result.total_frames"), Some(1.0));
     assert_eq!(doc.arr("result.streams").map(<[Json]>::len), Some(1));
     assert_eq!(doc.str_at("result.precision"), Some("f32"));
+    // The preprocessing state policy is surfaced, never hidden: the
+    // resolved policy name plus the warm/cold tally for this run.
+    let policy = doc.str_at("result.preproc_reuse.policy").unwrap();
+    assert!(policy == "on" || policy == "off", "policy {policy:?}");
+    let hits = doc.num("result.preproc_reuse.hits").unwrap();
+    let misses = doc.num("result.preproc_reuse.misses").unwrap();
+    assert_eq!(hits + misses, 1.0, "one preprocessed frame");
+    assert!(doc.num("result.preproc_reuse.warm_ratio").is_some());
 
     // With a frame served, /metrics now carries the frame counters.
     let metrics = body_text(&get(&app, "/metrics"));

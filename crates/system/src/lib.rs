@@ -32,12 +32,14 @@ mod inference;
 mod preproc;
 pub mod realtime;
 mod report;
+pub mod reuse;
 mod veg_gatherer;
 
 pub use error::SystemError;
 pub use inference::{InferenceEngine, InferenceReport};
-pub use preproc::{PreprocessOutput, PreprocessingEngine};
+pub use preproc::{build_counts, warm_build_counts, PreprocessOutput, PreprocessingEngine};
 pub use report::{E2eReport, PhaseReport};
+pub use reuse::{PreprocReuse, StreamPreprocContext};
 pub use veg_gatherer::VegGatherer;
 
 /// End-to-end pipeline: Pre-processing Engine then Inference Engine.

@@ -4,7 +4,7 @@ use hgpcn_octree::{BuildStats, Octree, OctreeConfig, OctreeTable};
 use hgpcn_sampling::hw::DownsamplingUnit;
 use hgpcn_sampling::{ois, SamplingKernel};
 
-use crate::SystemError;
+use crate::{StreamPreprocContext, SystemError};
 
 /// The Pre-processing Engine (§V): Octree-build Unit on the CPU plus the
 /// Down-sampling Unit on the FPGA.
@@ -39,6 +39,12 @@ pub struct PreprocessOutput {
     pub transfer_latency: Latency,
     /// Modeled latency of the FPGA down-sampling.
     pub sample_latency: Latency,
+    /// `true` when the build took the temporal-coherence warm path of a
+    /// stream-scoped context ([`PreprocessingEngine::run_with_context`]);
+    /// always `false` on the stateless entry points. Results are
+    /// bit-identical either way — this flag records which cost model
+    /// priced `build_counts`/`build_latency`.
+    pub reused: bool,
 }
 
 impl PreprocessOutput {
@@ -79,6 +85,36 @@ pub fn build_counts(stats: &BuildStats, _depth: u8) -> OpCounts {
         // not pointer chases), plus one table write per node.
         comparisons: stats.code_computations as u64 * 3,
         table_lookups: stats.nodes_created as u64,
+        ..OpCounts::default()
+    }
+}
+
+/// Prices a temporal-coherence **warm** rebuild as a §V-A delta pass.
+///
+/// The unit still streams the whole frame once — `n` point reads and one
+/// fused encode-and-diff op per point against the cached previous codes —
+/// but only the `dirty_points` whose m-code moved pay the cold per-point
+/// work (bucket arithmetic, 3 ops) and get rewritten in the reorganized
+/// layout; unchanged runs stay in place. Table writes are incremental:
+/// only the `nodes_dirty` rows whose content changed are re-emitted,
+/// while clean rows persist from the previous frame (the Octree-Table is
+/// BRAM-resident across a stream's frames). On an identical frame this
+/// is `n` compute ops, zero point writes and zero table writes versus
+/// the cold pass's `3n`, `n` and one write per node — the Fig. 11
+/// octree-build share priced down by temporal coherence.
+///
+/// Like [`build_counts`], this prices what the paper's hardware would do;
+/// [`BuildStats`] keeps what the host actually did (merge comparisons).
+pub fn warm_build_counts(stats: &BuildStats) -> OpCounts {
+    let n = stats.points as u64;
+    let dirty = stats.dirty_points as u64;
+    OpCounts {
+        mem_reads: n,
+        mem_writes: dirty,
+        bytes_read: n * 12,
+        bytes_written: dirty * 12,
+        comparisons: n + dirty * 3,
+        table_lookups: stats.nodes_dirty as u64,
         ..OpCounts::default()
     }
 }
@@ -151,6 +187,89 @@ impl PreprocessingEngine {
         )
     }
 
+    /// Runs the engine on one frame of a stream through that stream's
+    /// [`StreamPreprocContext`]: the octree build reuses the context's
+    /// scratch and — when the frame's root AABB matches the cached grid —
+    /// its temporal-coherence warm path, OIS reuses the context's
+    /// scoreboard and host-memory buffers, and the context's hit/miss
+    /// tally advances.
+    ///
+    /// Outputs are **bit-identical** to [`PreprocessingEngine::run_using`]
+    /// on the same frame; on a warm hit `build_counts`/`build_latency`
+    /// are priced by [`warm_build_counts`] (the §V-A delta pass) and
+    /// [`PreprocessOutput::reused`] is set. A frame whose AABB drifted
+    /// rebuilds cold automatically and re-primes the cache.
+    ///
+    /// Call [`StreamPreprocContext::recycle`] with the output once done
+    /// to also reclaim the octree buffers for the next frame.
+    ///
+    /// # Errors
+    ///
+    /// As [`PreprocessingEngine::run`]. A failed frame never advances the
+    /// hit/miss tally; the warm cache keeps whatever the last successful
+    /// build left (which is always safe — the cache is an accelerator,
+    /// not a correctness input).
+    pub fn run_with_context(
+        &self,
+        frame: &PointCloud,
+        target: usize,
+        seed: u64,
+        sampling: SamplingKernel,
+        ctx: &mut StreamPreprocContext,
+    ) -> Result<PreprocessOutput, SystemError> {
+        // CPU: octree build through the stream's scratch (warm or cold).
+        let octree = Octree::build_with_scratch(frame, self.octree_config, &mut ctx.octree)?;
+        let stats = octree.build_stats();
+        let b_counts = if stats.reused {
+            warm_build_counts(&stats)
+        } else {
+            build_counts(&stats, octree.depth())
+        };
+        let build_latency = self.cpu.latency(&b_counts);
+
+        // MMIO: ship the Octree-Table to the FPGA. On a warm build only the
+        // dirty rows cross the link — the table is BRAM-resident across a
+        // stream's frames, so clean rows from the previous frame stay put.
+        let table = OctreeTable::from_octree(&octree);
+        let mut transfer_bytes = table.size_bits() as u64 / 8;
+        if stats.reused && stats.nodes_created > 0 {
+            transfer_bytes = transfer_bytes * stats.nodes_dirty as u64 / stats.nodes_created as u64;
+        }
+        let transfer_latency = self.unit.device_profile().transfer(transfer_bytes);
+
+        // Down-sampling via OIS, through the context's buffers.
+        ctx.mem.reload_cloud(octree.points());
+        let result = ois::sample_with_scratch(
+            &octree,
+            &table,
+            &mut ctx.mem,
+            target,
+            seed,
+            sampling,
+            &mut ctx.ois,
+        )?;
+        let sample_latency = self.unit.latency(&result.counts);
+
+        let sampled = octree.points().gather(&result.indices);
+        if stats.reused {
+            ctx.hits += 1;
+        } else {
+            ctx.misses += 1;
+        }
+        Ok(PreprocessOutput {
+            table,
+            sampled,
+            sampled_sfc: result.indices,
+            build_counts: b_counts,
+            sample_counts: result.counts,
+            build_latency,
+            transfer_latency,
+            sample_latency,
+            reused: stats.reused,
+            octree,
+        })
+    }
+
     fn run_inner(
         &self,
         frame: &PointCloud,
@@ -193,6 +312,7 @@ impl PreprocessingEngine {
             build_latency,
             transfer_latency,
             sample_latency,
+            reused: false,
             octree,
         })
     }
@@ -250,6 +370,102 @@ mod tests {
         let engine = PreprocessingEngine::prototype();
         let out = engine.run(&frame(8000), 256, 1).unwrap();
         assert_eq!(out.sample_counts.mem_reads, 256);
+    }
+
+    fn drifted_frame(n: usize, shift: f32) -> PointCloud {
+        let mut cloud = PointCloud::new();
+        cloud.push(hgpcn_geometry::Point3::ORIGIN);
+        cloud.push(hgpcn_geometry::Point3::splat(8.0));
+        for i in 0..n {
+            let f = i as f32;
+            cloud.push(Point3::new(
+                ((f * 0.618 + shift) % 1.0).abs() * 7.0 + 0.5,
+                ((f * 0.414 + shift * 0.3) % 1.0).abs() * 7.0 + 0.5,
+                ((f * 0.732 + shift * 1.7) % 1.0).abs() * 7.0 + 0.5,
+            ))
+        }
+        cloud
+    }
+
+    #[test]
+    fn context_outputs_are_bit_identical_to_stateless() {
+        let engine = PreprocessingEngine::prototype();
+        let mut ctx = StreamPreprocContext::new();
+        let kernel = hgpcn_sampling::SamplingKernel::Batched;
+        for (i, shift) in [0.0f32, 0.1, 0.2, 0.2].iter().enumerate() {
+            let cloud = drifted_frame(3000, *shift);
+            let seed = 7 + i as u64;
+            let stateless = engine.run_using(&cloud, 128, seed, kernel).unwrap();
+            let ctxed = engine
+                .run_with_context(&cloud, 128, seed, kernel, &mut ctx)
+                .unwrap();
+            assert_eq!(stateless.sampled_sfc, ctxed.sampled_sfc, "frame {i}");
+            assert_eq!(stateless.sampled, ctxed.sampled, "frame {i}");
+            assert_eq!(stateless.sample_counts, ctxed.sample_counts, "frame {i}");
+            assert_eq!(
+                stateless.octree.permutation(),
+                ctxed.octree.permutation(),
+                "frame {i}"
+            );
+            assert_eq!(ctxed.reused, i > 0, "frame {i}: anchored AABB is stable");
+            assert!(!stateless.reused);
+            ctx.recycle(ctxed);
+        }
+        assert_eq!(ctx.hits(), 3);
+        assert_eq!(ctx.misses(), 1);
+    }
+
+    #[test]
+    fn warm_frames_are_priced_as_a_delta_pass() {
+        let engine = PreprocessingEngine::prototype();
+        let mut ctx = StreamPreprocContext::new();
+        let kernel = hgpcn_sampling::SamplingKernel::Batched;
+        let cloud = drifted_frame(5000, 0.0);
+        let cold = engine
+            .run_with_context(&cloud, 256, 3, kernel, &mut ctx)
+            .unwrap();
+        assert!(!cold.reused);
+        ctx.recycle(cold);
+        let warm = engine
+            .run_with_context(&cloud, 256, 3, kernel, &mut ctx)
+            .unwrap();
+        assert!(warm.reused);
+        let stateless = engine.run_using(&cloud, 256, 3, kernel).unwrap();
+        // Identical frame: zero dirty points, so the delta pass reads the
+        // frame once, writes nothing, and spends a third of the cold
+        // compute ops.
+        assert_eq!(warm.build_counts.mem_writes, 0);
+        assert_eq!(
+            warm.build_counts.comparisons * 3,
+            stateless.build_counts.comparisons
+        );
+        assert!(warm.build_latency < stateless.build_latency);
+        assert!(warm.total_latency() < stateless.total_latency());
+        // The octree build stats record what actually ran.
+        assert!(warm.octree.build_stats().reused);
+        assert_eq!(warm.octree.build_stats().dirty_points, 0);
+    }
+
+    #[test]
+    fn context_falls_back_cold_on_aabb_drift() {
+        let engine = PreprocessingEngine::prototype();
+        let mut ctx = StreamPreprocContext::new();
+        let kernel = hgpcn_sampling::SamplingKernel::Scalar;
+        let a = drifted_frame(2000, 0.0);
+        let mut b = drifted_frame(2000, 0.0);
+        b.push(Point3::splat(100.0)); // grow the AABB
+        let _ = engine
+            .run_with_context(&a, 64, 1, kernel, &mut ctx)
+            .unwrap();
+        let out = engine
+            .run_with_context(&b, 64, 1, kernel, &mut ctx)
+            .unwrap();
+        assert!(!out.reused, "AABB drift must rebuild cold");
+        let stateless = engine.run_using(&b, 64, 1, kernel).unwrap();
+        assert_eq!(out.sampled_sfc, stateless.sampled_sfc);
+        assert_eq!(out.build_counts, stateless.build_counts);
+        assert_eq!(ctx.hits(), 0);
+        assert_eq!(ctx.misses(), 2);
     }
 
     #[test]

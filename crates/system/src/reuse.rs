@@ -1,0 +1,217 @@
+//! The preprocessing-reuse dispatch seam and the stream-scoped context it
+//! selects.
+//!
+//! PR 8 made the preprocessing *stages* swappable kernels; this seam makes
+//! the preprocessing *state policy* swappable the same way. With reuse
+//! [`PreprocReuse::On`], the runtime gives every open stream a
+//! [`StreamPreprocContext`] and runs frames through
+//! [`PreprocessingEngine::run_with_context`]: scratch buffers (octree
+//! arena, Morton/sort workspace, sampling scoreboard, host-memory image)
+//! persist across the stream's frames, and consecutive frames sharing a
+//! root AABB take the temporal-coherence warm path — an adaptive merge of
+//! the previous frame's near-sorted order instead of a full SFC sort,
+//! priced as a §V-A delta pass. With [`PreprocReuse::Off`] (the anchor),
+//! preprocessing stays stateless-per-frame, exactly as before this seam
+//! existed.
+//!
+//! Either way the outputs are **bit-identical** — the warm path is proven
+//! equal to a cold rebuild by construction and by proptest — so, like the
+//! stage kernels, this knob trades speed and modeled cost, never results.
+//!
+//! Selection policy matches the other `HGPCN_*` seams: decided once per
+//! process by [`active`] from the `HGPCN_PREPROC_REUSE` environment
+//! variable (`auto`/empty selects [`fastest_supported`], i.e. `on`);
+//! unrecognized values **degrade to the stateless anchor** with a warning
+//! instead of refusing to serve. A `RuntimeConfig` pin beats the
+//! environment. The active identity is surfaced in
+//! `RuntimeReport`/`StreamReport` and the `hgpcn_preproc_reuse_info`
+//! metric — a forced fall-back is visible, never silent.
+//!
+//! [`PreprocessingEngine::run_with_context`]: crate::PreprocessingEngine::run_with_context
+
+use std::sync::OnceLock;
+
+use hgpcn_memsim::HostMemory;
+use hgpcn_octree::OctreeScratch;
+use hgpcn_sampling::ois::OisScratch;
+
+/// The preprocessing state policy: stateless per frame, or stream-scoped
+/// with temporal-coherence reuse. Both produce bit-identical outputs; see
+/// the [module docs](self).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum PreprocReuse {
+    /// The anchor: stateless preprocessing, a cold octree build and fresh
+    /// working memory for every frame.
+    Off,
+    /// Stream-scoped contexts: per-stream scratch reuse plus the warm
+    /// adaptive-merge path when consecutive frames share a root grid.
+    On,
+}
+
+impl PreprocReuse {
+    /// Stable lower-case name, as reported in `RuntimeReport` and
+    /// `BENCH_runtime.json` and accepted back by
+    /// [`PreprocReuse::from_name`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            PreprocReuse::Off => "off",
+            PreprocReuse::On => "on",
+        }
+    }
+
+    /// Parses a policy name. Returns `None` for unknown names.
+    ///
+    /// ```
+    /// use hgpcn_system::PreprocReuse;
+    ///
+    /// assert_eq!(PreprocReuse::from_name("on"), Some(PreprocReuse::On));
+    /// assert_eq!(PreprocReuse::from_name("warm"), None);
+    /// ```
+    pub fn from_name(name: &str) -> Option<PreprocReuse> {
+        match name {
+            "off" => Some(PreprocReuse::Off),
+            "on" => Some(PreprocReuse::On),
+            _ => None,
+        }
+    }
+
+    /// Whether this build can run the policy — always `true` (the warm
+    /// path is portable safe Rust); kept for congruence with the kernel
+    /// seams.
+    pub fn is_supported(&self) -> bool {
+        true
+    }
+
+    /// Every policy compiled into this build, fastest-last.
+    pub fn all() -> &'static [PreprocReuse] {
+        &[PreprocReuse::Off, PreprocReuse::On]
+    }
+}
+
+/// The fastest supported policy: [`PreprocReuse::On`] (always available).
+pub fn fastest_supported() -> PreprocReuse {
+    PreprocReuse::On
+}
+
+/// Resolves an override request (the `HGPCN_PREPROC_REUSE` value) to a
+/// runnable policy. Empty / `auto` selects [`fastest_supported`]; an
+/// unrecognized name **degrades to the stateless anchor** with a warning
+/// on stderr, so a forced configuration still serves (policies are
+/// bit-identical — degrading can never change results).
+pub fn resolve_override(request: &str) -> PreprocReuse {
+    match request {
+        "" | "auto" => fastest_supported(),
+        other => PreprocReuse::from_name(other).unwrap_or_else(|| {
+            eprintln!(
+                "HGPCN_PREPROC_REUSE: unknown policy {other:?} \
+                 (expected auto | off | on); degrading to the stateless anchor"
+            );
+            PreprocReuse::Off
+        }),
+    }
+}
+
+static ACTIVE: OnceLock<PreprocReuse> = OnceLock::new();
+
+/// The process-wide reuse policy. Decided once, on first use: the
+/// `HGPCN_PREPROC_REUSE` override if set, otherwise [`fastest_supported`].
+pub fn active() -> PreprocReuse {
+    *ACTIVE.get_or_init(|| {
+        let request = std::env::var("HGPCN_PREPROC_REUSE").unwrap_or_default();
+        resolve_override(&request)
+    })
+}
+
+/// Stream-scoped preprocessing state: everything one stream's frames share
+/// across the preprocessing phase.
+///
+/// Owned by the runtime, one per open stream (following the stream's shard
+/// pinning, reclaimed on stream close). Carries the octree build scratch
+/// with its temporal-coherence cache, the OIS sampling scratch, a reusable
+/// host-memory image, and the stream's warm-hit/miss tally. The context is
+/// a pure accelerator: results are bit-identical whether frames run
+/// through a fresh context, a warm one, or none at all.
+#[derive(Clone, Debug)]
+pub struct StreamPreprocContext {
+    pub(crate) octree: OctreeScratch,
+    pub(crate) ois: OisScratch,
+    pub(crate) mem: HostMemory,
+    pub(crate) hits: u64,
+    pub(crate) misses: u64,
+}
+
+impl StreamPreprocContext {
+    /// Creates an empty context (cold cache, no capacity yet).
+    pub fn new() -> StreamPreprocContext {
+        StreamPreprocContext {
+            octree: OctreeScratch::new(),
+            ois: OisScratch::new(),
+            mem: HostMemory::from_points(Vec::new()),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Frames of this stream that took the temporal-coherence warm path.
+    #[inline]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Frames that rebuilt cold (first frame, AABB drift, or config
+    /// change). A stream whose hit count stays at zero while frames flow
+    /// is the ≈1.0-warm-ratio diagnostic: reuse is on but never engaging.
+    #[inline]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drops the warm cache (e.g. on a stream discontinuity) while
+    /// keeping buffer capacity; the next frame rebuilds cold.
+    pub fn invalidate(&mut self) {
+        self.octree.invalidate();
+    }
+
+    /// Reclaims the heap buffers of a [`crate::PreprocessOutput`] this
+    /// context produced, once the caller has extracted what it needs.
+    /// Purely a capacity optimization; skipping it never affects results.
+    pub fn recycle(&mut self, output: crate::PreprocessOutput) {
+        self.octree.recycle(output.octree);
+    }
+}
+
+impl Default for StreamPreprocContext {
+    fn default() -> StreamPreprocContext {
+        StreamPreprocContext::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for p in PreprocReuse::all() {
+            assert_eq!(PreprocReuse::from_name(p.name()), Some(*p));
+            assert!(p.is_supported());
+        }
+        assert_eq!(PreprocReuse::from_name("warm"), None);
+        assert_eq!(PreprocReuse::from_name("auto"), None);
+    }
+
+    #[test]
+    fn override_resolution_degrades_gracefully() {
+        assert_eq!(resolve_override(""), fastest_supported());
+        assert_eq!(resolve_override("auto"), fastest_supported());
+        assert_eq!(resolve_override("off"), PreprocReuse::Off);
+        assert_eq!(resolve_override("on"), PreprocReuse::On);
+        assert_eq!(resolve_override("bogus"), PreprocReuse::Off);
+    }
+
+    #[test]
+    fn active_is_stable() {
+        assert_eq!(active(), active());
+    }
+}

@@ -4,7 +4,7 @@
 //! bench_gate <baseline.json> <candidate.json> [--tolerance 0.15]
 //!            [--min-speedup X] [--min-int8-vs-f32 X]
 //!            [--min-telemetry-ratio X] [--min-drop-rate X]
-//!            [--min-preproc-vs-anchor X]
+//!            [--min-preproc-vs-anchor X] [--min-warm-vs-cold X]
 //! ```
 //!
 //! Reads two bench JSON files (the committed baseline and the fresh CI
@@ -60,6 +60,14 @@
 //!   the absolute `preproc_gmacs` are printed for the record but never
 //!   gated (individual stages are too small/noisy to band tightly; the
 //!   aggregate carries the claim).
+//! * `preproc_warm_vs_cold` — the stream-context reuse seam's modeled
+//!   cold octree-build+table-update latency over the §V-A warm delta
+//!   pass on a coherent drifting-scene stream. Both sides come from the
+//!   deterministic cost models, so this is banded tightly like the
+//!   modeled p95s; a collapse to ≈1.0 means the warm path stopped
+//!   engaging (env override degraded to `off`, or the cache never
+//!   hits). The `preproc_reuse.{policy,hits,misses,hit_rate}` block is
+//!   printed for the record but never gated.
 //! * with `--min-speedup X`, additionally requires `speedup >= X`;
 //!   with `--min-int8-vs-f32 X`, requires
 //!   `int8_gmacs_vs_f32_blocked >= X` (the absolute floor behind the
@@ -70,7 +78,11 @@
 //!   subsystem to its bounded-overhead claim;
 //!   with `--min-preproc-vs-anchor X`, requires
 //!   `preproc_gmacs_vs_anchor >= X` (the absolute floor behind the
-//!   "optimized stage backends beat the anchors" acceptance criterion).
+//!   "optimized stage backends beat the anchors" acceptance criterion);
+//!   with `--min-warm-vs-cold X`, requires `preproc_warm_vs_cold >= X`
+//!   (the absolute floor behind the "warm-frame preprocessing beats a
+//!   cold rebuild" acceptance criterion — deterministic, so the floor
+//!   holds on any runner).
 //!
 //! Absolute `wall_fps` values are printed for the record but never gated
 //! (a faster or slower runner generation would otherwise break CI).
@@ -100,6 +112,7 @@ fn main() -> ExitCode {
     let mut min_telemetry_ratio: Option<f64> = None;
     let mut min_drop_rate: Option<f64> = None;
     let mut min_preproc_vs_anchor: Option<f64> = None;
+    let mut min_warm_vs_cold: Option<f64> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--tolerance" => {
@@ -142,6 +155,13 @@ fn main() -> ExitCode {
                         std::process::exit(2);
                     }))
             }
+            "--min-warm-vs-cold" => {
+                min_warm_vs_cold =
+                    Some(args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--min-warm-vs-cold needs a number");
+                        std::process::exit(2);
+                    }))
+            }
             other => paths.push(other.to_owned()),
         }
     }
@@ -149,7 +169,7 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: bench_gate <baseline.json> <candidate.json> [--tolerance 0.15] \
              [--min-speedup X] [--min-int8-vs-f32 X] [--min-telemetry-ratio X] \
-             [--min-drop-rate X] [--min-preproc-vs-anchor X]"
+             [--min-drop-rate X] [--min-preproc-vs-anchor X] [--min-warm-vs-cold X]"
         );
         return ExitCode::from(2);
     }
@@ -299,6 +319,12 @@ fn main() -> ExitCode {
         candidate.num("preproc_gmacs_vs_anchor"),
         false,
     );
+    check(
+        "preproc_warm_vs_cold (modeled, deterministic)",
+        baseline.num("preproc_warm_vs_cold"),
+        candidate.num("preproc_warm_vs_cold"),
+        false,
+    );
 
     if let Some(floor) = min_int8_vs_f32 {
         match candidate.num("int8_gmacs_vs_f32_blocked") {
@@ -344,6 +370,22 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(floor) = min_warm_vs_cold {
+        match candidate.num("preproc_warm_vs_cold") {
+            Some(v) if v >= floor => {
+                println!("ok   warm-vs-cold floor: {v:.3} >= {floor:.3}")
+            }
+            Some(v) => {
+                eprintln!("FAIL warm-vs-cold floor: {v:.3} < {floor:.3}");
+                failures.set(failures.get() + 1);
+            }
+            None => {
+                eprintln!("FAIL warm-vs-cold floor: candidate has no preproc_warm_vs_cold");
+                failures.set(failures.get() + 1);
+            }
+        }
+    }
+
     if let Some(floor) = min_speedup {
         match candidate.num("speedup") {
             Some(s) if s >= floor => println!("ok   speedup floor: {s:.3} >= {floor:.3}"),
@@ -373,6 +415,9 @@ fn main() -> ExitCode {
         "stage_sampling_vs_scalar",
         "stage_gather_vs_scalar",
         "stage_interpolate_vs_scalar",
+        "preproc_reuse.hits",
+        "preproc_reuse.misses",
+        "preproc_reuse.hit_rate",
     ] {
         if let (Some(b), Some(c)) = (baseline.num(key), candidate.num(key)) {
             println!("info {key}: baseline {b:.2}, candidate {c:.2} (not gated)");
@@ -383,6 +428,12 @@ fn main() -> ExitCode {
         candidate.path("kernel_backend"),
     ) {
         println!("info kernel_backend: baseline {b}, candidate {c} (not gated)");
+    }
+    if let (Some(Json::Str(b)), Some(Json::Str(c))) = (
+        baseline.path("preproc_reuse.policy"),
+        candidate.path("preproc_reuse.policy"),
+    ) {
+        println!("info preproc_reuse.policy: baseline {b}, candidate {c} (not gated)");
     }
     for stage in ["sampling", "gather", "interpolate"] {
         let key = format!("batched.stage_backends.{stage}");
